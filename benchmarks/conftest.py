@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark suite.
+
+Each paper experiment is wrapped in a pytest-benchmark test so the whole
+evaluation regenerates with ``pytest benchmarks/ --benchmark-only``.  The
+experiments drive full simulated workloads, so every benchmark runs exactly
+one round (the variance of interest is across configurations, not across
+repeated identical runs).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.bench.experiments import ExperimentSettings  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def settings() -> ExperimentSettings:
+    """Quick experiment settings shared by every figure benchmark."""
+    return ExperimentSettings.quick()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

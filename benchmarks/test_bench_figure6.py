@@ -1,0 +1,41 @@
+"""Figure 6: cache hit rate vs cache size.
+
+Paper shapes: the in-memory hit rate climbs steeply until the cache reaches
+the working-set size and then grows slowly (27%-90% in the paper); the
+disk-bound configuration reaches a high hit rate even with a comparatively
+small cache, but much of the benefit comes from the long tail.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import figure6
+
+
+def test_figure6a_in_memory_hit_rate(benchmark, settings):
+    result = run_once(
+        benchmark, figure6, "in-memory", settings=settings, cache_points=[64, 256, 512, 1024]
+    )
+    print("\n" + result.format_hit_rate_table())
+
+    hit_rates = result.hit_rates
+    # Hit rate grows with cache size and spans a wide range.
+    for smaller, larger in zip(hit_rates, hit_rates[1:]):
+        assert larger >= smaller - 0.02
+    assert hit_rates[0] < hit_rates[-1]
+    assert 0.15 <= hit_rates[0] <= 0.65
+    assert 0.55 <= hit_rates[-1] <= 0.98
+
+
+def test_figure6b_disk_bound_hit_rate(benchmark, settings):
+    result = run_once(
+        benchmark, figure6, "disk-bound", settings=settings, cache_points=[1, 5, 9]
+    )
+    print("\n" + result.format_hit_rate_table())
+
+    hit_rates = result.hit_rates
+    assert hit_rates[-1] >= hit_rates[0]
+    # Even the small cache captures the hot set (paper: high hit rates
+    # throughout), but hit rate alone does not determine throughput.
+    assert hit_rates[0] >= 0.2
+    assert hit_rates[-1] >= 0.4

@@ -1,0 +1,39 @@
+"""Figure 7: impact of the staleness limit on peak throughput.
+
+Paper shape: even a small staleness limit (5-10 s) provides a significant
+benefit over demanding near-fresh data, and the benefit levels off by about
+30 seconds.  Throughput is reported relative to the no-caching baseline.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import figure7
+
+STALENESS_POINTS = [1, 5, 15, 30, 60]
+
+
+def test_figure7_staleness_sweep(benchmark, settings):
+    result = run_once(
+        benchmark,
+        figure7,
+        settings=settings,
+        staleness_limits=STALENESS_POINTS,
+        include_disk_bound=True,
+    )
+    print("\n" + result.format_table())
+
+    series = result.in_memory_relative
+    assert len(series) == len(STALENESS_POINTS)
+    # Caching beats the baseline at every staleness limit.
+    assert all(value > 1.0 for value in series)
+    # Larger staleness limits never hurt much and help overall.
+    assert series[-1] >= series[0]
+    # The benefit diminishes: most of the gain is already there by 30 s.
+    gain_to_30 = series[STALENESS_POINTS.index(30)] - series[0]
+    gain_after_30 = series[-1] - series[STALENESS_POINTS.index(30)]
+    assert gain_after_30 <= max(0.5, gain_to_30)
+
+    disk_series = result.disk_bound_relative
+    assert all(value > 0.9 for value in disk_series)
+    assert disk_series[-1] >= disk_series[0] * 0.95

@@ -1,0 +1,37 @@
+"""Figure 8: breakdown of cache misses by type.
+
+Paper shape: consistency misses are by a large margin the least common type
+in every configuration (at most a few percent of misses), the 64 MB cache is
+dominated by capacity/staleness misses, and the disk-bound configuration has
+the largest share of compulsory misses.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import figure8
+from repro.core.stats import MissType
+
+
+def test_figure8_miss_breakdown(benchmark, settings):
+    result = run_once(benchmark, figure8, settings=settings)
+    print("\n" + result.format_table())
+
+    assert len(result.columns) == 4
+    for column, breakdown in zip(result.columns, result.breakdowns):
+        total = sum(breakdown.values())
+        assert total == 0.0 or abs(total - 1.0) < 1e-6
+
+        consistency = breakdown[MissType.CONSISTENCY]
+        # Consistency misses are the least common type by a large margin.
+        assert consistency <= 0.25, f"{column}: consistency misses too common"
+        assert consistency <= breakdown[MissType.COMPULSORY] + 1e-9
+        assert consistency <= breakdown[MissType.STALE_OR_CAPACITY] + 0.05
+
+    by_column = dict(zip(result.columns, result.breakdowns))
+    small_cache = by_column["in-mem 64MB / 30s"]
+    large_cache = by_column["in-mem 512MB / 30s"]
+    # The small cache is dominated by capacity/staleness misses, much more so
+    # than the large cache (paper: 95.5% vs 59%).
+    assert small_cache[MissType.STALE_OR_CAPACITY] > large_cache[MissType.STALE_OR_CAPACITY]
+    assert small_cache[MissType.STALE_OR_CAPACITY] > 0.4

@@ -1,0 +1,12 @@
+"""Pytest root conftest: make the in-tree package importable.
+
+This mirrors an editable install (``pip install -e .``) without requiring
+one, so the test and benchmark suites run directly from a source checkout.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Demonstrate the anomaly TxCache prevents.
+
+A tiny "bank" keeps a fixed total balance across accounts; every write
+transfers money between two accounts atomically.  An application that reads
+some balances from an application-level cache and others from the database
+can observe a state in which money appears or disappears — unless the cache
+is transactionally consistent.
+
+The script runs the same interleaving twice:
+
+* with a memcached-style cache ("no consistency" mode), counting how many
+  read-only transactions observe a broken invariant;
+* with TxCache's consistent mode, where the count is always zero.
+
+Run with:  python examples/consistency_anomaly.py
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import ConsistencyMode, TxCacheDeployment
+from repro.db.query import Eq, Select
+from repro.db.schema import TableSchema
+
+ACCOUNTS = 6
+INITIAL_BALANCE = 100
+ROUNDS = 60
+
+
+def build(mode: ConsistencyMode):
+    deployment = TxCacheDeployment(mode=mode, default_staleness=30.0)
+    deployment.database.create_table(
+        TableSchema.build("accounts", ["id", "balance"], primary_key="id")
+    )
+    deployment.database.bulk_load(
+        "accounts", [{"id": i, "balance": INITIAL_BALANCE} for i in range(ACCOUNTS)]
+    )
+    client = deployment.client(mode=mode)
+
+    @client.cacheable(name="get_balance")
+    def get_balance(account_id):
+        return client.query(Select("accounts", Eq("id", account_id))).rows[0]["balance"]
+
+    return deployment, client, get_balance
+
+
+def run(mode: ConsistencyMode) -> int:
+    deployment, client, get_balance = build(mode)
+    rng = random.Random(42)
+
+    # Warm the cache with every balance at the initial state.
+    with client.read_only():
+        for account in range(ACCOUNTS):
+            get_balance(account)
+
+    violations = 0
+    for _ in range(ROUNDS):
+        # A write transaction moves money between two random accounts.
+        source, target = rng.sample(range(ACCOUNTS), 2)
+        amount = rng.randint(1, 30)
+        with client.read_write():
+            balance = client.query(Select("accounts", Eq("id", source))).rows[0]["balance"]
+            client.update("accounts", Eq("id", source), {"balance": balance - amount})
+            balance = client.query(Select("accounts", Eq("id", target))).rows[0]["balance"]
+            client.update("accounts", Eq("id", target), {"balance": balance + amount})
+        deployment.advance(rng.uniform(0.05, 1.0))
+
+        # A read-only transaction audits the books, reading half the accounts
+        # through the cacheable function and half directly from the database.
+        total = 0
+        with client.read_only(staleness=30):
+            for account in range(ACCOUNTS):
+                if account % 2 == 0:
+                    total += get_balance(account)
+                else:
+                    total += client.query(
+                        Select("accounts", Eq("id", account))
+                    ).rows[0]["balance"]
+        if total != ACCOUNTS * INITIAL_BALANCE:
+            violations += 1
+    return violations
+
+
+def main() -> None:
+    expected_total = ACCOUNTS * INITIAL_BALANCE
+    print(f"{ACCOUNTS} accounts, invariant: total balance == {expected_total}\n")
+
+    broken = run(ConsistencyMode.NO_CONSISTENCY)
+    print(
+        f"memcached-style cache (no consistency): "
+        f"{broken}/{ROUNDS} audit transactions saw a broken invariant"
+    )
+
+    consistent = run(ConsistencyMode.CONSISTENT)
+    print(
+        f"TxCache (transactional consistency):    "
+        f"{consistent}/{ROUNDS} audit transactions saw a broken invariant"
+    )
+    assert consistent == 0
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's evaluation figures and table from the command line.
+
+Examples:
+
+    python examples/paper_experiments.py --experiment fig5a
+    python examples/paper_experiments.py --experiment fig7 --full
+    python examples/paper_experiments.py --experiment all
+
+``--full`` uses larger datasets and longer measurement windows (slower but
+smoother curves); the default quick settings finish each experiment in well
+under a minute.  See EXPERIMENTS.md for the recorded paper-vs-measured
+comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench.experiments import (
+    ExperimentSettings,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    validity_tracking_overhead,
+)
+
+EXPERIMENTS = ("fig5a", "fig5b", "fig6a", "fig6b", "fig7", "fig8", "overhead")
+
+
+def run_experiment(name: str, settings: ExperimentSettings) -> None:
+    started = time.time()
+    if name == "fig5a":
+        print(figure5("in-memory", settings=settings).format_table())
+    elif name == "fig5b":
+        print(figure5("disk-bound", settings=settings).format_table())
+    elif name == "fig6a":
+        print(figure6("in-memory", settings=settings).format_hit_rate_table())
+    elif name == "fig6b":
+        print(figure6("disk-bound", settings=settings).format_hit_rate_table())
+    elif name == "fig7":
+        print(figure7(settings=settings).format_table())
+    elif name == "fig8":
+        print(figure8(settings=settings).format_table())
+    elif name == "overhead":
+        print(validity_tracking_overhead().format_table())
+    else:
+        raise SystemExit(f"unknown experiment {name!r}")
+    print(f"[{name} finished in {time.time() - started:.1f}s]\n")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--experiment",
+        default="all",
+        choices=EXPERIMENTS + ("all",),
+        help="which figure/table to regenerate (default: all)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use the larger, slower experiment settings",
+    )
+    args = parser.parse_args()
+
+    settings = ExperimentSettings.full() if args.full else ExperimentSettings.quick()
+    names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    for name in names:
+        run_experiment(name, settings)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Quickstart: a five-minute tour of TxCache.
+
+Builds a tiny deployment (database + cache cluster + pincushion), designates
+two cacheable functions, and walks through the behaviour the paper promises:
+
+1. the first call to a cacheable function misses and runs its queries;
+2. repeated calls — even from other transactions and other application
+   servers — hit the cache;
+3. updating the database automatically invalidates the affected entries, with
+   no application-managed keys or explicit invalidation calls;
+4. a transaction with a staleness limit may see a slightly old but always
+   *consistent* snapshot.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import TxCacheDeployment
+from repro.db.query import Eq, Select
+from repro.db.schema import TableSchema
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Set up a deployment and load a tiny schema.
+    # ------------------------------------------------------------------
+    deployment = TxCacheDeployment(cache_nodes=2, default_staleness=30.0)
+    database = deployment.database
+    database.create_table(
+        TableSchema.build(
+            "articles", ["id", "title", "body", "author"], primary_key="id", indexes=["author"]
+        )
+    )
+    database.create_table(
+        TableSchema.build("authors", ["id", "name", "article_count"], primary_key="id")
+    )
+    database.bulk_load("authors", [{"id": 1, "name": "alice", "article_count": 2}])
+    database.bulk_load(
+        "articles",
+        [
+            {"id": 1, "title": "Hello", "body": "first post", "author": 1},
+            {"id": 2, "title": "Caching", "body": "and consistency", "author": 1},
+        ],
+    )
+
+    client = deployment.client()
+
+    # ------------------------------------------------------------------
+    # 2. Designate cacheable functions (MAKE-CACHEABLE).
+    # ------------------------------------------------------------------
+    @client.cacheable
+    def get_article(article_id):
+        rows = client.query(Select("articles", Eq("id", article_id))).rows
+        return rows[0] if rows else None
+
+    @client.cacheable
+    def author_page(author_id):
+        author = client.query(Select("authors", Eq("id", author_id))).rows[0]
+        articles = client.query(Select("articles", Eq("author", author_id))).rows
+        # Nested cacheable calls: the page depends on each article too.
+        bodies = {a["id"]: get_article(a["id"])["body"] for a in articles}
+        return {"author": author["name"], "articles": len(articles), "preview": bodies}
+
+    # ------------------------------------------------------------------
+    # 3. Read-only transactions: first call misses, later calls hit.
+    # ------------------------------------------------------------------
+    with client.read_only():
+        page = author_page(1)
+    print("first render:", page)
+    print(f"  -> hits={client.stats.hits} misses={client.stats.misses}")
+
+    with client.read_only():
+        author_page(1)
+    print(f"second render from cache -> hits={client.stats.hits} misses={client.stats.misses}")
+
+    # Another application server shares the same cache.
+    other_server = deployment.client()
+
+    @other_server.cacheable
+    def get_article_elsewhere(article_id):
+        rows = other_server.query(Select("articles", Eq("id", article_id))).rows
+        return rows[0] if rows else None
+
+    # ------------------------------------------------------------------
+    # 4. Writes invalidate automatically.
+    # ------------------------------------------------------------------
+    with client.read_write():
+        client.update("articles", Eq("id", 1), {"body": "first post (edited)"})
+        client.update("authors", Eq("id", 1), {"article_count": 2})
+    deployment.advance(1.0)
+    print("article 1 edited; no explicit cache invalidation was written")
+
+    with client.read_only(staleness=0):
+        fresh = author_page(1)
+    print("fresh render:", fresh)
+
+    # ------------------------------------------------------------------
+    # 5. Staleness limits: old but consistent snapshots are allowed.
+    # ------------------------------------------------------------------
+    with client.read_only(staleness=30):
+        stale_page = author_page(1)
+        stale_article = get_article(1)
+    print("render within 30s staleness:", stale_page["preview"][1])
+    print("  article body seen in the same transaction:", stale_article["body"])
+    assert stale_page["preview"][1] == stale_article["body"], "consistent snapshot!"
+
+    print("\nclient statistics:", client.stats)
+    print("cache statistics:", deployment.cache.aggregate_stats())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""TxCache reproduction: a transactional application data cache.
+
+Reproduction of Ports, Clements, Zhang, Madden, Liskov — "Transactional
+Consistency and Automatic Management in an Application Data Cache"
+(OSDI 2010).
+
+The top-level package re-exports the pieces a typical application needs:
+
+* :class:`repro.deployment.TxCacheDeployment` — wires a database, cache
+  cluster, pincushion, and invalidation stream together;
+* :class:`repro.core.TxCacheClient` — the application-side library
+  (transactions + cacheable functions);
+* the query model of :mod:`repro.db` for talking to the database substrate.
+"""
+
+from repro.clock import Clock, ManualClock, SystemClock
+from repro.core.api import ConsistencyMode, TxCacheClient
+from repro.deployment import TxCacheDeployment
+from repro.interval import Interval, IntervalSet
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TxCacheDeployment",
+    "TxCacheClient",
+    "ConsistencyMode",
+    "Interval",
+    "IntervalSet",
+    "Clock",
+    "ManualClock",
+    "SystemClock",
+    "__version__",
+]

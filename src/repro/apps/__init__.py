@@ -1,0 +1,1 @@
+"""Applications ported to TxCache (RUBiS auction site, wiki example)."""

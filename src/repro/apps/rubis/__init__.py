@@ -1,0 +1,53 @@
+"""RUBiS: the auction-site benchmark application (paper sections 7.1 and 8).
+
+RUBiS models an eBay-like auction site: users register items for sale, browse
+listings by category and region, place bids, buy items outright, and leave
+comments.  The paper ports its PHP implementation to TxCache and drives it
+with the standard "bidding" workload (85% read-only browsing interactions,
+15% read/write interactions).
+
+This package reproduces that application in Python on top of the TxCache
+client library:
+
+* :mod:`repro.apps.rubis.schema` — the relational schema, including the
+  extra ``item_cat_reg`` table the paper added to avoid a sequential scan
+  when browsing by region and category;
+* :mod:`repro.apps.rubis.datagen` — data generation for the paper's two
+  database configurations (in-memory and disk-bound), scaled by a factor so
+  experiments run quickly;
+* :mod:`repro.apps.rubis.app` — the application layer: cacheable functions
+  at two granularities (full page results and fine-grained object lookups)
+  plus the read/write interactions;
+* :mod:`repro.apps.rubis.workload` — the 26 user interactions and the
+  Markov-chain client emulator implementing the bidding mix.
+"""
+
+from repro.apps.rubis.app import RubisApp
+from repro.apps.rubis.datagen import (
+    DISK_BOUND_CONFIG,
+    IN_MEMORY_CONFIG,
+    RubisConfig,
+    RubisDataset,
+    populate_database,
+)
+from repro.apps.rubis.schema import create_rubis_schema
+from repro.apps.rubis.workload import (
+    BIDDING_MIX,
+    Interaction,
+    RubisClientSession,
+    WorkloadMix,
+)
+
+__all__ = [
+    "RubisApp",
+    "RubisConfig",
+    "RubisDataset",
+    "IN_MEMORY_CONFIG",
+    "DISK_BOUND_CONFIG",
+    "populate_database",
+    "create_rubis_schema",
+    "Interaction",
+    "WorkloadMix",
+    "BIDDING_MIX",
+    "RubisClientSession",
+]

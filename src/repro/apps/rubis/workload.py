@@ -1,0 +1,485 @@
+"""The RUBiS client emulator: 26 interactions and the bidding mix.
+
+RUBiS drives the auction site with emulated user sessions.  Each session is a
+Markov chain over the site's 26 interactions (browsing categories and
+regions, viewing items, bidding, buying, commenting, selling, and consulting
+the "About Me" page), separated by an exponentially distributed think time
+with a 7 second mean.  The standard *bidding mix* used in the paper is about
+85% read-only interactions and 15% read/write interactions.
+
+The emulator here reproduces that structure: a transition table defines the
+probability of moving from one interaction to the next, each interaction
+knows how to pick its parameters (favouring recently seen items so sessions
+have realistic locality), and each interaction executes as exactly one
+TxCache transaction (read-only or read/write).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.apps.rubis.app import RubisApp
+from repro.apps.rubis.datagen import RubisDataset
+
+__all__ = [
+    "Interaction",
+    "WorkloadMix",
+    "BIDDING_MIX",
+    "BROWSING_MIX",
+    "RubisClientSession",
+    "INTERACTION_NAMES",
+]
+
+#: Mean think time between interactions, in seconds (RUBiS default).
+DEFAULT_THINK_TIME = 7.0
+
+
+@dataclass(frozen=True)
+class Interaction:
+    """One of the 26 RUBiS user interactions."""
+
+    name: str
+    read_only: bool
+    #: Executes the interaction; returns a short description of the result.
+    run: Callable[["RubisClientSession"], object]
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """A named workload: interaction transition table + think time."""
+
+    name: str
+    #: interaction name -> list of (next interaction name, probability).
+    transitions: Dict[str, List[Tuple[str, float]]]
+    initial_state: str = "home"
+    think_time_mean: float = DEFAULT_THINK_TIME
+
+    def next_state(self, current: str, rng: random.Random) -> str:
+        """Sample the next interaction after ``current``."""
+        choices = self.transitions.get(current)
+        if not choices:
+            return self.initial_state
+        roll = rng.random()
+        cumulative = 0.0
+        for name, probability in choices:
+            cumulative += probability
+            if roll <= cumulative:
+                return name
+        return choices[-1][0]
+
+    def read_write_fraction(self, steps: int = 20_000, seed: int = 7) -> float:
+        """Estimate the stationary fraction of read/write interactions."""
+        rng = random.Random(seed)
+        state = self.initial_state
+        writes = 0
+        for _ in range(steps):
+            state = self.next_state(state, rng)
+            if state in _READ_WRITE_INTERACTIONS:
+                writes += 1
+        return writes / steps
+
+
+# ----------------------------------------------------------------------
+# Interaction implementations
+# ----------------------------------------------------------------------
+class RubisClientSession:
+    """One emulated user: logged-in identity, navigation state, locality."""
+
+    def __init__(
+        self,
+        app: RubisApp,
+        mix: "WorkloadMix",
+        seed: int = 0,
+        staleness: float = 30.0,
+        now_fn: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.app = app
+        self.dataset: RubisDataset = app.dataset
+        self.mix = mix
+        self.rng = random.Random(seed)
+        self.staleness = staleness
+        self._now_fn = now_fn or (lambda: 0.0)
+        self.state = mix.initial_state
+        self.user_id = self.rng.choice(self.dataset.user_ids)
+        #: item currently being viewed, for bid/buy/comment locality.
+        self.current_item: Optional[int] = None
+        self.current_category: Optional[int] = None
+        self.current_region: Optional[int] = None
+        self.interactions_run: Dict[str, int] = {}
+        self.read_write_count = 0
+        self.read_only_count = 0
+
+    # ------------------------------------------------------------------
+    # Session driving
+    # ------------------------------------------------------------------
+    def think_time(self) -> float:
+        """Sample an exponential think time (seconds)."""
+        return self.rng.expovariate(1.0 / self.mix.think_time_mean)
+
+    def step(self) -> str:
+        """Advance the Markov chain one step and execute the interaction."""
+        self.state = self.mix.next_state(self.state, self.rng)
+        self.execute(self.state)
+        return self.state
+
+    def execute(self, name: str) -> object:
+        """Execute one named interaction as a single transaction."""
+        interaction = INTERACTIONS[name]
+        result = interaction.run(self)
+        self.interactions_run[name] = self.interactions_run.get(name, 0) + 1
+        if interaction.read_only:
+            self.read_only_count += 1
+        else:
+            self.read_write_count += 1
+        return result
+
+    # ------------------------------------------------------------------
+    # Parameter selection helpers
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        return self._now_fn()
+
+    def pick_item(self) -> int:
+        """Pick an item id, skewed towards a popular subset (Zipf-like).
+
+        Real auction traffic concentrates on a hot subset of auctions; the
+        skew gives cacheable per-item results a realistic re-reference rate.
+        """
+        items = self.dataset.active_item_ids
+        if self.current_item is not None and self.rng.random() < 0.4:
+            return self.current_item
+        if self.rng.random() < 0.7:
+            hot = max(1, len(items) // 10)
+            return items[self.rng.randrange(hot)]
+        return self.rng.choice(items)
+
+    def pick_category(self) -> int:
+        if self.current_category is not None and self.rng.random() < 0.5:
+            return self.current_category
+        return self.rng.choice(self.dataset.category_ids)
+
+    def pick_region(self) -> int:
+        if self.current_region is not None and self.rng.random() < 0.5:
+            return self.current_region
+        return self.rng.choice(self.dataset.region_ids)
+
+    def pick_user(self) -> int:
+        if self.rng.random() < 0.3:
+            return self.user_id
+        return self.rng.choice(self.dataset.user_ids)
+
+    # ------------------------------------------------------------------
+    # Read-only interactions
+    # ------------------------------------------------------------------
+    def _ro(self, page_function, *args) -> object:
+        return self.app.run_read_only(page_function, *args, staleness=self.staleness)
+
+    def do_home(self):
+        return self._ro(self.app.home_page)
+
+    def do_register_form(self):
+        # Static registration form: still a (trivial) read-only transaction.
+        return self._ro(self.app.browse_regions_page)
+
+    def do_browse(self):
+        return self._ro(self.app.home_page)
+
+    def do_browse_categories(self):
+        return self._ro(self.app.browse_categories_page)
+
+    def do_search_items_in_category(self):
+        self.current_category = self.pick_category()
+        page = self.rng.randrange(3)
+        result = self._ro(self.app.search_items_by_category_page, self.current_category, page)
+        self._remember_listing(result)
+        return result
+
+    def do_browse_regions(self):
+        return self._ro(self.app.browse_regions_page)
+
+    def do_browse_categories_in_region(self):
+        self.current_region = self.pick_region()
+        return self._ro(self.app.browse_categories_page)
+
+    def do_search_items_in_region(self):
+        self.current_category = self.pick_category()
+        self.current_region = self.pick_region()
+        page = self.rng.randrange(2)
+        result = self._ro(
+            self.app.search_items_by_region_page,
+            self.current_category,
+            self.current_region,
+            page,
+        )
+        self._remember_listing(result)
+        return result
+
+    def do_view_item(self):
+        self.current_item = self.pick_item()
+        return self._ro(self.app.view_item_page, self.current_item)
+
+    def do_view_user_info(self):
+        return self._ro(self.app.view_user_page, self.pick_user())
+
+    def do_view_bid_history(self):
+        item = self.current_item or self.pick_item()
+        return self._ro(self.app.view_bid_history_page, item)
+
+    def do_buy_now_auth(self):
+        return self._ro(self.app.home_page)
+
+    def do_buy_now(self):
+        item = self.current_item or self.pick_item()
+        return self._ro(self.app.buy_now_page, item, self.user_id)
+
+    def do_put_bid_auth(self):
+        return self._ro(self.app.home_page)
+
+    def do_put_bid(self):
+        item = self.current_item or self.pick_item()
+        self.current_item = item
+        return self._ro(self.app.put_bid_page, item, self.user_id)
+
+    def do_put_comment_auth(self):
+        return self._ro(self.app.home_page)
+
+    def do_put_comment(self):
+        item = self.current_item or self.pick_item()
+        return self._ro(self.app.put_comment_page, item, self.pick_user())
+
+    def do_sell(self):
+        return self._ro(self.app.browse_categories_page)
+
+    def do_select_category_to_sell_item(self):
+        return self._ro(self.app.browse_categories_page)
+
+    def do_sell_item_form(self):
+        self.current_category = self.pick_category()
+        return self._ro(self.app.sell_item_form_page, self.current_category)
+
+    def do_about_me(self):
+        return self._ro(self.app.about_me_page, self.user_id)
+
+    # ------------------------------------------------------------------
+    # Read/write interactions
+    # ------------------------------------------------------------------
+    def do_register_user(self):
+        suffix = f"{self.rng.randrange(10**9)}"
+        return self.app.register_user(
+            nickname=f"newuser{suffix}",
+            password=f"pw{suffix}",
+            region_id=self.pick_region(),
+            now=self.now(),
+        )
+
+    def do_store_bid(self):
+        item = self.current_item or self.pick_item()
+        amount = float(self.rng.randint(1, 1000))
+        return self.app.store_bid(self.user_id, item, amount, self.now())
+
+    def do_store_buy_now(self):
+        item = self.current_item or self.pick_item()
+        return self.app.store_buy_now(self.user_id, item, self.now())
+
+    def do_store_comment(self):
+        item = self.current_item or self.pick_item()
+        return self.app.store_comment(
+            from_user_id=self.user_id,
+            to_user_id=self.pick_user(),
+            item_id=item,
+            rating=self.rng.randint(-5, 5),
+            text="great seller",
+            now=self.now(),
+        )
+
+    def do_register_item(self):
+        return self.app.register_item(
+            seller_id=self.user_id,
+            category_id=self.pick_category(),
+            name=f"New item {self.rng.randrange(10**9)}",
+            initial_price=float(self.rng.randint(1, 100)),
+            now=self.now(),
+        )
+
+    # ------------------------------------------------------------------
+    def _remember_listing(self, result) -> None:
+        listings = result.get("listings") if isinstance(result, dict) else None
+        if listings:
+            self.current_item = self.rng.choice(listings)["id"]
+
+
+# ----------------------------------------------------------------------
+# The 26 interactions
+# ----------------------------------------------------------------------
+INTERACTIONS: Dict[str, Interaction] = {
+    "home": Interaction("home", True, RubisClientSession.do_home),
+    "register_form": Interaction("register_form", True, RubisClientSession.do_register_form),
+    "register_user": Interaction("register_user", False, RubisClientSession.do_register_user),
+    "browse": Interaction("browse", True, RubisClientSession.do_browse),
+    "browse_categories": Interaction(
+        "browse_categories", True, RubisClientSession.do_browse_categories
+    ),
+    "search_items_in_category": Interaction(
+        "search_items_in_category", True, RubisClientSession.do_search_items_in_category
+    ),
+    "browse_regions": Interaction("browse_regions", True, RubisClientSession.do_browse_regions),
+    "browse_categories_in_region": Interaction(
+        "browse_categories_in_region", True, RubisClientSession.do_browse_categories_in_region
+    ),
+    "search_items_in_region": Interaction(
+        "search_items_in_region", True, RubisClientSession.do_search_items_in_region
+    ),
+    "view_item": Interaction("view_item", True, RubisClientSession.do_view_item),
+    "view_user_info": Interaction("view_user_info", True, RubisClientSession.do_view_user_info),
+    "view_bid_history": Interaction(
+        "view_bid_history", True, RubisClientSession.do_view_bid_history
+    ),
+    "buy_now_auth": Interaction("buy_now_auth", True, RubisClientSession.do_buy_now_auth),
+    "buy_now": Interaction("buy_now", True, RubisClientSession.do_buy_now),
+    "store_buy_now": Interaction("store_buy_now", False, RubisClientSession.do_store_buy_now),
+    "put_bid_auth": Interaction("put_bid_auth", True, RubisClientSession.do_put_bid_auth),
+    "put_bid": Interaction("put_bid", True, RubisClientSession.do_put_bid),
+    "store_bid": Interaction("store_bid", False, RubisClientSession.do_store_bid),
+    "put_comment_auth": Interaction(
+        "put_comment_auth", True, RubisClientSession.do_put_comment_auth
+    ),
+    "put_comment": Interaction("put_comment", True, RubisClientSession.do_put_comment),
+    "store_comment": Interaction("store_comment", False, RubisClientSession.do_store_comment),
+    "sell": Interaction("sell", True, RubisClientSession.do_sell),
+    "select_category_to_sell_item": Interaction(
+        "select_category_to_sell_item", True, RubisClientSession.do_select_category_to_sell_item
+    ),
+    "sell_item_form": Interaction("sell_item_form", True, RubisClientSession.do_sell_item_form),
+    "register_item": Interaction("register_item", False, RubisClientSession.do_register_item),
+    "about_me": Interaction("about_me", True, RubisClientSession.do_about_me),
+}
+
+INTERACTION_NAMES = list(INTERACTIONS)
+
+_READ_WRITE_INTERACTIONS = {
+    name for name, interaction in INTERACTIONS.items() if not interaction.read_only
+}
+
+
+def _bidding_transitions() -> Dict[str, List[Tuple[str, float]]]:
+    """Transition table approximating the RUBiS bidding mix.
+
+    Browsing dominates; bidding sequences (put_bid_auth -> put_bid ->
+    store_bid) and the other write paths occur often enough that roughly 15%
+    of interactions are read/write, matching the paper's workload.
+    """
+    return {
+        "home": [
+            ("browse", 0.26),
+            ("browse_categories", 0.12),
+            ("browse_regions", 0.08),
+            ("about_me", 0.10),
+            ("sell", 0.16),
+            ("register_form", 0.08),
+            ("view_item", 0.20),
+        ],
+        "register_form": [("register_user", 0.85), ("home", 0.15)],
+        "register_user": [("home", 0.6), ("browse", 0.4)],
+        "browse": [
+            ("browse_categories", 0.55),
+            ("browse_regions", 0.35),
+            ("home", 0.10),
+        ],
+        "browse_categories": [
+            ("search_items_in_category", 0.88),
+            ("browse", 0.08),
+            ("home", 0.04),
+        ],
+        "search_items_in_category": [
+            ("view_item", 0.78),
+            ("search_items_in_category", 0.12),
+            ("browse_categories", 0.05),
+            ("home", 0.05),
+        ],
+        "browse_regions": [
+            ("browse_categories_in_region", 0.85),
+            ("browse", 0.10),
+            ("home", 0.05),
+        ],
+        "browse_categories_in_region": [
+            ("search_items_in_region", 0.88),
+            ("browse_regions", 0.08),
+            ("home", 0.04),
+        ],
+        "search_items_in_region": [
+            ("view_item", 0.76),
+            ("search_items_in_region", 0.12),
+            ("browse_categories_in_region", 0.07),
+            ("home", 0.05),
+        ],
+        "view_item": [
+            ("put_bid_auth", 0.56),
+            ("view_bid_history", 0.08),
+            ("view_user_info", 0.06),
+            ("buy_now_auth", 0.13),
+            ("search_items_in_category", 0.08),
+            ("home", 0.09),
+        ],
+        "view_user_info": [
+            ("put_comment_auth", 0.40),
+            ("view_item", 0.26),
+            ("search_items_in_category", 0.18),
+            ("home", 0.16),
+        ],
+        "view_bid_history": [
+            ("view_item", 0.36),
+            ("put_bid_auth", 0.36),
+            ("search_items_in_category", 0.18),
+            ("home", 0.10),
+        ],
+        "buy_now_auth": [("buy_now", 0.92), ("home", 0.08)],
+        "buy_now": [("store_buy_now", 0.86), ("view_item", 0.08), ("home", 0.06)],
+        "store_buy_now": [("home", 0.55), ("about_me", 0.25), ("browse", 0.20)],
+        "put_bid_auth": [("put_bid", 0.92), ("view_item", 0.08)],
+        "put_bid": [("store_bid", 0.88), ("view_item", 0.07), ("home", 0.05)],
+        "store_bid": [
+            ("view_item", 0.26),
+            ("put_bid_auth", 0.20),
+            ("search_items_in_category", 0.24),
+            ("home", 0.16),
+            ("about_me", 0.14),
+        ],
+        "put_comment_auth": [("put_comment", 0.92), ("home", 0.08)],
+        "put_comment": [("store_comment", 0.88), ("view_user_info", 0.06), ("home", 0.06)],
+        "store_comment": [("home", 0.5), ("about_me", 0.3), ("browse", 0.2)],
+        "sell": [("select_category_to_sell_item", 0.88), ("home", 0.12)],
+        "select_category_to_sell_item": [("sell_item_form", 0.92), ("home", 0.08)],
+        "sell_item_form": [("register_item", 0.85), ("home", 0.15)],
+        "register_item": [("about_me", 0.40), ("home", 0.35), ("browse", 0.25)],
+        "about_me": [
+            ("view_item", 0.42),
+            ("home", 0.30),
+            ("browse", 0.18),
+            ("view_user_info", 0.10),
+        ],
+    }
+
+
+def _browsing_transitions() -> Dict[str, List[Tuple[str, float]]]:
+    """A read-only browsing mix (no write interactions), for comparison runs."""
+    transitions = {}
+    for state, choices in _bidding_transitions().items():
+        if state in _READ_WRITE_INTERACTIONS:
+            continue
+        filtered = [(name, p) for name, p in choices if name not in _READ_WRITE_INTERACTIONS]
+        # Redirect the probability mass of write targets back to browsing.
+        lost = 1.0 - sum(p for _name, p in filtered)
+        if lost > 0:
+            filtered.append(("search_items_in_category", lost))
+        transitions[state] = filtered
+    return transitions
+
+
+#: The paper's workload: ~85% read-only browsing, ~15% read/write.
+BIDDING_MIX = WorkloadMix(name="bidding", transitions=_bidding_transitions())
+
+#: A purely read-only variant (not used by the paper's headline numbers, but
+#: useful for ablations).
+BROWSING_MIX = WorkloadMix(name="browsing", transitions=_browsing_transitions())

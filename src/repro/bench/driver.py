@@ -1,0 +1,204 @@
+"""The benchmark driver: run a RUBiS workload and derive peak throughput.
+
+One :func:`run_benchmark` call corresponds to one point of one of the paper's
+figures: a database configuration (in-memory or disk-bound), a total cache
+size, a staleness limit, and a consistency mode.  The driver
+
+1. builds a deployment, loads the scaled RUBiS dataset, and creates emulated
+   client sessions running the bidding mix;
+2. warms the cache (the paper restores a cache snapshot taken after an hour
+   of traffic; the warmup phase plays the same role);
+3. runs the measurement window, attributing machine time to the database,
+   web-server, and cache tiers with the cost model and advancing the
+   simulated clock at the rate the bottleneck tier can sustain (i.e., the
+   system is measured at saturation, which is what "peak throughput" means
+   in the paper);
+4. reports throughput, hit rate, and the miss-type breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.apps.rubis.app import RubisApp
+from repro.apps.rubis.datagen import RubisConfig, populate_database
+from repro.apps.rubis.schema import create_rubis_schema
+from repro.apps.rubis.workload import BIDDING_MIX, RubisClientSession, WorkloadMix
+from repro.bench.costmodel import ClusterSpec, CostModel, CostParameters, InteractionCost
+from repro.clock import ManualClock
+from repro.core.api import ConsistencyMode
+from repro.core.stats import MissType
+from repro.deployment import TxCacheDeployment
+
+__all__ = ["BenchmarkConfig", "BenchmarkResult", "run_benchmark"]
+
+#: Smallest clock advance per interaction; keeps time moving even for
+#: interactions fully absorbed by idle capacity.
+_MIN_TIME_STEP = 1e-5
+
+
+@dataclass
+class BenchmarkConfig:
+    """Parameters of one benchmark run (one point on a figure)."""
+
+    database_config: RubisConfig
+    cache_size_bytes: int
+    staleness: float = 30.0
+    mode: ConsistencyMode = ConsistencyMode.CONSISTENT
+    scale: int = 100
+    cluster: Optional[ClusterSpec] = None
+    cost_parameters: CostParameters = field(default_factory=CostParameters)
+    mix: WorkloadMix = field(default_factory=lambda: BIDDING_MIX)
+    sessions: int = 24
+    warmup_interactions: int = 2000
+    measure_interactions: int = 4000
+    housekeeping_every: int = 400
+    seed: int = 1
+    label: str = ""
+
+    def resolved_cluster(self) -> ClusterSpec:
+        if self.cluster is not None:
+            return self.cluster
+        if self.database_config.disk_bound:
+            return ClusterSpec.disk_bound_default()
+        return ClusterSpec.in_memory_default()
+
+
+@dataclass
+class BenchmarkResult:
+    """Outcome of one benchmark run."""
+
+    label: str
+    config: BenchmarkConfig
+    peak_throughput: float
+    hit_rate: float
+    miss_fractions: Dict[MissType, float]
+    miss_counts: Dict[MissType, int]
+    bottleneck: str
+    utilization: Dict[str, float]
+    interactions: int
+    read_write_fraction: float
+    demand: InteractionCost
+    cache_used_bytes: int
+    cache_entry_count: int
+    invalidations_published: int
+    simulated_seconds: float
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.label or 'run'}: {self.peak_throughput:8.1f} req/s  "
+            f"hit rate {self.hit_rate:5.1%}  bottleneck {self.bottleneck}"
+        )
+
+
+def run_benchmark(config: BenchmarkConfig) -> BenchmarkResult:
+    """Execute one benchmark configuration and return its measurements."""
+    cluster = config.resolved_cluster()
+    scaled_db_config = config.database_config.scaled(config.scale)
+
+    clock = ManualClock()
+    deployment = TxCacheDeployment(
+        clock=clock,
+        cache_nodes=cluster.cache_nodes,
+        cache_capacity_bytes_per_node=max(1, config.cache_size_bytes // cluster.cache_nodes),
+        mode=config.mode,
+        default_staleness=config.staleness,
+    )
+    create_rubis_schema(deployment.database)
+    dataset = populate_database(deployment.database, scaled_db_config, seed=config.seed)
+
+    total_rows = sum(
+        table.current_row_count() for table in deployment.database.tables.values()
+    )
+    cost_model = CostModel(
+        parameters=config.cost_parameters,
+        disk_bound=scaled_db_config.disk_bound,
+        total_rows=total_rows,
+    )
+    deployment.database.executor.add_observer(cost_model.observe_query)
+
+    client = deployment.client(mode=config.mode, default_staleness=config.staleness)
+    app = RubisApp(client, dataset)
+    sessions = [
+        RubisClientSession(
+            app,
+            config.mix,
+            seed=config.seed * 1000 + i,
+            staleness=config.staleness,
+            now_fn=clock.now,
+        )
+        for i in range(config.sessions)
+    ]
+
+    def run_phase(interactions: int) -> float:
+        """Run ``interactions`` steps; returns elapsed simulated seconds."""
+        elapsed = 0.0
+        for step in range(interactions):
+            session = sessions[step % len(sessions)]
+            before_hits = client.stats.hits
+            before_misses = client.stats.misses
+            before_bypassed = client.stats.cache_bypassed_calls
+            before_rw = client.stats.rw_transactions
+
+            cost_model.begin_interaction()
+            session.step()
+
+            for _ in range(client.stats.hits - before_hits):
+                cost_model.charge_cacheable_call(hit=True)
+            for _ in range(client.stats.misses - before_misses):
+                cost_model.charge_cacheable_call(hit=False)
+            for _ in range(client.stats.cache_bypassed_calls - before_bypassed):
+                cost_model.charge_bypassed_call()
+            if client.stats.rw_transactions > before_rw:
+                cost_model.charge_update_transaction()
+            cost = cost_model.end_interaction()
+
+            # At saturation the system completes one interaction per
+            # bottleneck-demand interval, so that is how fast simulated
+            # wall-clock time advances.
+            step_time = max(
+                cost.db / cluster.db_nodes,
+                cost.web / cluster.web_nodes,
+                cost.cache / cluster.cache_nodes,
+                _MIN_TIME_STEP,
+            )
+            clock.advance(step_time)
+            elapsed += step_time
+
+            if (step + 1) % config.housekeeping_every == 0:
+                deployment.housekeeping(config.staleness)
+        return elapsed
+
+    # Warmup: populate the cache, then discard all counters.
+    run_phase(config.warmup_interactions)
+    cost_model.reset()
+    client.stats.reset()
+    deployment.cache.reset_stats()
+    deployment.database.stats.reset()
+
+    simulated_seconds = run_phase(config.measure_interactions)
+
+    total_rw = sum(session.read_write_count for session in sessions)
+    total_all = sum(
+        session.read_write_count + session.read_only_count for session in sessions
+    )
+    miss_counts = dict(client.stats.misses_by_type)
+    return BenchmarkResult(
+        label=config.label,
+        config=config,
+        peak_throughput=cost_model.peak_throughput(cluster),
+        hit_rate=client.stats.hit_rate,
+        miss_fractions=client.stats.miss_fractions(),
+        miss_counts=miss_counts,
+        bottleneck=cost_model.bottleneck(cluster),
+        utilization=cost_model.utilization_shares(cluster),
+        interactions=config.measure_interactions,
+        read_write_fraction=total_rw / total_all if total_all else 0.0,
+        demand=cost_model.demand_per_interaction(),
+        cache_used_bytes=deployment.cache.used_bytes,
+        cache_entry_count=deployment.cache.entry_count,
+        invalidations_published=deployment.database.stats.invalidations_published,
+        simulated_seconds=simulated_seconds,
+    )

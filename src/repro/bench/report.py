@@ -1,0 +1,47 @@
+"""Plain-text rendering of experiment results (tables and series).
+
+The paper presents its evaluation as plots (Figures 5-7) and one table
+(Figure 8).  The reproduction prints the same rows/series as aligned text
+tables so results can be compared side by side with the paper's reported
+shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = "") -> str:
+    """Render rows as an aligned text table."""
+    rendered_rows: List[List[str]] = [[_cell(value) for value in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line([str(h) for h in headers]))
+    parts.append(line(["-" * width for width in widths]))
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)
+
+
+def format_series(name: str, xs: Sequence[object], ys: Sequence[float], unit: str = "") -> str:
+    """Render one x/y series as a compact text listing."""
+    pairs = ", ".join(f"{x}:{y:,.1f}{unit}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if abs(value) < 1 and value != 0:
+            return f"{value:.1%}" if 0 < abs(value) <= 1 else f"{value:.3f}"
+        return f"{value:,.1f}"
+    return str(value)

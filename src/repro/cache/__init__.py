@@ -1,0 +1,15 @@
+"""Versioned cache substrate: cache servers, consistent hashing, cluster."""
+
+from repro.cache.cluster import CacheCluster
+from repro.cache.entry import CacheEntry, LookupResult
+from repro.cache.hashring import ConsistentHashRing
+from repro.cache.server import CacheServer, CacheServerStats
+
+__all__ = [
+    "CacheCluster",
+    "CacheEntry",
+    "LookupResult",
+    "ConsistentHashRing",
+    "CacheServer",
+    "CacheServerStats",
+]

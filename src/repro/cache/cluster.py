@@ -1,0 +1,156 @@
+"""A set of cache servers addressed through consistent hashing.
+
+The application library never talks to individual cache nodes; it hands keys
+to the cluster, which routes each key to the responsible node using the hash
+ring, exactly as the paper's TxCache library maps a key to a cache server.
+All nodes subscribe to the same invalidation stream.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence
+
+from repro.cache.entry import LookupResult
+from repro.cache.hashring import ConsistentHashRing
+from repro.cache.server import CacheServer, CacheServerStats
+from repro.clock import Clock, SystemClock
+from repro.comm.multicast import InvalidationBus
+from repro.db.invalidation import InvalidationTag
+from repro.interval import Interval
+
+__all__ = ["CacheCluster"]
+
+
+class CacheCluster:
+    """Routes cache operations to the responsible cache server."""
+
+    def __init__(
+        self,
+        node_count: int = 2,
+        capacity_bytes_per_node: int = 64 * 1024 * 1024,
+        clock: Optional[Clock] = None,
+        invalidation_bus: Optional[InvalidationBus] = None,
+        virtual_nodes: int = 100,
+        node_names: Optional[Sequence[str]] = None,
+    ) -> None:
+        clock = clock or SystemClock()
+        if node_names is None:
+            node_names = [f"cache{i}" for i in range(node_count)]
+        self._servers: Dict[str, CacheServer] = {
+            name: CacheServer(name=name, capacity_bytes=capacity_bytes_per_node, clock=clock)
+            for name in node_names
+        }
+        self.ring = ConsistentHashRing(nodes=list(self._servers), virtual_nodes=virtual_nodes)
+        if invalidation_bus is not None:
+            self.attach_invalidation_bus(invalidation_bus)
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    @property
+    def servers(self) -> Dict[str, CacheServer]:
+        """Mapping of node name to cache server."""
+        return dict(self._servers)
+
+    @property
+    def node_count(self) -> int:
+        """Number of cache nodes."""
+        return len(self._servers)
+
+    def server_for(self, key: str) -> CacheServer:
+        """The server responsible for ``key`` under consistent hashing."""
+        return self._servers[self.ring.node_for(key)]
+
+    def attach_invalidation_bus(self, bus: InvalidationBus) -> None:
+        """Subscribe every node to the database's invalidation stream."""
+        for server in self._servers.values():
+            bus.subscribe(server)
+
+    def add_node(self, name: str, capacity_bytes: int, clock: Optional[Clock] = None) -> CacheServer:
+        """Add a cache node to the cluster (keys re-map via the ring)."""
+        if name in self._servers:
+            raise ValueError(f"cache node {name!r} already exists")
+        server = CacheServer(name=name, capacity_bytes=capacity_bytes, clock=clock or SystemClock())
+        self._servers[name] = server
+        self.ring.add_node(name)
+        return server
+
+    def remove_node(self, name: str) -> None:
+        """Remove a cache node; its contents are lost (cache semantics)."""
+        self._servers.pop(name, None)
+        self.ring.remove_node(name)
+
+    # ------------------------------------------------------------------
+    # Cache operations (routed)
+    # ------------------------------------------------------------------
+    def lookup(self, key: str, lo: int, hi: int) -> LookupResult:
+        """Route a versioned lookup to the responsible node."""
+        return self.server_for(key).lookup(key, lo, hi)
+
+    def put(
+        self,
+        key: str,
+        value: object,
+        interval: Interval,
+        tags: FrozenSet[InvalidationTag] = frozenset(),
+    ) -> bool:
+        """Route an insertion to the responsible node."""
+        return self.server_for(key).put(key, value, interval, tags)
+
+    def probe(self, key: str, lo: int, hi: int) -> bool:
+        """Statistics-free hit check on the responsible node (see server)."""
+        return self.server_for(key).probe(key, lo, hi)
+
+    def was_ever_stored(self, key: str) -> bool:
+        """True if the responsible node has ever stored ``key``."""
+        return self.server_for(key).was_ever_stored(key)
+
+    def evict_stale(self, oldest_useful_timestamp: int) -> int:
+        """Eagerly drop too-stale entries on every node."""
+        return sum(
+            server.evict_stale(oldest_useful_timestamp) for server in self._servers.values()
+        )
+
+    def clear(self) -> None:
+        """Empty every node."""
+        for server in self._servers.values():
+            server.clear()
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def aggregate_stats(self) -> CacheServerStats:
+        """Sum the per-node counters into one stats object."""
+        total = CacheServerStats()
+        for server in self._servers.values():
+            for field_name in CacheServerStats.__dataclass_fields__:
+                setattr(
+                    total,
+                    field_name,
+                    getattr(total, field_name) + getattr(server.stats, field_name),
+                )
+        return total
+
+    def reset_stats(self) -> None:
+        """Reset the counters of every node."""
+        for server in self._servers.values():
+            server.stats.reset()
+
+    @property
+    def used_bytes(self) -> int:
+        """Total bytes in use across the cluster."""
+        return sum(server.used_bytes for server in self._servers.values())
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total capacity across the cluster."""
+        return sum(server.capacity_bytes for server in self._servers.values())
+
+    @property
+    def entry_count(self) -> int:
+        """Total entries across the cluster."""
+        return sum(server.entry_count for server in self._servers.values())
+
+    def key_distribution(self, keys: Sequence[str]) -> Dict[str, int]:
+        """How a set of keys spreads over nodes (for balance diagnostics)."""
+        return self.ring.distribution(list(keys))

@@ -1,0 +1,97 @@
+"""Cache entries and lookup results."""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, FrozenSet, Optional
+
+from repro.db.invalidation import InvalidationTag
+from repro.interval import Interval
+
+__all__ = ["CacheEntry", "LookupResult", "estimate_size"]
+
+#: Fixed per-entry bookkeeping overhead charged against the byte budget, in
+#: addition to the serialized size of the key and value.
+ENTRY_OVERHEAD_BYTES = 64
+
+
+def estimate_size(key: str, value: Any) -> int:
+    """Approximate memory footprint of a cache entry in bytes.
+
+    The cache's byte budget models the RAM of a memcached-style server, so
+    the estimate is based on the serialized size of the value (which is also
+    what a networked cache would store) plus the key and a fixed overhead.
+    """
+    try:
+        value_bytes = len(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        value_bytes = len(repr(value).encode())
+    return len(key.encode()) + value_bytes + ENTRY_OVERHEAD_BYTES
+
+
+@dataclass
+class CacheEntry:
+    """One version of one cached key.
+
+    Attributes:
+        key: cache key (derived from the cacheable function and arguments).
+        value: the cached result.
+        interval: validity interval of the value.  An unbounded interval
+            means the value was current when inserted and the entry is
+            *still-valid*: invalidation messages may later truncate it.
+        tags: invalidation tags (only meaningful for still-valid entries).
+        size: charged size in bytes.
+        last_access: wall-clock time of the most recent hit (LRU ordering).
+    """
+
+    key: str
+    value: Any
+    interval: Interval
+    tags: FrozenSet[InvalidationTag] = frozenset()
+    size: int = 0
+    last_access: float = 0.0
+
+    @property
+    def still_valid(self) -> bool:
+        """True while no invalidation has truncated the entry."""
+        return self.interval.unbounded
+
+    def effective_interval(self, last_invalidation_ts: int) -> Interval:
+        """The interval a lookup may rely on right now.
+
+        A still-valid entry has survived every invalidation processed so far,
+        so it is known valid through the last invalidation timestamp (but no
+        further: a not-yet-seen update may already have changed it).  A
+        truncated entry's interval is exact.
+        """
+        if not self.still_valid:
+            return self.interval
+        known_through = max(self.interval.lo, last_invalidation_ts)
+        return Interval(self.interval.lo, known_through + 1)
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """Outcome of a cache lookup."""
+
+    hit: bool
+    key: str
+    value: Any = None
+    #: Effective validity interval of the returned entry: for a still-valid
+    #: entry the upper bound reflects only invalidations processed so far,
+    #: which is what the transaction's pin set may safely be narrowed to.
+    interval: Optional[Interval] = None
+    #: The entry's stored validity interval (unbounded for still-valid
+    #: entries); used when propagating dependencies to enclosing cacheable
+    #: functions.
+    raw_interval: Optional[Interval] = None
+    #: Invalidation tags of the returned entry (still-valid entries only).
+    tags: FrozenSet[InvalidationTag] = frozenset()
+    #: True if the key has ever been stored on the contacted server; used by
+    #: the client library to classify misses (compulsory vs other).
+    key_ever_stored: bool = False
+    #: True if some version of the key exists whose *true* validity interval
+    #: intersects the transaction's staleness window even though it did not
+    #: satisfy this lookup; used to classify consistency misses.
+    fresh_version_exists: bool = False

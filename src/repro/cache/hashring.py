@@ -1,0 +1,87 @@
+"""Consistent hashing of cache keys onto cache nodes.
+
+The paper partitions data among cache nodes with consistent hashing (as in
+DHTs), but assumes the deployment is small enough that every application node
+knows the full server list and can map a key to its node directly.  This is
+that scheme: a hash ring with virtual nodes for balance, plus successor
+lookup for a key.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["ConsistentHashRing"]
+
+
+def _hash(data: str) -> int:
+    """Stable 64-bit hash of a string (first 8 bytes of its SHA-1)."""
+    digest = hashlib.sha1(data.encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class ConsistentHashRing:
+    """A consistent-hash ring mapping keys to node names."""
+
+    def __init__(self, nodes: Sequence[str] = (), virtual_nodes: int = 100) -> None:
+        if virtual_nodes < 1:
+            raise ValueError("virtual_nodes must be positive")
+        self._virtual_nodes = virtual_nodes
+        self._ring: List[Tuple[int, str]] = []
+        self._points: List[int] = []
+        self._nodes: Dict[str, bool] = {}
+        for node in nodes:
+            self.add_node(node)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def add_node(self, node: str) -> None:
+        """Add a node and its virtual points to the ring."""
+        if node in self._nodes:
+            return
+        self._nodes[node] = True
+        for replica in range(self._virtual_nodes):
+            point = _hash(f"{node}#{replica}")
+            index = bisect.bisect(self._points, point)
+            self._points.insert(index, point)
+            self._ring.insert(index, (point, node))
+
+    def remove_node(self, node: str) -> None:
+        """Remove a node; its keys fall to their ring successors."""
+        if node not in self._nodes:
+            return
+        del self._nodes[node]
+        kept = [(point, owner) for point, owner in self._ring if owner != node]
+        self._ring = kept
+        self._points = [point for point, _owner in kept]
+
+    @property
+    def nodes(self) -> List[str]:
+        """Current member node names."""
+        return list(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def node_for(self, key: str) -> str:
+        """Return the node responsible for ``key``."""
+        if not self._ring:
+            raise LookupError("hash ring has no nodes")
+        point = _hash(key)
+        index = bisect.bisect(self._points, point)
+        if index == len(self._points):
+            index = 0
+        return self._ring[index][1]
+
+    def distribution(self, keys: Sequence[str]) -> Dict[str, int]:
+        """Count how many of ``keys`` map to each node (for balance tests)."""
+        counts: Dict[str, int] = {node: 0 for node in self._nodes}
+        for key in keys:
+            counts[self.node_for(key)] += 1
+        return counts

@@ -1,0 +1,394 @@
+"""The versioned cache server (paper section 4).
+
+Unlike a plain hash table, the cache is *versioned*: each entry is tagged
+with the validity interval over which its value was current, and several
+entries with the same key but disjoint intervals may coexist.  Lookups ask
+for a key *and* a range of acceptable timestamps; the server returns the most
+recent entry whose interval intersects the range.
+
+Still-valid entries (unbounded interval) carry invalidation tags.  The server
+consumes the database's invalidation stream in commit-timestamp order and
+truncates the interval of every affected still-valid entry at the
+invalidating transaction's timestamp.  Ordering cache contents and
+invalidations by the same commit timestamps eliminates the classic
+insert/invalidate race: if an entry is inserted *after* the invalidation that
+affects it has already been processed, the server truncates it immediately on
+insert.
+
+Eviction uses least-recently-used ordering over a byte budget, plus eager
+removal of entries too stale to satisfy any transaction's staleness limit.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from repro.cache.entry import CacheEntry, LookupResult, estimate_size
+from repro.clock import Clock, SystemClock
+from repro.comm.multicast import InvalidationMessage
+from repro.db.invalidation import InvalidationTag
+from repro.interval import Interval
+
+__all__ = ["CacheServer", "CacheServerStats"]
+
+
+@dataclass
+class CacheServerStats:
+    """Counters exposed by a cache server."""
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    rejected_insertions: int = 0
+    lru_evictions: int = 0
+    stale_evictions: int = 0
+    invalidation_messages: int = 0
+    entries_invalidated: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit (0.0 when there were none)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def reset(self) -> None:
+        for name in self.__dataclass_fields__:
+            setattr(self, name, 0)
+
+
+class CacheServer:
+    """One cache node: a versioned, invalidation-aware, bounded store."""
+
+    def __init__(
+        self,
+        name: str = "cache0",
+        capacity_bytes: int = 64 * 1024 * 1024,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self.clock = clock or SystemClock()
+        self.stats = CacheServerStats()
+        #: key -> versions of that key, kept sorted by interval lower bound.
+        self._entries: Dict[str, List[CacheEntry]] = {}
+        #: LRU ordering over keys (most recently used last).
+        self._lru: "OrderedDict[str, None]" = OrderedDict()
+        #: precise tag -> keys of still-valid entries depending on it.
+        self._tag_index: Dict[InvalidationTag, Set[str]] = {}
+        #: table name -> keys of still-valid entries with any tag on it
+        #: (needed to resolve wildcard invalidations).
+        self._table_index: Dict[str, Set[str]] = {}
+        #: every key ever stored (for compulsory-miss classification).
+        self._keys_ever_stored: Set[str] = set()
+        #: highest invalidation timestamp processed so far.
+        self.last_invalidation_timestamp = 0
+        #: latest invalidation timestamp seen per precise tag / table, used to
+        #: truncate entries inserted after their invalidation already arrived.
+        self._tag_last_invalidation: Dict[InvalidationTag, int] = {}
+        self._table_last_invalidation: Dict[str, int] = {}
+        self._used_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently charged against the capacity."""
+        return self._used_bytes
+
+    @property
+    def entry_count(self) -> int:
+        """Total number of stored entry versions."""
+        return sum(len(versions) for versions in self._entries.values())
+
+    @property
+    def key_count(self) -> int:
+        """Number of distinct keys with at least one stored version."""
+        return len(self._entries)
+
+    def versions_of(self, key: str) -> List[CacheEntry]:
+        """All stored versions of ``key`` (oldest validity first)."""
+        return list(self._entries.get(key, ()))
+
+    def was_ever_stored(self, key: str) -> bool:
+        """True if ``key`` has ever been inserted on this server."""
+        return key in self._keys_ever_stored
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def lookup(self, key: str, lo: int, hi: int) -> LookupResult:
+        """Find a version of ``key`` valid somewhere in ``[lo, hi]``.
+
+        ``lo`` and ``hi`` are inclusive timestamp bounds (the bounds of the
+        requesting transaction's pin set).  Returns the most recent matching
+        version together with its *effective* interval — for a still-valid
+        entry, the upper bound reflects only invalidations processed so far.
+        """
+        self.stats.lookups += 1
+        request = Interval(lo, hi + 1)
+        versions = self._entries.get(key, [])
+        best: Optional[CacheEntry] = None
+        best_interval: Optional[Interval] = None
+        for entry in versions:
+            effective = entry.effective_interval(self.last_invalidation_timestamp)
+            if effective.intersects(request):
+                if best_interval is None or effective.lo > best_interval.lo:
+                    best = entry
+                    best_interval = effective
+        if best is not None:
+            self.stats.hits += 1
+            best.last_access = self.clock.now()
+            self._touch(key)
+            return LookupResult(
+                hit=True,
+                key=key,
+                value=best.value,
+                interval=best_interval,
+                raw_interval=best.interval,
+                tags=best.tags,
+                key_ever_stored=True,
+            )
+
+        self.stats.misses += 1
+        return LookupResult(
+            hit=False,
+            key=key,
+            key_ever_stored=key in self._keys_ever_stored,
+            fresh_version_exists=bool(versions),
+        )
+
+    def probe(self, key: str, lo: int, hi: int) -> bool:
+        """Check whether a lookup over ``[lo, hi]`` would hit.
+
+        Unlike :meth:`lookup`, a probe does not count towards hit/miss
+        statistics and does not touch LRU ordering.  The client library uses
+        it to classify consistency misses: a miss is a consistency miss if a
+        sufficiently fresh version existed (a probe over the transaction's
+        original staleness window hits) but the transaction's narrowed pin
+        set could not use it.
+        """
+        request = Interval(lo, hi + 1)
+        for entry in self._entries.get(key, ()):
+            if entry.effective_interval(self.last_invalidation_timestamp).intersects(request):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def put(
+        self,
+        key: str,
+        value: object,
+        interval: Interval,
+        tags: FrozenSet[InvalidationTag] = frozenset(),
+    ) -> bool:
+        """Insert one version of ``key``.
+
+        Returns True if the entry was stored.  Entries whose interval is
+        already covered by an existing version are rejected (they add no
+        information).  A still-valid entry whose tags were already
+        invalidated at a timestamp inside its interval is truncated on
+        insert, which closes the insert/invalidate race window.
+        """
+        if interval.empty:
+            self.stats.rejected_insertions += 1
+            return False
+
+        if interval.unbounded and tags:
+            already = self._latest_invalidation_for(tags)
+            if already is not None and already >= interval.lo:
+                interval = interval.truncate(already)
+                if interval.empty:
+                    interval = Interval(interval.lo, interval.lo + 1)
+
+        versions = self._entries.setdefault(key, [])
+        for existing in versions:
+            if existing.interval.contains_interval(interval):
+                self.stats.rejected_insertions += 1
+                if not self._entries[key]:
+                    del self._entries[key]
+                return False
+
+        entry = CacheEntry(
+            key=key,
+            value=value,
+            interval=interval,
+            tags=tags if interval.unbounded else frozenset(),
+            size=estimate_size(key, value),
+            last_access=self.clock.now(),
+        )
+        versions.append(entry)
+        versions.sort(key=lambda e: e.interval.lo)
+        self._used_bytes += entry.size
+        self._keys_ever_stored.add(key)
+        self._touch(key)
+        if entry.still_valid:
+            self._index_tags(key, entry.tags)
+        self.stats.insertions += 1
+        self._enforce_capacity()
+        return True
+
+    # ------------------------------------------------------------------
+    # Invalidation stream
+    # ------------------------------------------------------------------
+    def process_invalidation(self, message: InvalidationMessage) -> None:
+        """Apply one invalidation message from the database's stream."""
+        self.stats.invalidation_messages += 1
+        timestamp = message.timestamp
+        affected_keys: Set[str] = set()
+        for tag in message.tags:
+            self._record_tag_invalidation(tag, timestamp)
+            if tag.is_wildcard:
+                affected_keys.update(self._table_index.get(tag.table, ()))
+            else:
+                affected_keys.update(self._tag_index.get(tag, ()))
+                # A precise update also affects entries that depend on a
+                # wildcard (scan) of the same table.
+                affected_keys.update(
+                    key
+                    for key in self._table_index.get(tag.table, ())
+                    if self._has_wildcard_dependency(key, tag.table)
+                )
+        for key in affected_keys:
+            self._truncate_still_valid(key, timestamp)
+        if timestamp > self.last_invalidation_timestamp:
+            self.last_invalidation_timestamp = timestamp
+
+    def note_timestamp(self, timestamp: int) -> None:
+        """Advance the last-invalidation watermark without any tags.
+
+        The benchmark driver uses this to model update transactions whose
+        invalidation message carried no tags relevant to this node; the
+        watermark still moves so still-valid entries can be relied on through
+        the new timestamp.
+        """
+        if timestamp > self.last_invalidation_timestamp:
+            self.last_invalidation_timestamp = timestamp
+
+    # ------------------------------------------------------------------
+    # Eviction
+    # ------------------------------------------------------------------
+    def evict_stale(self, oldest_useful_timestamp: int) -> int:
+        """Drop entries that ended before ``oldest_useful_timestamp``.
+
+        Such entries cannot satisfy any transaction within the staleness
+        limit and are eagerly removed (paper section 4.1).  Returns the
+        number of entries removed.
+        """
+        removed = 0
+        for key in list(self._entries.keys()):
+            keep: List[CacheEntry] = []
+            for entry in self._entries[key]:
+                hi = entry.interval.hi
+                if hi is not None and hi <= oldest_useful_timestamp:
+                    self._drop_entry(entry)
+                    removed += 1
+                else:
+                    keep.append(entry)
+            if keep:
+                self._entries[key] = keep
+            else:
+                del self._entries[key]
+                self._lru.pop(key, None)
+        self.stats.stale_evictions += removed
+        return removed
+
+    def clear(self) -> None:
+        """Remove every entry (used between benchmark configurations)."""
+        self._entries.clear()
+        self._lru.clear()
+        self._tag_index.clear()
+        self._table_index.clear()
+        self._used_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _touch(self, key: str) -> None:
+        self._lru.pop(key, None)
+        self._lru[key] = None
+
+    def _enforce_capacity(self) -> None:
+        while self._used_bytes > self.capacity_bytes and self._lru:
+            victim_key, _ = self._lru.popitem(last=False)
+            for entry in self._entries.pop(victim_key, []):
+                self._drop_entry(entry)
+                self.stats.lru_evictions += 1
+
+    def _drop_entry(self, entry: CacheEntry) -> None:
+        self._used_bytes -= entry.size
+        if self._used_bytes < 0:
+            self._used_bytes = 0
+        self._unindex_tags(entry.key, entry.tags)
+
+    def _index_tags(self, key: str, tags: FrozenSet[InvalidationTag]) -> None:
+        for tag in tags:
+            self._tag_index.setdefault(tag, set()).add(key)
+            self._table_index.setdefault(tag.table, set()).add(key)
+
+    def _unindex_tags(self, key: str, tags: FrozenSet[InvalidationTag]) -> None:
+        for tag in tags:
+            keys = self._tag_index.get(tag)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._tag_index[tag]
+            table_keys = self._table_index.get(tag.table)
+            if table_keys is not None:
+                table_keys.discard(key)
+                if not table_keys:
+                    del self._table_index[tag.table]
+
+    def _has_wildcard_dependency(self, key: str, table: str) -> bool:
+        for entry in self._entries.get(key, ()):
+            if entry.still_valid and any(
+                tag.is_wildcard and tag.table == table for tag in entry.tags
+            ):
+                return True
+        return False
+
+    def _truncate_still_valid(self, key: str, timestamp: int) -> None:
+        for entry in self._entries.get(key, ()):
+            if entry.still_valid:
+                self._unindex_tags(key, entry.tags)
+                entry.interval = entry.interval.truncate(timestamp)
+                entry.tags = frozenset()
+                self.stats.entries_invalidated += 1
+
+    def _latest_invalidation_for(self, tags: FrozenSet[InvalidationTag]) -> Optional[int]:
+        latest: Optional[int] = None
+        for tag in tags:
+            candidates = []
+            if tag.is_wildcard:
+                # Any invalidation on the table affects a wildcard dependency.
+                candidates.extend(
+                    ts
+                    for other, ts in self._tag_last_invalidation.items()
+                    if other.table == tag.table
+                )
+                candidates.extend(
+                    ts for table, ts in self._table_last_invalidation.items() if table == tag.table
+                )
+            else:
+                if tag in self._tag_last_invalidation:
+                    candidates.append(self._tag_last_invalidation[tag])
+                if tag.table in self._table_last_invalidation:
+                    candidates.append(self._table_last_invalidation[tag.table])
+            for ts in candidates:
+                if latest is None or ts > latest:
+                    latest = ts
+        return latest
+
+    def _record_tag_invalidation(self, tag: InvalidationTag, timestamp: int) -> None:
+        if tag.is_wildcard:
+            previous = self._table_last_invalidation.get(tag.table, 0)
+            if timestamp > previous:
+                self._table_last_invalidation[tag.table] = timestamp
+        else:
+            previous = self._tag_last_invalidation.get(tag, 0)
+            if timestamp > previous:
+                self._tag_last_invalidation[tag] = timestamp

@@ -1,0 +1,65 @@
+"""Clocks used throughout the TxCache reproduction.
+
+The paper's system uses real wall-clock time for staleness limits (e.g. a
+read-only transaction may request a snapshot no older than 30 seconds) while
+ordering all data by logical commit timestamps.  The reproduction mirrors
+this split: logical timestamps come from the database's commit counter, and
+wall-clock time comes from a :class:`Clock`.
+
+Two implementations are provided:
+
+* :class:`SystemClock` — reads the real time.  Used in interactive examples.
+* :class:`ManualClock` — a settable clock advanced explicitly.  Used by the
+  tests and by the benchmark simulator so that experiments are deterministic
+  and can model hours of simulated traffic in milliseconds of real time.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+
+__all__ = ["Clock", "SystemClock", "ManualClock"]
+
+
+class Clock(ABC):
+    """Abstract wall-clock time source (seconds as a float)."""
+
+    @abstractmethod
+    def now(self) -> float:
+        """Return the current wall-clock time in seconds."""
+
+
+class SystemClock(Clock):
+    """Clock backed by the operating system's real time."""
+
+    def now(self) -> float:
+        return time.time()
+
+
+class ManualClock(Clock):
+    """A clock that only moves when told to.
+
+    Tests and the benchmark simulator advance it explicitly, which makes
+    staleness behaviour (pin expiry, stale cache entries) fully deterministic.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward by ``seconds`` and return the new time."""
+        if seconds < 0:
+            raise ValueError("cannot move a ManualClock backwards")
+        self._now += seconds
+        return self._now
+
+    def set(self, timestamp: float) -> float:
+        """Jump the clock to an absolute time (must not move backwards)."""
+        if timestamp < self._now:
+            raise ValueError("cannot move a ManualClock backwards")
+        self._now = float(timestamp)
+        return self._now

@@ -1,0 +1,5 @@
+"""Communication substrate: the ordered invalidation multicast bus."""
+
+from repro.comm.multicast import InvalidationBus, InvalidationMessage, Subscriber
+
+__all__ = ["InvalidationBus", "InvalidationMessage", "Subscriber"]

@@ -1,0 +1,129 @@
+"""Ordered multicast of invalidation messages to cache nodes.
+
+The paper distributes invalidations from the database to every cache node as
+an *invalidation stream*: an ordered sequence of messages, one per update
+transaction, each carrying the transaction's commit timestamp and the set of
+invalidation tags it affected (section 4.2).  Delivery uses a reliable
+application-level multicast service.
+
+This module reproduces that transport as an in-process bus.  By default,
+messages are delivered synchronously and in order, which matches the paper's
+assumption of reliable ordered delivery.  For testing race conditions the bus
+can be switched to *deferred* mode, where published messages queue up until
+:meth:`InvalidationBus.deliver_pending` is called; this lets tests exercise
+the window between a database commit and the cache learning about it, the
+exact scenario the paper's timestamp-ordering protocol is designed to make
+harmless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Protocol, Tuple
+
+__all__ = ["InvalidationMessage", "Subscriber", "InvalidationBus"]
+
+
+@dataclass(frozen=True)
+class InvalidationMessage:
+    """One entry of the invalidation stream.
+
+    Attributes:
+        timestamp: commit timestamp of the update transaction.
+        tags: invalidation tags affected by the transaction (a tuple of
+            :class:`repro.db.invalidation.InvalidationTag`).
+    """
+
+    timestamp: int
+    tags: Tuple = field(default_factory=tuple)
+
+
+class Subscriber(Protocol):
+    """Anything that consumes the invalidation stream (cache servers)."""
+
+    def process_invalidation(self, message: InvalidationMessage) -> None:
+        """Apply one invalidation message."""
+
+
+class InvalidationBus:
+    """Reliable, ordered fan-out of invalidation messages.
+
+    Messages are delivered to subscribers in publication order.  In
+    synchronous mode (the default) delivery happens inside :meth:`publish`;
+    in deferred mode messages accumulate until :meth:`deliver_pending`.
+    """
+
+    def __init__(self, synchronous: bool = True) -> None:
+        self._subscribers: List[Subscriber] = []
+        self._pending: List[InvalidationMessage] = []
+        self._synchronous = synchronous
+        self._last_published: int = -1
+        self._delivered_count = 0
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def subscribe(self, subscriber: Subscriber) -> None:
+        """Register a cache node to receive the invalidation stream."""
+        if subscriber not in self._subscribers:
+            self._subscribers.append(subscriber)
+
+    def unsubscribe(self, subscriber: Subscriber) -> None:
+        """Remove a cache node from the stream."""
+        if subscriber in self._subscribers:
+            self._subscribers.remove(subscriber)
+
+    @property
+    def subscribers(self) -> List[Subscriber]:
+        """Currently registered subscribers."""
+        return list(self._subscribers)
+
+    # ------------------------------------------------------------------
+    # Publication and delivery
+    # ------------------------------------------------------------------
+    def publish(self, message: InvalidationMessage) -> None:
+        """Publish one message; messages must arrive in timestamp order."""
+        if message.timestamp <= self._last_published:
+            raise ValueError(
+                "invalidation stream out of order: "
+                f"{message.timestamp} after {self._last_published}"
+            )
+        self._last_published = message.timestamp
+        self._pending.append(message)
+        if self._synchronous:
+            self.deliver_pending()
+
+    def deliver_pending(self) -> int:
+        """Deliver every queued message, in order.  Returns the count."""
+        delivered = 0
+        while self._pending:
+            message = self._pending.pop(0)
+            for subscriber in self._subscribers:
+                subscriber.process_invalidation(message)
+            delivered += 1
+            self._delivered_count += 1
+        return delivered
+
+    def set_synchronous(self, synchronous: bool) -> None:
+        """Switch between immediate and deferred delivery."""
+        self._synchronous = synchronous
+        if synchronous:
+            self.deliver_pending()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending_count(self) -> int:
+        """Number of published-but-undelivered messages."""
+        return len(self._pending)
+
+    @property
+    def delivered_count(self) -> int:
+        """Total messages delivered since creation."""
+        return self._delivered_count
+
+    @property
+    def last_published_timestamp(self) -> int:
+        """Timestamp of the most recently published message (-1 if none)."""
+        return self._last_published

@@ -1,0 +1,45 @@
+"""The TxCache client library (the paper's primary contribution).
+
+This package implements the application-side library described in sections 2
+and 6 of the paper:
+
+* the transactional programming model — ``BEGIN-RO(staleness)`` /
+  ``BEGIN-RW`` / ``COMMIT`` / ``ABORT`` — in which everything an application
+  reads inside a read-only transaction reflects one consistent (possibly
+  slightly stale) snapshot of the database;
+* *cacheable functions*: pure functions designated with
+  :meth:`TxCacheClient.cacheable`, whose results are transparently memoised
+  in the versioned cache and automatically invalidated when the database
+  changes;
+* *lazy timestamp selection*: a transaction's serialization point is chosen
+  from its *pin set* as late as possible, based on which cached results are
+  actually available;
+* nested cacheable calls with per-frame validity/tag accumulation;
+* cache-miss classification (compulsory / staleness / capacity / consistency)
+  used by the paper's Figure 8.
+"""
+
+from repro.core.api import ConsistencyMode, TxCacheClient
+from repro.core.exceptions import (
+    CacheableInRWTransactionWarning,
+    NotInTransactionError,
+    TransactionInProgressError,
+    TxCacheError,
+)
+from repro.core.keys import cache_key
+from repro.core.pinset import STAR, PinSet
+from repro.core.stats import ClientStats, MissType
+
+__all__ = [
+    "TxCacheClient",
+    "ConsistencyMode",
+    "TxCacheError",
+    "NotInTransactionError",
+    "TransactionInProgressError",
+    "CacheableInRWTransactionWarning",
+    "cache_key",
+    "PinSet",
+    "STAR",
+    "ClientStats",
+    "MissType",
+]

@@ -1,0 +1,490 @@
+"""The TxCache client library API (paper Figure 2 and section 6).
+
+:class:`TxCacheClient` is what applications link against.  It exposes the
+programming model of the paper:
+
+* ``begin_ro(staleness)`` / ``begin_rw()`` / ``commit()`` / ``abort()``;
+* ``make_cacheable(fn)`` (and the :meth:`TxCacheClient.cacheable` decorator)
+  to designate pure functions whose results are transparently cached;
+* ``query`` / ``insert`` / ``update`` / ``delete`` to access the database
+  within a transaction.
+
+Inside a read-only transaction every value the application sees — cached or
+freshly queried — is consistent with the database state at one timestamp.
+The library maintains a *pin set* of candidate serialization timestamps and
+narrows it lazily as data is observed (section 6.2); database queries are
+forced to a specific pinned snapshot only when they can no longer be avoided.
+
+Read/write transactions bypass the cache and run directly on the database, so
+TxCache never weakens the database's own isolation level (section 2.2).
+
+For the paper's baselines the client can also run in two degraded modes:
+``NO_CONSISTENCY`` uses the cache and the invalidation machinery but accepts
+any value fresh enough for the staleness limit, ignoring mutual consistency
+(the "No consistency" line of Figure 5a), and ``NO_CACHE`` bypasses the cache
+entirely (the "No caching" baseline).
+"""
+
+from __future__ import annotations
+
+import functools
+from contextlib import contextmanager
+from enum import Enum
+from typing import Any, Callable, Dict, Iterator, Optional, Union
+
+from repro.cache.cluster import CacheCluster
+from repro.clock import Clock, SystemClock
+from repro.core.exceptions import (
+    NotInTransactionError,
+    TransactionInProgressError,
+    TxCacheError,
+)
+from repro.core.keys import cache_key
+from repro.core.pinset import PinSet
+from repro.core.stats import ClientStats, MissType
+from repro.core.transaction import CacheableFrame, ReadOnlyState, ReadWriteState
+from repro.db.database import Database
+from repro.db.executor import QueryResult
+from repro.db.query import Predicate, Query
+from repro.interval import Interval
+from repro.pincushion.pincushion import Pincushion
+
+__all__ = ["ConsistencyMode", "TxCacheClient"]
+
+#: Upper bound used when probing the cache over "any time from X until now".
+_FAR_FUTURE = 2**62
+
+
+class ConsistencyMode(Enum):
+    """How the client treats cached data."""
+
+    #: Full TxCache semantics: transactional consistency across cache and
+    #: database (the paper's system).
+    CONSISTENT = "consistent"
+    #: Use the cache and invalidations, but accept any sufficiently fresh
+    #: value regardless of mutual consistency (Figure 5a's "No consistency").
+    NO_CONSISTENCY = "no-consistency"
+    #: Never use the cache (the "No caching" baseline).
+    NO_CACHE = "no-cache"
+
+
+class TxCacheClient:
+    """Application-side TxCache library instance.
+
+    One client corresponds to one application server process in the paper's
+    deployment; several clients may share the same database, cache cluster,
+    and pincushion.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        cache: CacheCluster,
+        pincushion: Pincushion,
+        clock: Optional[Clock] = None,
+        mode: ConsistencyMode = ConsistencyMode.CONSISTENT,
+        default_staleness: float = 30.0,
+        new_pin_threshold: float = 5.0,
+    ) -> None:
+        self.database = database
+        self.cache = cache
+        self.pincushion = pincushion
+        self.clock = clock or SystemClock()
+        self.mode = mode
+        self.default_staleness = default_staleness
+        #: If the freshest pinned snapshot is older than this many seconds
+        #: and ``?`` is still available, a database access pins a brand new
+        #: snapshot instead of reusing an old one (the paper's policy for
+        #: bounding the number of pinned snapshots, section 6.2).
+        self.new_pin_threshold = new_pin_threshold
+        self.stats = ClientStats()
+        self._state: Optional[Union[ReadOnlyState, ReadWriteState]] = None
+
+    # ==================================================================
+    # Transaction control
+    # ==================================================================
+    def begin_ro(self, staleness: Optional[float] = None) -> None:
+        """BEGIN-RO: start a read-only transaction.
+
+        ``staleness`` is the maximum age, in seconds, of the snapshot the
+        transaction is willing to observe; it defaults to the client's
+        ``default_staleness``.
+        """
+        self._check_no_transaction()
+        staleness = self.default_staleness if staleness is None else staleness
+        fresh = self.pincushion.fresh_snapshots(staleness, mark_in_use=True)
+        held = [snapshot.snapshot_id for snapshot in fresh]
+        pinned_by_us: list = []
+        if not held:
+            # No sufficiently fresh pinned snapshot exists: pin the latest
+            # one now (paper section 5.4) so the pin set always has at least
+            # one concrete serialization point.
+            snapshot_id = self._pin_new_snapshot()
+            held = [snapshot_id]
+            pinned_by_us = [snapshot_id]
+        pin_set = PinSet(held, star=True)
+        self._state = ReadOnlyState(
+            staleness=staleness,
+            pin_set=pin_set,
+            initial_bounds=pin_set.bounds(),
+            held_snapshot_ids=list(held),
+            pinned_by_us=pinned_by_us,
+        )
+        self.stats.ro_transactions += 1
+
+    def begin_rw(self) -> None:
+        """BEGIN-RW: start a read/write transaction (bypasses the cache)."""
+        self._check_no_transaction()
+        self._state = ReadWriteState(db_transaction=self.database.begin_rw())
+        self.stats.rw_transactions += 1
+
+    def commit(self) -> int:
+        """COMMIT: finish the current transaction.
+
+        Returns the timestamp the transaction ran at (read-only) or committed
+        at (read/write).  Applications can carry this timestamp into the
+        staleness bound of a later transaction to guarantee they never
+        observe time moving backwards (paper section 2.2).
+        """
+        state = self._require_transaction()
+        try:
+            if isinstance(state, ReadWriteState):
+                timestamp = state.db_transaction.commit()
+            else:
+                timestamp = self._finish_read_only(state, abort=False)
+            self.stats.commits += 1
+            return timestamp
+        finally:
+            self._state = None
+
+    def abort(self) -> None:
+        """ABORT: abandon the current transaction."""
+        state = self._require_transaction()
+        try:
+            if isinstance(state, ReadWriteState):
+                state.db_transaction.abort()
+            else:
+                self._finish_read_only(state, abort=True)
+            self.stats.aborts += 1
+        finally:
+            self._state = None
+
+    @property
+    def in_transaction(self) -> bool:
+        """True while a transaction is open."""
+        return self._state is not None
+
+    @property
+    def current_read_only(self) -> bool:
+        """True if the open transaction is read-only."""
+        state = self._require_transaction()
+        return state.read_only
+
+    @contextmanager
+    def read_only(self, staleness: Optional[float] = None) -> Iterator["TxCacheClient"]:
+        """Context manager form of BEGIN-RO ... COMMIT/ABORT."""
+        self.begin_ro(staleness)
+        try:
+            yield self
+        except BaseException:
+            if self.in_transaction:
+                self.abort()
+            raise
+        else:
+            if self.in_transaction:
+                self.commit()
+
+    @contextmanager
+    def read_write(self) -> Iterator["TxCacheClient"]:
+        """Context manager form of BEGIN-RW ... COMMIT/ABORT."""
+        self.begin_rw()
+        try:
+            yield self
+        except BaseException:
+            if self.in_transaction:
+                self.abort()
+            raise
+        else:
+            if self.in_transaction:
+                self.commit()
+
+    # ==================================================================
+    # Cacheable functions
+    # ==================================================================
+    def make_cacheable(
+        self, fn: Callable[..., Any], name: Optional[str] = None
+    ) -> Callable[..., Any]:
+        """MAKE-CACHEABLE: wrap a pure function so its results are cached.
+
+        The wrapper checks the cache for a previous call with the same
+        arguments that is consistent with the current transaction's snapshot;
+        on a miss it runs ``fn``, records the validity interval and
+        invalidation tags of everything it observed, and stores the result.
+        """
+        key_identity: Union[Callable[..., Any], str] = name if name is not None else fn
+        display_name = name or getattr(fn, "__qualname__", repr(fn))
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            return self._call_cacheable(fn, key_identity, display_name, args, kwargs)
+
+        wrapper.__txcache_wrapped__ = fn  # type: ignore[attr-defined]
+        wrapper.__txcache_name__ = display_name  # type: ignore[attr-defined]
+        return wrapper
+
+    def cacheable(
+        self, fn: Optional[Callable[..., Any]] = None, *, name: Optional[str] = None
+    ) -> Callable[..., Any]:
+        """Decorator form of :meth:`make_cacheable`.
+
+        Usable both bare (``@client.cacheable``) and with arguments
+        (``@client.cacheable(name="get_item")``).
+        """
+        if fn is not None:
+            return self.make_cacheable(fn, name=name)
+
+        def decorator(inner: Callable[..., Any]) -> Callable[..., Any]:
+            return self.make_cacheable(inner, name=name)
+
+        return decorator
+
+    # ==================================================================
+    # Database access within a transaction
+    # ==================================================================
+    def query(self, query: Query) -> QueryResult:
+        """Run a query inside the current transaction.
+
+        In a read-only transaction the query runs at the transaction's
+        (lazily chosen) snapshot; its validity interval narrows the pin set
+        and is folded into any enclosing cacheable functions.
+        """
+        state = self._require_transaction()
+        if isinstance(state, ReadWriteState):
+            return state.db_transaction.query(query)
+
+        db_tx = self._ensure_db_transaction(state)
+        result = db_tx.query(query)
+        self.stats.db_queries += 1
+        if self.mode is ConsistencyMode.CONSISTENT:
+            state.pin_set.restrict(result.validity)
+        state.accumulate_into_frames(result.validity, result.tags)
+        return result
+
+    def insert(self, table: str, values: Dict[str, Any]):
+        """Insert a row (read/write transactions only)."""
+        return self._require_rw().db_transaction.insert(table, values)
+
+    def update(self, table: str, predicate: Predicate, changes: Dict[str, Any]) -> int:
+        """Update matching rows (read/write transactions only)."""
+        return self._require_rw().db_transaction.update(table, predicate, changes)
+
+    def delete(self, table: str, predicate: Predicate) -> int:
+        """Delete matching rows (read/write transactions only)."""
+        return self._require_rw().db_transaction.delete(table, predicate)
+
+    # ==================================================================
+    # Internals: cacheable call handling
+    # ==================================================================
+    def _call_cacheable(
+        self,
+        fn: Callable[..., Any],
+        key_identity: Union[Callable[..., Any], str],
+        display_name: str,
+        args: tuple,
+        kwargs: dict,
+    ) -> Any:
+        state = self._state
+        if state is None:
+            raise NotInTransactionError(
+                f"cacheable function {display_name!r} called outside a transaction"
+            )
+
+        # Read/write transactions bypass the cache entirely; NO_CACHE mode
+        # does so for read-only transactions as well.
+        if isinstance(state, ReadWriteState) or self.mode is ConsistencyMode.NO_CACHE:
+            self.stats.record_bypass()
+            return fn(*args, **kwargs)
+
+        key = cache_key(key_identity, args, kwargs)
+        lookup_bounds = self._lookup_bounds(state)
+        result = self.cache.lookup(key, *lookup_bounds)
+
+        if result.hit:
+            usable = True
+            if self.mode is ConsistencyMode.CONSISTENT:
+                usable = state.pin_set.would_survive(result.interval)
+            if usable:
+                if self.mode is ConsistencyMode.CONSISTENT:
+                    state.pin_set.restrict(result.interval)
+                state.accumulate_into_frames(result.raw_interval, result.tags)
+                self.stats.record_hit()
+                return result.value
+
+        self.stats.record_miss(self._classify_miss(state, key, result))
+        return self._execute_and_store(state, fn, key, display_name, args, kwargs)
+
+    def _execute_and_store(
+        self,
+        state: ReadOnlyState,
+        fn: Callable[..., Any],
+        key: str,
+        display_name: str,
+        args: tuple,
+        kwargs: dict,
+    ) -> Any:
+        frame = CacheableFrame(function_name=display_name, key=key)
+        state.frames.append(frame)
+        try:
+            value = fn(*args, **kwargs)
+        finally:
+            state.frames.pop()
+        interval = frame.validity
+        tags = frozenset(frame.tags) if interval.unbounded else frozenset()
+        self.cache.put(key, value, interval, tags)
+        # The enclosing functions (if any) already accumulated everything the
+        # inner function observed, because database/cache observations are
+        # folded into every frame on the stack as they happen.
+        return value
+
+    def _lookup_bounds(self, state: ReadOnlyState) -> tuple:
+        if self.mode is ConsistencyMode.NO_CONSISTENCY:
+            # Accept anything fresh enough, ignoring what we already read.
+            bounds = state.initial_bounds
+            if bounds is None:  # pragma: no cover - begin_ro guarantees bounds
+                return (0, _FAR_FUTURE)
+            return (bounds[0], _FAR_FUTURE)
+        bounds = state.pin_set.bounds()
+        if bounds is None:  # pragma: no cover - begin_ro guarantees bounds
+            raise TxCacheError("pin set has no concrete timestamps")
+        return bounds
+
+    def _classify_miss(self, state: ReadOnlyState, key: str, result) -> MissType:
+        """Classify a miss as compulsory, stale/capacity, or consistency."""
+        if not result.key_ever_stored:
+            return MissType.COMPULSORY
+        # Would a lookup over the transaction's original staleness window
+        # (ignoring the narrowing caused by data already read) have hit?
+        initial = state.initial_bounds
+        lo = initial[0] if initial else 0
+        if self.cache.probe(key, lo, _FAR_FUTURE):
+            return MissType.CONSISTENCY
+        return MissType.STALE_OR_CAPACITY
+
+    # ==================================================================
+    # Internals: snapshots and database transactions
+    # ==================================================================
+    def _ensure_db_transaction(self, state: ReadOnlyState):
+        """Choose a timestamp and open the underlying DB transaction lazily."""
+        if state.db_transaction is not None:
+            return state.db_transaction
+
+        if self.mode is ConsistencyMode.CONSISTENT:
+            chosen = self._choose_timestamp(state)
+        else:
+            # Baseline modes behave like an unmodified deployment: database
+            # reads simply run against the latest committed state.
+            chosen = self.database.latest_timestamp
+        state.chosen_timestamp = chosen
+        state.db_transaction = self.database.begin_ro(snapshot_id=chosen)
+        return state.db_transaction
+
+    def _choose_timestamp(self, state: ReadOnlyState) -> int:
+        """The paper's timestamp-selection policy (section 6.2).
+
+        Prefer the most recent timestamp in the pin set; but if that
+        timestamp is older than ``new_pin_threshold`` seconds and ``?`` is
+        still available, pin a fresh snapshot instead so transactions do not
+        keep piling onto an ageing snapshot.
+        """
+        pin_set = state.pin_set
+        most_recent = pin_set.most_recent()
+        if most_recent is None:
+            if not pin_set.has_star:  # pragma: no cover - invariant 2
+                raise TxCacheError("pin set has neither timestamps nor ?")
+            fresh_ts = self._pin_new_snapshot()
+            state.pinned_by_us.append(fresh_ts)
+            state.held_snapshot_ids.append(fresh_ts)
+            pin_set.reify_star(fresh_ts)
+            return fresh_ts
+
+        if pin_set.has_star:
+            age = self.clock.now() - self._wallclock_of_snapshot(most_recent)
+            if age > self.new_pin_threshold:
+                fresh_ts = self._pin_new_snapshot()
+                state.pinned_by_us.append(fresh_ts)
+                state.held_snapshot_ids.append(fresh_ts)
+                pin_set.reify_star(fresh_ts)
+                return fresh_ts
+        return most_recent
+
+    def _pin_new_snapshot(self) -> int:
+        """Pin the database's latest snapshot and register it."""
+        snapshot_id = self.database.pin_latest()
+        self.pincushion.register(
+            snapshot_id, self.database.wallclock_of(snapshot_id), in_use=True
+        )
+        self.stats.pins_created += 1
+        return snapshot_id
+
+    def _wallclock_of_snapshot(self, snapshot_id: int) -> float:
+        record = self.pincushion.snapshot(snapshot_id)
+        if record is not None:
+            return record.wallclock
+        return self.database.wallclock_of(snapshot_id)
+
+    def _finish_read_only(self, state: ReadOnlyState, abort: bool) -> int:
+        if state.frames:
+            raise TxCacheError(
+                "transaction finished while cacheable functions are still executing"
+            )
+        if state.db_transaction is not None and state.db_transaction.active:
+            if abort:
+                state.db_transaction.abort()
+            else:
+                state.db_transaction.commit()
+        self.pincushion.release(state.held_snapshot_ids)
+        if state.chosen_timestamp is not None:
+            return state.chosen_timestamp
+        most_recent = state.pin_set.most_recent()
+        return most_recent if most_recent is not None else self.database.latest_timestamp
+
+    # ==================================================================
+    # Internals: transaction-state plumbing
+    # ==================================================================
+    def _check_no_transaction(self) -> None:
+        if self._state is not None:
+            raise TransactionInProgressError("a transaction is already in progress")
+
+    def _require_transaction(self) -> Union[ReadOnlyState, ReadWriteState]:
+        if self._state is None:
+            raise NotInTransactionError("no transaction in progress")
+        return self._state
+
+    def _require_rw(self) -> ReadWriteState:
+        state = self._require_transaction()
+        if not isinstance(state, ReadWriteState):
+            raise NotInTransactionError(
+                "write operations require a read/write transaction (BEGIN-RW)"
+            )
+        return state
+
+    # ==================================================================
+    # Introspection helpers (used by tests and the benchmark harness)
+    # ==================================================================
+    @property
+    def current_pin_set(self) -> Optional[PinSet]:
+        """The open read-only transaction's pin set, if any."""
+        state = self._state
+        if isinstance(state, ReadOnlyState):
+            return state.pin_set
+        return None
+
+    @property
+    def current_timestamp(self) -> Optional[int]:
+        """The reified snapshot timestamp of the open transaction, if any."""
+        state = self._state
+        if isinstance(state, ReadOnlyState):
+            return state.chosen_timestamp
+        if isinstance(state, ReadWriteState):
+            return state.db_transaction.snapshot_timestamp
+        return None

@@ -1,0 +1,40 @@
+"""Exceptions raised by the TxCache client library."""
+
+from __future__ import annotations
+
+__all__ = [
+    "TxCacheError",
+    "NotInTransactionError",
+    "TransactionInProgressError",
+    "EmptyPinSetError",
+    "CacheableInRWTransactionWarning",
+]
+
+
+class TxCacheError(Exception):
+    """Base class for TxCache library errors."""
+
+
+class NotInTransactionError(TxCacheError):
+    """A cacheable function or query was invoked outside a transaction."""
+
+
+class TransactionInProgressError(TxCacheError):
+    """BEGIN was called while another transaction is still open."""
+
+
+class EmptyPinSetError(TxCacheError):
+    """Internal invariant violation: a transaction's pin set became empty.
+
+    The lazy timestamp selection algorithm guarantees this never happens
+    (paper Invariant 2); the library treats would-be violations as cache
+    misses instead, so seeing this exception indicates a bug.
+    """
+
+
+class CacheableInRWTransactionWarning(UserWarning):
+    """A cacheable function was called inside a read/write transaction.
+
+    Read/write transactions bypass the cache entirely (paper section 2.2),
+    so the call executes the implementation directly.
+    """

@@ -1,0 +1,151 @@
+"""Pin sets: the state behind lazy timestamp selection (paper section 6.2).
+
+A read-only transaction's *pin set* is the set of timestamps at which the
+transaction can still be serialized.  It starts as the set of all
+sufficiently fresh pinned snapshots plus the special element ``?`` (rendered
+here as :data:`STAR`), meaning "the transaction could also run in the
+present, on a newly pinned snapshot".  Every time the transaction observes a
+cached value or a database query result, the pin set is intersected with that
+value's validity interval; once any data has been observed the transaction
+can no longer run on an arbitrary new snapshot, so ``?`` is removed.
+
+Two invariants (paper section 6.2.1) govern the pin set:
+
+* **Invariant 1** — everything the transaction has seen is consistent with
+  the database state at every timestamp in the pin set.
+* **Invariant 2** — the pin set is never empty.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.core.exceptions import EmptyPinSetError
+from repro.interval import Interval
+
+__all__ = ["STAR", "PinSet"]
+
+
+class _Star:
+    """Singleton sentinel for the ``?`` element of a pin set."""
+
+    _instance: Optional["_Star"] = None
+
+    def __new__(cls) -> "_Star":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "?"
+
+
+#: The special pin-set element meaning "run in the present on a new snapshot".
+STAR = _Star()
+
+
+class PinSet:
+    """The set of timestamps at which a transaction may be serialized."""
+
+    def __init__(self, timestamps: Iterable[int] = (), star: bool = True) -> None:
+        self._timestamps: Set[int] = set(int(t) for t in timestamps)
+        self._star = bool(star)
+        if not self._timestamps and not self._star:
+            raise EmptyPinSetError("a pin set must start with at least one element")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def timestamps(self) -> FrozenSet[int]:
+        """The concrete pinned-snapshot timestamps currently in the set."""
+        return frozenset(self._timestamps)
+
+    @property
+    def has_star(self) -> bool:
+        """True while the transaction may still run on a new snapshot."""
+        return self._star
+
+    @property
+    def empty(self) -> bool:
+        """True if the pin set has neither timestamps nor ``?``."""
+        return not self._timestamps and not self._star
+
+    def __len__(self) -> int:
+        return len(self._timestamps) + (1 if self._star else 0)
+
+    def __contains__(self, element: object) -> bool:
+        if element is STAR:
+            return self._star
+        return element in self._timestamps
+
+    def bounds(self) -> Optional[Tuple[int, int]]:
+        """Lowest and highest concrete timestamps, or ``None`` if only ``?``.
+
+        These bounds are what the library sends with a cache LOOKUP: any
+        cached value whose validity interval overlaps them keeps the
+        transaction serializable at one or more timestamps.
+        """
+        if not self._timestamps:
+            return None
+        return (min(self._timestamps), max(self._timestamps))
+
+    def most_recent(self) -> Optional[int]:
+        """The highest concrete timestamp, or ``None`` if only ``?``."""
+        return max(self._timestamps) if self._timestamps else None
+
+    def sorted_timestamps(self) -> List[int]:
+        """All concrete timestamps, ascending."""
+        return sorted(self._timestamps)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_timestamp(self, timestamp: int) -> None:
+        """Add a concrete timestamp (used when ``?`` is reified)."""
+        self._timestamps.add(int(timestamp))
+
+    def remove_star(self) -> None:
+        """Drop ``?``: the transaction has observed data and can no longer
+        run on an arbitrary new snapshot."""
+        if self._star and not self._timestamps:
+            raise EmptyPinSetError("removing ? would empty the pin set")
+        self._star = False
+
+    def reify_star(self, timestamp: int) -> None:
+        """Replace ``?`` with a newly pinned snapshot's timestamp."""
+        self.add_timestamp(timestamp)
+        self._star = False
+
+    def restrict(self, interval: Interval) -> None:
+        """Intersect the pin set with a validity interval.
+
+        Removes every timestamp outside ``interval`` and drops ``?`` (the
+        observed value need not be valid at a future new snapshot).  Raises
+        :class:`EmptyPinSetError` if the restriction would empty the set —
+        callers check :meth:`would_survive` first and treat that case as a
+        cache miss instead.
+        """
+        survivors = {t for t in self._timestamps if interval.contains(t)}
+        if not survivors:
+            raise EmptyPinSetError(
+                f"restricting pin set {sorted(self._timestamps)} to {interval!r} "
+                "would leave no serialization point"
+            )
+        self._timestamps = survivors
+        self._star = False
+
+    def would_survive(self, interval: Interval) -> bool:
+        """True if :meth:`restrict` with ``interval`` would keep a timestamp."""
+        return any(interval.contains(t) for t in self._timestamps)
+
+    def copy(self) -> "PinSet":
+        """An independent copy (used for what-if checks in tests)."""
+        clone = PinSet(self._timestamps, star=self._star)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        elements = [str(t) for t in sorted(self._timestamps)]
+        if self._star:
+            elements.append("?")
+        return "PinSet{" + ", ".join(elements) + "}"

@@ -1,0 +1,83 @@
+"""Per-transaction state kept by the TxCache library.
+
+A read-only transaction carries its pin set, the snapshot ids it fetched (and
+marked in-use) from the pincushion, the lazily started database transaction,
+and the stack of *frames* for nested cacheable functions.  Each frame
+accumulates the validity intervals and invalidation tags of everything the
+function observed; on return, the frame's cumulative interval and tag set
+become the cache entry's metadata (paper sections 6.1 and 6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from repro.core.pinset import PinSet
+from repro.db.invalidation import InvalidationTag
+from repro.db.transactions import ReadOnlyTransaction, ReadWriteTransaction
+from repro.interval import Interval
+
+__all__ = ["CacheableFrame", "ReadOnlyState", "ReadWriteState"]
+
+
+@dataclass
+class CacheableFrame:
+    """Accumulated metadata for one in-flight cacheable function call."""
+
+    function_name: str
+    key: str
+    validity: Interval = field(default_factory=lambda: Interval(0, None))
+    tags: Set[InvalidationTag] = field(default_factory=set)
+
+    def accumulate(self, interval: Interval, tags=()) -> None:
+        """Fold one observed value's validity interval and tags into the frame."""
+        self.validity = self.validity.intersect(interval)
+        self.tags.update(tags)
+
+
+@dataclass
+class ReadOnlyState:
+    """State of one read-only transaction."""
+
+    staleness: float
+    pin_set: PinSet
+    #: bounds of the pin set at BEGIN, before any narrowing.  Used to
+    #: classify consistency misses: a miss is a consistency miss if a lookup
+    #: over these original bounds would have hit.
+    initial_bounds: Optional[tuple]
+    #: snapshot ids whose in-use count we bumped at the pincushion.
+    held_snapshot_ids: List[int] = field(default_factory=list)
+    #: snapshot ids this transaction itself pinned on the database.
+    pinned_by_us: List[int] = field(default_factory=list)
+    #: lazily created database read-only transaction (None until the first
+    #: database query forces a timestamp choice).
+    db_transaction: Optional[ReadOnlyTransaction] = None
+    #: the timestamp chosen for database queries, once reified.
+    chosen_timestamp: Optional[int] = None
+    #: stack of in-flight cacheable function frames (innermost last).
+    frames: List[CacheableFrame] = field(default_factory=list)
+
+    @property
+    def read_only(self) -> bool:
+        return True
+
+    def accumulate_into_frames(self, interval: Interval, tags=()) -> None:
+        """Fold an observed value into every frame on the call stack.
+
+        The value was observed while each of these functions was executing,
+        so each of their results now depends on it (paper section 6.3).
+        """
+        for frame in self.frames:
+            frame.accumulate(interval, tags)
+
+
+@dataclass
+class ReadWriteState:
+    """State of one read/write transaction (a thin wrapper around the DB's)."""
+
+    db_transaction: ReadWriteTransaction
+
+    @property
+    def read_only(self) -> bool:
+        return False

@@ -1,0 +1,238 @@
+"""The database server facade.
+
+:class:`Database` ties together the storage, executor, transaction machinery,
+snapshot pinning, and the invalidation stream, exposing the interface the
+TxCache library expects from its modified PostgreSQL (paper section 5):
+
+* ``begin_rw()`` — read/write transactions run on the latest snapshot and
+  publish invalidation tags at commit;
+* ``begin_ro(snapshot_id)`` — read-only transactions can run against the
+  latest state or against a previously *pinned* snapshot (``BEGIN
+  SNAPSHOTID``);
+* ``pin_latest()`` / ``unpin()`` — retain a recent snapshot so later queries
+  can still run at that point in time (``PIN`` / ``UNPIN``);
+* per-query validity intervals and invalidation tags via the executor;
+* an ordered invalidation stream published on an
+  :class:`repro.comm.multicast.InvalidationBus`;
+* a vacuum that reclaims tuple versions no pinned snapshot can see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.clock import Clock, SystemClock
+from repro.comm.multicast import InvalidationBus, InvalidationMessage
+from repro.db.errors import SnapshotTooOldError, UnknownTableError
+from repro.db.executor import Executor
+from repro.db.schema import TableSchema
+from repro.db.table import Table
+from repro.db.transactions import ReadOnlyTransaction, ReadWriteTransaction
+from repro.db.tuples import next_uncommitted_mark_id
+
+__all__ = ["Database", "DatabaseStats"]
+
+
+@dataclass
+class DatabaseStats:
+    """Aggregate counters for one database instance."""
+
+    commits: int = 0
+    aborts: int = 0
+    ro_transactions: int = 0
+    rw_transactions: int = 0
+    invalidations_published: int = 0
+    pins: int = 0
+    unpins: int = 0
+    vacuum_runs: int = 0
+    versions_vacuumed: int = 0
+
+    def reset(self) -> None:
+        for name in self.__dataclass_fields__:
+            setattr(self, name, 0)
+
+
+class Database:
+    """An in-process multiversion database with TxCache support."""
+
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        invalidation_bus: Optional[InvalidationBus] = None,
+        track_validity: bool = True,
+        name: str = "db",
+    ) -> None:
+        self.name = name
+        self.clock = clock or SystemClock()
+        self.invalidation_bus = invalidation_bus or InvalidationBus()
+        self._catalog: Dict[str, Table] = {}
+        self.executor = Executor(self._catalog, track_validity=track_validity)
+        self.stats = DatabaseStats()
+        #: last committed logical timestamp; the initial load commits at 0.
+        self._last_committed = 0
+        #: logical timestamp -> wall-clock time of the commit.
+        self._commit_wallclock: Dict[int, float] = {0: self.clock.now()}
+        #: pinned snapshot timestamp -> pin reference count.
+        self._pins: Dict[int, int] = {}
+        #: snapshots older than this may have been vacuumed away.
+        self._oldest_available = 0
+
+    # ------------------------------------------------------------------
+    # Schema management
+    # ------------------------------------------------------------------
+    def create_table(self, schema: TableSchema) -> Table:
+        """Create a table from ``schema`` and register it in the catalog."""
+        if schema.name in self._catalog:
+            raise ValueError(f"table {schema.name!r} already exists")
+        table = Table(schema)
+        self._catalog[schema.name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        """Return the table named ``name``."""
+        try:
+            return self._catalog[name]
+        except KeyError:
+            raise UnknownTableError(f"unknown table {name!r}") from None
+
+    @property
+    def tables(self) -> Dict[str, Table]:
+        """The full table catalog."""
+        return dict(self._catalog)
+
+    def bulk_load(self, table_name: str, rows) -> int:
+        """Load initial data outside any transaction.
+
+        Rows become visible at timestamp 0 (the initial state of the
+        database) and no invalidations are published — this models restoring
+        a database snapshot before an experiment, as the paper does.
+        """
+        table = self.table(table_name)
+        count = 0
+        for values in rows:
+            table.add_version(dict(values), xmin=0)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Timestamps and wall-clock mapping
+    # ------------------------------------------------------------------
+    @property
+    def latest_timestamp(self) -> int:
+        """Commit timestamp of the most recently committed transaction."""
+        return self._last_committed
+
+    def allocate_commit_timestamp(self) -> int:
+        """Allocate the next commit timestamp (called by committing writers)."""
+        self._last_committed += 1
+        return self._last_committed
+
+    def register_commit(self, timestamp: int, tags: frozenset) -> None:
+        """Record a commit and publish its invalidation message."""
+        self._commit_wallclock[timestamp] = self.clock.now()
+        self.stats.commits += 1
+        if tags:
+            self.invalidation_bus.publish(InvalidationMessage(timestamp=timestamp, tags=tuple(tags)))
+            self.stats.invalidations_published += 1
+
+    def wallclock_of(self, timestamp: int) -> float:
+        """Wall-clock time at which ``timestamp`` committed."""
+        try:
+            return self._commit_wallclock[timestamp]
+        except KeyError:
+            raise SnapshotTooOldError(f"no commit record for timestamp {timestamp}") from None
+
+    def newest_timestamp_at_or_before(self, wallclock: float) -> int:
+        """Newest commit timestamp whose commit time is <= ``wallclock``.
+
+        Used to translate a wall-clock staleness horizon (e.g. "30 seconds
+        ago") into a logical timestamp, for example when eagerly evicting
+        cache entries too stale to satisfy any transaction.
+        """
+        best = 0
+        for timestamp, committed_at in self._commit_wallclock.items():
+            if committed_at <= wallclock and timestamp > best:
+                best = timestamp
+        return best
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+    def begin_rw(self) -> ReadWriteTransaction:
+        """Start a read/write transaction on the latest snapshot."""
+        self.stats.rw_transactions += 1
+        return ReadWriteTransaction(self, self._last_committed, next_uncommitted_mark_id())
+
+    def begin_ro(self, snapshot_id: Optional[int] = None) -> ReadOnlyTransaction:
+        """Start a read-only transaction.
+
+        With ``snapshot_id`` the transaction runs at that (pinned) snapshot,
+        mirroring ``BEGIN SNAPSHOTID``; otherwise it runs at the latest
+        committed state.
+        """
+        if snapshot_id is None:
+            snapshot_id = self._last_committed
+        else:
+            if snapshot_id > self._last_committed:
+                raise SnapshotTooOldError(
+                    f"snapshot {snapshot_id} is in the future (latest is {self._last_committed})"
+                )
+            if snapshot_id < self._oldest_available:
+                raise SnapshotTooOldError(
+                    f"snapshot {snapshot_id} has been vacuumed "
+                    f"(oldest available is {self._oldest_available})"
+                )
+        return ReadOnlyTransaction(self, snapshot_id)
+
+    # ------------------------------------------------------------------
+    # Snapshot pinning (PIN / UNPIN)
+    # ------------------------------------------------------------------
+    def pin_latest(self) -> int:
+        """Pin the latest snapshot and return its id (the latest commit ts)."""
+        snapshot_id = self._last_committed
+        self._pins[snapshot_id] = self._pins.get(snapshot_id, 0) + 1
+        self.stats.pins += 1
+        return snapshot_id
+
+    def unpin(self, snapshot_id: int) -> None:
+        """Release one pin on ``snapshot_id``."""
+        count = self._pins.get(snapshot_id, 0)
+        if count <= 1:
+            self._pins.pop(snapshot_id, None)
+        else:
+            self._pins[snapshot_id] = count - 1
+        self.stats.unpins += 1
+
+    @property
+    def pinned_snapshots(self) -> Dict[int, int]:
+        """Mapping of pinned snapshot id to pin count."""
+        return dict(self._pins)
+
+    def is_pinned(self, snapshot_id: int) -> bool:
+        """True if ``snapshot_id`` currently has at least one pin."""
+        return snapshot_id in self._pins
+
+    @property
+    def oldest_available_snapshot(self) -> int:
+        """Oldest snapshot timestamp guaranteed to still be readable."""
+        return self._oldest_available
+
+    # ------------------------------------------------------------------
+    # Vacuum
+    # ------------------------------------------------------------------
+    def vacuum(self) -> int:
+        """Reclaim tuple versions invisible to every retained snapshot.
+
+        The horizon is the oldest pinned snapshot (or the latest timestamp if
+        nothing is pinned); any version superseded at or before the horizon
+        can no longer be seen and is physically removed.  Returns the number
+        of versions removed.
+        """
+        from repro.db.vacuum import vacuum_database
+
+        removed, horizon = vacuum_database(self)
+        self._oldest_available = horizon
+        self.stats.vacuum_runs += 1
+        self.stats.versions_vacuumed += removed
+        return removed

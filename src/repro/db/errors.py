@@ -1,0 +1,46 @@
+"""Exception hierarchy for the database substrate."""
+
+from __future__ import annotations
+
+__all__ = [
+    "DatabaseError",
+    "UnknownTableError",
+    "UnknownIndexError",
+    "ConstraintError",
+    "SerializationError",
+    "SnapshotTooOldError",
+    "TransactionStateError",
+]
+
+
+class DatabaseError(Exception):
+    """Base class for all database errors."""
+
+
+class UnknownTableError(DatabaseError):
+    """A query or DML statement referenced a table that does not exist."""
+
+
+class UnknownIndexError(DatabaseError):
+    """An operation referenced an index that does not exist."""
+
+
+class ConstraintError(DatabaseError):
+    """A uniqueness or schema constraint was violated."""
+
+
+class SerializationError(DatabaseError):
+    """A read/write transaction lost a first-committer-wins conflict.
+
+    Raised at commit time when another transaction modified one of this
+    transaction's target rows after this transaction's snapshot was taken
+    (the standard snapshot-isolation write-write conflict rule).
+    """
+
+
+class SnapshotTooOldError(DatabaseError):
+    """A transaction asked for a snapshot that has been vacuumed or unpinned."""
+
+
+class TransactionStateError(DatabaseError):
+    """An operation was attempted on a finished or mismatched transaction."""

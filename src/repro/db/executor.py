@@ -1,0 +1,318 @@
+"""Query execution with validity-interval tracking.
+
+This module implements the core of the paper's database modification
+(section 5.2): every query result is returned together with its *validity
+interval* — the range of logical timestamps over which the result would be
+identical — and the set of invalidation tags describing its dependencies.
+
+The validity interval is computed from two pieces:
+
+* the **result tuple validity**: the intersection of the validity intervals
+  of every tuple returned (each version knows the commit timestamps that
+  created and superseded it);
+* the **invalidity mask**: the union of the validity intervals of tuples
+  that matched the query predicate but failed the snapshot visibility check
+  (phantoms — tuples that *would* have appeared had the query run at a
+  different time).
+
+The final interval is the contiguous piece of ``result tuple validity minus
+invalidity mask`` containing the query's snapshot timestamp.
+
+Like the paper's modified PostgreSQL, the executor evaluates the query
+predicate *before* the visibility check during scans, so the invalidity mask
+only accumulates tuples that actually affect this query, keeping validity
+intervals as wide as possible.  Setting ``track_validity=False`` reproduces
+the stock-database behaviour for the overhead experiment (section 8.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Set
+
+from repro.db.errors import UnknownTableError
+from repro.db.invalidation import InvalidationTag
+from repro.db.planner import plan_select
+from repro.db.query import Aggregate, And, Eq, Join, Query, Select
+from repro.db.table import Table
+from repro.db.tuples import validity_of, visible_at
+from repro.interval import Interval, IntervalSet
+
+__all__ = ["QueryResult", "Executor", "ExecutorStats"]
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """The rows of a query plus its consistency metadata.
+
+    Attributes:
+        rows: result rows (dicts).
+        validity: validity interval of the result (always contains the
+            query's snapshot timestamp).
+        tags: invalidation tags describing the query's dependencies.
+        timestamp: snapshot timestamp the query ran at.
+        examined: number of tuple versions inspected (used by the benchmark
+            cost model to approximate I/O and CPU work).
+        access_methods: access-method kinds used, for diagnostics.
+    """
+
+    rows: List[Dict[str, Any]]
+    validity: Interval
+    tags: FrozenSet[InvalidationTag]
+    timestamp: int
+    examined: int = 0
+    access_methods: tuple = ()
+
+    @property
+    def still_valid(self) -> bool:
+        """True if the result was current as of the query (unbounded interval)."""
+        return self.validity.unbounded
+
+    def scalar(self) -> Any:
+        """Return the single value of a one-row, one-column result."""
+        if len(self.rows) != 1:
+            raise ValueError(f"scalar() on a result with {len(self.rows)} rows")
+        row = self.rows[0]
+        if len(row) != 1:
+            raise ValueError(f"scalar() on a row with {len(row)} columns")
+        return next(iter(row.values()))
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+
+@dataclass
+class ExecutorStats:
+    """Counters describing executor work (reset-able)."""
+
+    queries: int = 0
+    tuples_examined: int = 0
+    rows_returned: int = 0
+    seq_scans: int = 0
+    index_lookups: int = 0
+    range_scans: int = 0
+
+    def reset(self) -> None:
+        self.queries = 0
+        self.tuples_examined = 0
+        self.rows_returned = 0
+        self.seq_scans = 0
+        self.index_lookups = 0
+        self.range_scans = 0
+
+
+@dataclass
+class _Accumulator:
+    """Mutable validity/tag accumulator shared across sub-plans of a query."""
+
+    result_validity: Interval = field(default_factory=lambda: Interval(0, None))
+    invalidity_mask: IntervalSet = field(default_factory=IntervalSet)
+    tags: Set[InvalidationTag] = field(default_factory=set)
+    examined: int = 0
+    access_methods: List[str] = field(default_factory=list)
+
+
+class Executor:
+    """Executes queries against a table catalog at a snapshot timestamp."""
+
+    def __init__(self, catalog: Dict[str, Table], track_validity: bool = True) -> None:
+        self._catalog = catalog
+        self.track_validity = track_validity
+        self.stats = ExecutorStats()
+        #: callables invoked as ``observer(query, result)`` after every query;
+        #: the benchmark cost model uses this to attribute database work.
+        self._observers: List = []
+
+    def add_observer(self, observer) -> None:
+        """Register a callback invoked with ``(query, result)`` per query."""
+        self._observers.append(observer)
+
+    def remove_observer(self, observer) -> None:
+        """Unregister a previously added observer."""
+        if observer in self._observers:
+            self._observers.remove(observer)
+
+    # ------------------------------------------------------------------
+    # Public entry point
+    # ------------------------------------------------------------------
+    def execute(self, query: Query, timestamp: int, tx_id: Optional[int] = None) -> QueryResult:
+        """Execute ``query`` at snapshot ``timestamp``.
+
+        ``tx_id`` identifies an in-flight read/write transaction whose own
+        uncommitted writes should be visible to it.
+        """
+        acc = _Accumulator()
+        if isinstance(query, Select):
+            rows = self._execute_select(query, timestamp, tx_id, acc)
+        elif isinstance(query, Join):
+            rows = self._execute_join(query, timestamp, tx_id, acc)
+        elif isinstance(query, Aggregate):
+            rows = self._execute_aggregate(query, timestamp, tx_id, acc)
+        else:
+            raise TypeError(f"unsupported query type {type(query).__name__}")
+
+        self.stats.queries += 1
+        self.stats.tuples_examined += acc.examined
+        self.stats.rows_returned += len(rows)
+
+        if self.track_validity:
+            validity = acc.invalidity_mask.piece_containing(acc.result_validity, timestamp)
+            tags = frozenset(acc.tags)
+        else:
+            validity = Interval(timestamp, None)
+            tags = frozenset()
+        result = QueryResult(
+            rows=rows,
+            validity=validity,
+            tags=tags,
+            timestamp=timestamp,
+            examined=acc.examined,
+            access_methods=tuple(acc.access_methods),
+        )
+        for observer in self._observers:
+            observer(query, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Select
+    # ------------------------------------------------------------------
+    def _table(self, name: str) -> Table:
+        try:
+            return self._catalog[name]
+        except KeyError:
+            raise UnknownTableError(f"unknown table {name!r}") from None
+
+    def _execute_select(
+        self,
+        select: Select,
+        timestamp: int,
+        tx_id: Optional[int],
+        acc: _Accumulator,
+    ) -> List[Dict[str, Any]]:
+        table = self._table(select.table)
+        path = plan_select(select, table)
+        acc.access_methods.append(path.kind)
+        self._note_access(path.kind)
+        if self.track_validity:
+            acc.tags.update(path.tags())
+
+        rows: List[Dict[str, Any]] = []
+        predicate = select.predicate
+        for version in path.candidates(table):
+            acc.examined += 1
+            # Evaluate the predicate before the visibility check so that the
+            # invalidity mask only reflects tuples relevant to this query
+            # (the paper's delayed-visibility-check refinement).
+            if not predicate.matches(version.values):
+                continue
+            if visible_at(version, timestamp, tx_id):
+                rows.append(dict(version.values))
+                if self.track_validity:
+                    interval = validity_of(version)
+                    if interval is not None:
+                        acc.result_validity = acc.result_validity.intersect(interval)
+            elif self.track_validity:
+                # Phantom tracking considers only *committed* facts: a version
+                # may be invisible purely because the current read/write
+                # transaction created or deleted it provisionally, and such a
+                # version must not constrain the result's validity interval.
+                interval = validity_of(version)
+                if interval is not None and not interval.contains(timestamp):
+                    acc.invalidity_mask.add(interval)
+
+        rows = self._order_limit_project(
+            rows, select.order_by, select.descending, select.limit, select.columns
+        )
+        return rows
+
+    def _execute_join(
+        self,
+        join: Join,
+        timestamp: int,
+        tx_id: Optional[int],
+        acc: _Accumulator,
+    ) -> List[Dict[str, Any]]:
+        outer_rows = self._execute_select(join.outer, timestamp, tx_id, acc)
+        merged: List[Dict[str, Any]] = []
+        for outer_row in outer_rows:
+            key = outer_row.get(join.outer_column)
+            inner_select = Select(
+                join.inner_table,
+                predicate=And(Eq(join.inner_column, key), join.inner_predicate),
+            )
+            inner_rows = self._execute_select(inner_select, timestamp, tx_id, acc)
+            for inner_row in inner_rows:
+                row = dict(outer_row)
+                if join.inner_prefix:
+                    row.update({f"{join.inner_prefix}{k}": v for k, v in inner_row.items()})
+                else:
+                    for column, value in inner_row.items():
+                        row.setdefault(column, value)
+                merged.append(row)
+        merged = self._order_limit_project(
+            merged, join.order_by, join.descending, join.limit, None
+        )
+        return merged
+
+    def _execute_aggregate(
+        self,
+        aggregate: Aggregate,
+        timestamp: int,
+        tx_id: Optional[int],
+        acc: _Accumulator,
+    ) -> List[Dict[str, Any]]:
+        rows = self._execute_select(aggregate.source, timestamp, tx_id, acc)
+        function = aggregate.function
+        if function == "count":
+            value: Any = len(rows)
+        else:
+            values = [
+                row[aggregate.column]
+                for row in rows
+                if row.get(aggregate.column) is not None
+            ]
+            if function == "sum":
+                value = sum(values) if values else 0
+            elif function == "max":
+                value = max(values) if values else None
+            elif function == "min":
+                value = min(values) if values else None
+            elif function == "avg":
+                value = (sum(values) / len(values)) if values else None
+            else:  # pragma: no cover - guarded by Aggregate.__post_init__
+                raise ValueError(f"unsupported aggregate {function!r}")
+        return [{"value": value}]
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _order_limit_project(
+        rows: List[Dict[str, Any]],
+        order_by: Optional[str],
+        descending: bool,
+        limit: Optional[int],
+        columns,
+    ) -> List[Dict[str, Any]]:
+        if order_by is not None:
+            rows = sorted(
+                rows,
+                key=lambda row: (row.get(order_by) is None, row.get(order_by)),
+                reverse=descending,
+            )
+        if limit is not None:
+            rows = rows[:limit]
+        if columns is not None:
+            rows = [{column: row.get(column) for column in columns} for row in rows]
+        return rows
+
+    def _note_access(self, kind: str) -> None:
+        if kind == "seq_scan":
+            self.stats.seq_scans += 1
+        elif kind == "index_eq":
+            self.stats.index_lookups += 1
+        elif kind == "index_range":
+            self.stats.range_scans += 1

@@ -1,0 +1,170 @@
+"""Secondary indexes over tuple versions.
+
+Indexes map column values to tuple *versions* (not logical rows).  The query
+executor uses them as access methods: an index equality lookup yields every
+version whose indexed column equals the search key, and the executor then
+applies the snapshot visibility check.  Versions that match the key but fail
+the visibility check feed the invalidity mask (phantom tracking, paper
+section 5.2), which is why indexes deliberately return invisible versions as
+well.
+
+Two kinds are provided, matching the paper's access-method taxonomy:
+
+* :class:`HashIndex` — equality lookups only; produces precise
+  ``TABLE:KEY`` invalidation tags.
+* :class:`OrderedIndex` — also supports range scans; range scans produce
+  wildcard ``TABLE:?`` tags because the set of keys they depend on is open.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+from repro.db.errors import ConstraintError
+from repro.db.schema import IndexSpec
+from repro.db.tuples import TupleVersion
+
+__all__ = ["HashIndex", "OrderedIndex", "build_index"]
+
+
+class HashIndex:
+    """Equality-only index from column value to tuple versions."""
+
+    def __init__(self, spec: IndexSpec) -> None:
+        self.spec = spec
+        self.column = spec.column
+        self.unique = spec.unique
+        self._buckets: Dict[Any, List[TupleVersion]] = {}
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def insert(self, version: TupleVersion) -> None:
+        """Index a newly created tuple version."""
+        key = version.values.get(self.column)
+        bucket = self._buckets.setdefault(key, [])
+        if self.unique:
+            for existing in bucket:
+                if existing.is_current() and existing.row_id != version.row_id:
+                    raise ConstraintError(
+                        f"unique index {self.spec.name} violated for key {key!r}"
+                    )
+        bucket.append(version)
+
+    def remove(self, version: TupleVersion) -> None:
+        """Drop a version (called by vacuum once it is dead to all snapshots)."""
+        key = version.values.get(self.column)
+        bucket = self._buckets.get(key)
+        if not bucket:
+            return
+        try:
+            bucket.remove(version)
+        except ValueError:
+            pass
+        if not bucket:
+            del self._buckets[key]
+
+    # ------------------------------------------------------------------
+    # Access methods
+    # ------------------------------------------------------------------
+    def lookup(self, key: Any) -> List[TupleVersion]:
+        """All versions (visible or not) whose indexed column equals ``key``."""
+        return list(self._buckets.get(key, ()))
+
+    def keys(self) -> Iterator[Any]:
+        """Iterate over distinct indexed keys."""
+        return iter(self._buckets.keys())
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+
+class OrderedIndex(HashIndex):
+    """Index supporting both equality lookups and range scans.
+
+    Implemented as a hash index plus a sorted key list maintained with
+    ``bisect``; version lists are shared with the hash buckets so insertion
+    and removal stay cheap.
+    """
+
+    def __init__(self, spec: IndexSpec) -> None:
+        super().__init__(spec)
+        self._sorted_keys: List[Any] = []
+
+    def insert(self, version: TupleVersion) -> None:
+        key = version.values.get(self.column)
+        existed = key in self._buckets
+        super().insert(version)
+        if not existed:
+            bisect.insort(self._sorted_keys, _orderable(key))
+
+    def remove(self, version: TupleVersion) -> None:
+        key = version.values.get(self.column)
+        super().remove(version)
+        if key not in self._buckets:
+            pos = bisect.bisect_left(self._sorted_keys, _orderable(key))
+            if pos < len(self._sorted_keys) and self._sorted_keys[pos] == _orderable(key):
+                self._sorted_keys.pop(pos)
+
+    def range_scan(
+        self,
+        lo: Optional[Any] = None,
+        hi: Optional[Any] = None,
+        lo_inclusive: bool = True,
+        hi_inclusive: bool = True,
+    ) -> Iterable[TupleVersion]:
+        """Yield versions whose indexed key falls in ``[lo, hi]``.
+
+        ``None`` bounds are open.  Versions are yielded in key order.
+        """
+        keys = self._sorted_keys
+        start = 0
+        if lo is not None:
+            olo = _orderable(lo)
+            start = bisect.bisect_left(keys, olo) if lo_inclusive else bisect.bisect_right(keys, olo)
+        end = len(keys)
+        if hi is not None:
+            ohi = _orderable(hi)
+            end = bisect.bisect_right(keys, ohi) if hi_inclusive else bisect.bisect_left(keys, ohi)
+        for orderable_key in keys[start:end]:
+            key = orderable_key.value if isinstance(orderable_key, _NoneLow) else orderable_key
+            for version in self._buckets.get(key, ()):
+                yield version
+
+
+class _NoneLow:
+    """Wrapper ordering ``None`` keys below everything else."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any = None) -> None:
+        self.value = value
+
+    def __lt__(self, other: object) -> bool:
+        return not isinstance(other, _NoneLow)
+
+    def __gt__(self, other: object) -> bool:
+        return False
+
+    def __le__(self, other: object) -> bool:
+        return True
+
+    def __ge__(self, other: object) -> bool:
+        return isinstance(other, _NoneLow)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _NoneLow)
+
+    def __hash__(self) -> int:  # pragma: no cover - not used as dict key
+        return hash(None)
+
+
+def _orderable(key: Any) -> Any:
+    """Map ``None`` keys onto a totally ordered sentinel."""
+    return _NoneLow() if key is None else key
+
+
+def build_index(spec: IndexSpec) -> HashIndex:
+    """Construct the right index implementation for ``spec``."""
+    return OrderedIndex(spec) if spec.ordered else HashIndex(spec)

@@ -1,0 +1,108 @@
+"""Invalidation tags (paper section 4.2 and 5.3).
+
+Every still-valid cache object carries a set of invalidation tags describing
+which parts of the database it depends on.  A tag has two parts: a table name
+and an optional index-key description.  Index equality lookups produce the
+precise two-part form (``USERS:NAME=ALICE``); sequential scans and range
+scans produce the wildcard form (``USERS:?``), which exists for completeness
+and is expected to be rare.
+
+At query time the database derives tags from the access methods in the query
+plan.  At update time each added/deleted/modified tuple yields one tag per
+index it is listed in; when a transaction modifies a large fraction of a
+table the tags are collapsed into a single wildcard tag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Iterable, Optional, Set
+
+__all__ = ["InvalidationTag", "collapse_tags", "tags_for_modified_tuple"]
+
+#: A transaction touching more than this many distinct keys of one table has
+#: its per-key tags collapsed into a single wildcard tag for that table.
+WILDCARD_COLLAPSE_THRESHOLD = 64
+
+
+@dataclass(frozen=True)
+class InvalidationTag:
+    """One dependency tag.
+
+    ``column is None`` (and ``value is None``) denotes the wildcard tag
+    ``table:?`` that matches every key of the table.
+    """
+
+    table: str
+    column: Optional[str] = None
+    value: Optional[Any] = None
+
+    @property
+    def is_wildcard(self) -> bool:
+        """True for the ``table:?`` form."""
+        return self.column is None
+
+    @staticmethod
+    def wildcard(table: str) -> "InvalidationTag":
+        """Construct the wildcard tag for ``table``."""
+        return InvalidationTag(table=table)
+
+    @staticmethod
+    def key(table: str, column: str, value: Any) -> "InvalidationTag":
+        """Construct a precise ``table:column=value`` tag."""
+        return InvalidationTag(table=table, column=column, value=value)
+
+    def overlaps(self, other: "InvalidationTag") -> bool:
+        """True if an update bearing ``other`` may affect data tagged ``self``.
+
+        A wildcard tag on either side matches any tag for the same table;
+        precise tags match only when column and value agree.
+        """
+        if self.table != other.table:
+            return False
+        if self.is_wildcard or other.is_wildcard:
+            return True
+        return self.column == other.column and self.value == other.value
+
+    def __str__(self) -> str:
+        if self.is_wildcard:
+            return f"{self.table}:?"
+        return f"{self.table}:{self.column}={self.value!r}"
+
+
+def tags_for_modified_tuple(
+    table_name: str, indexed_columns: Iterable[str], values: dict
+) -> Set[InvalidationTag]:
+    """Tags produced when one tuple of ``table_name`` is added/deleted/changed.
+
+    One tag per index the tuple is listed in, keyed by the tuple's value for
+    that index's column (paper section 5.3).
+    """
+    tags: Set[InvalidationTag] = set()
+    for column in indexed_columns:
+        tags.add(InvalidationTag.key(table_name, column, values.get(column)))
+    return tags
+
+
+def collapse_tags(
+    tags: Iterable[InvalidationTag],
+    threshold: int = WILDCARD_COLLAPSE_THRESHOLD,
+) -> FrozenSet[InvalidationTag]:
+    """Collapse excessive per-key tags into wildcard tags.
+
+    If a transaction produced more than ``threshold`` distinct tags for one
+    table, all of that table's tags are replaced with a single wildcard tag,
+    mirroring the paper's aggregation rule for bulk updates.
+    """
+    by_table: dict = {}
+    for tag in tags:
+        by_table.setdefault(tag.table, set()).add(tag)
+    result: Set[InvalidationTag] = set()
+    for table, table_tags in by_table.items():
+        has_wildcard = any(t.is_wildcard for t in table_tags)
+        if has_wildcard or len(table_tags) > threshold:
+            # A wildcard subsumes every precise tag for the table.
+            result.add(InvalidationTag.wildcard(table))
+        else:
+            result.update(table_tags)
+    return frozenset(result)

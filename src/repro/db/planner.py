@@ -1,0 +1,143 @@
+"""Access-method selection (a miniature query planner).
+
+The planner inspects a select's predicate and the available indexes and picks
+one of three access paths, mirroring the access methods the paper's modified
+PostgreSQL distinguishes when assigning invalidation tags (section 5.3):
+
+* **index equality lookup** — when the predicate contains an ``Eq`` (or
+  ``In``) conjunct on an indexed column.  Produces precise ``TABLE:KEY``
+  invalidation tags, one per looked-up key.
+* **index range scan** — when the predicate contains a ``Range`` conjunct on
+  an ordered index.  Produces a wildcard ``TABLE:?`` tag.
+* **sequential scan** — everything else.  Also a wildcard tag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.db.invalidation import InvalidationTag
+from repro.db.query import And, Eq, In, Predicate, Range, Select
+from repro.db.table import Table
+from repro.db.tuples import TupleVersion
+
+__all__ = ["AccessPath", "IndexEqualityPath", "IndexRangePath", "SeqScanPath", "plan_select"]
+
+
+@dataclass(frozen=True)
+class AccessPath:
+    """Base class: how the executor obtains candidate tuple versions."""
+
+    table: str
+
+    def candidates(self, table: Table) -> Iterable[TupleVersion]:
+        """Yield every candidate version (visible or not)."""
+        raise NotImplementedError
+
+    def tags(self) -> FrozenSet[InvalidationTag]:
+        """Invalidation tags describing what this access depends on."""
+        raise NotImplementedError
+
+    @property
+    def kind(self) -> str:
+        """Short name of the access method (for diagnostics and stats)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class IndexEqualityPath(AccessPath):
+    """Equality lookup(s) against an index."""
+
+    column: str = ""
+    keys: Tuple[Any, ...] = ()
+
+    def candidates(self, table: Table) -> Iterable[TupleVersion]:
+        index = table.index_on(self.column)
+        for key in self.keys:
+            yield from index.lookup(key)
+
+    def tags(self) -> FrozenSet[InvalidationTag]:
+        return frozenset(
+            InvalidationTag.key(self.table, self.column, key) for key in self.keys
+        )
+
+    @property
+    def kind(self) -> str:
+        return "index_eq"
+
+
+@dataclass(frozen=True)
+class IndexRangePath(AccessPath):
+    """Range scan against an ordered index."""
+
+    column: str = ""
+    lo: Optional[Any] = None
+    hi: Optional[Any] = None
+    lo_inclusive: bool = True
+    hi_inclusive: bool = True
+
+    def candidates(self, table: Table) -> Iterable[TupleVersion]:
+        index = table.ordered_index_on(self.column)
+        assert index is not None, "planner selected a range path without an ordered index"
+        yield from index.range_scan(self.lo, self.hi, self.lo_inclusive, self.hi_inclusive)
+
+    def tags(self) -> FrozenSet[InvalidationTag]:
+        return frozenset({InvalidationTag.wildcard(self.table)})
+
+    @property
+    def kind(self) -> str:
+        return "index_range"
+
+
+@dataclass(frozen=True)
+class SeqScanPath(AccessPath):
+    """Full sequential scan of the table."""
+
+    def candidates(self, table: Table) -> Iterable[TupleVersion]:
+        yield from table.scan_versions()
+
+    def tags(self) -> FrozenSet[InvalidationTag]:
+        return frozenset({InvalidationTag.wildcard(self.table)})
+
+    @property
+    def kind(self) -> str:
+        return "seq_scan"
+
+
+def _conjuncts(predicate: Predicate) -> List[Predicate]:
+    """Flatten a predicate into top-level AND conjuncts."""
+    if isinstance(predicate, And):
+        return list(predicate.parts)
+    return [predicate]
+
+
+def plan_select(select: Select, table: Table) -> AccessPath:
+    """Choose the access path for ``select`` against ``table``.
+
+    Preference order: index equality lookup, then index range scan, then
+    sequential scan.  The full predicate is always re-applied by the
+    executor, so the path only needs to be a superset of the matching rows.
+    """
+    conjuncts = _conjuncts(select.predicate)
+
+    # Index equality lookup: Eq or In on any indexed column.
+    for part in conjuncts:
+        if isinstance(part, Eq) and table.has_index_on(part.column):
+            return IndexEqualityPath(table=select.table, column=part.column, keys=(part.value,))
+        if isinstance(part, In) and table.has_index_on(part.column) and part.values:
+            return IndexEqualityPath(table=select.table, column=part.column, keys=tuple(part.values))
+
+    # Index range scan: Range on an ordered index.
+    for part in conjuncts:
+        if isinstance(part, Range) and table.ordered_index_on(part.column) is not None:
+            return IndexRangePath(
+                table=select.table,
+                column=part.column,
+                lo=part.lo,
+                hi=part.hi,
+                lo_inclusive=part.lo_inclusive,
+                hi_inclusive=part.hi_inclusive,
+            )
+
+    return SeqScanPath(table=select.table)

@@ -1,0 +1,282 @@
+"""Query and predicate model.
+
+The RUBiS and MediaWiki applications in the paper issue SQL through PHP; this
+reproduction uses a small structured query model instead of a SQL parser.
+The model is expressive enough for everything the evaluation needs —
+predicate selects, nested-loop joins, ordering/limits, and aggregates — while
+keeping the planner's access-method choice (and therefore invalidation-tag
+assignment) explicit and testable.
+
+Predicates are structured so the planner can recognise index-friendly shapes:
+
+* :class:`Eq` / :class:`In` on an indexed column plan as index equality
+  lookups and yield precise ``TABLE:COL=VALUE`` invalidation tags;
+* :class:`Range` on an ordered index plans as an index range scan and yields
+  a wildcard tag;
+* anything else (including :class:`Func`, an arbitrary Python predicate)
+  plans as a sequential scan with a wildcard tag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+
+__all__ = [
+    "Predicate",
+    "TruePredicate",
+    "Eq",
+    "In",
+    "Range",
+    "And",
+    "Or",
+    "Not",
+    "Func",
+    "Query",
+    "Select",
+    "Join",
+    "Aggregate",
+]
+
+
+# ----------------------------------------------------------------------
+# Predicates
+# ----------------------------------------------------------------------
+class Predicate:
+    """Base class for row predicates."""
+
+    def matches(self, row: Dict[str, Any]) -> bool:
+        """Return True if ``row`` satisfies the predicate."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class TruePredicate(Predicate):
+    """Matches every row (a full-table select)."""
+
+    def matches(self, row: Dict[str, Any]) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Eq(Predicate):
+    """``column = value``."""
+
+    column: str
+    value: Any
+
+    def matches(self, row: Dict[str, Any]) -> bool:
+        return row.get(self.column) == self.value
+
+
+@dataclass(frozen=True)
+class In(Predicate):
+    """``column IN (values)``."""
+
+    column: str
+    values: Tuple[Any, ...]
+
+    def __init__(self, column: str, values: Sequence[Any]) -> None:
+        object.__setattr__(self, "column", column)
+        object.__setattr__(self, "values", tuple(values))
+
+    def matches(self, row: Dict[str, Any]) -> bool:
+        return row.get(self.column) in self.values
+
+
+@dataclass(frozen=True)
+class Range(Predicate):
+    """``lo <= column <= hi`` with optional open bounds."""
+
+    column: str
+    lo: Optional[Any] = None
+    hi: Optional[Any] = None
+    lo_inclusive: bool = True
+    hi_inclusive: bool = True
+
+    def matches(self, row: Dict[str, Any]) -> bool:
+        value = row.get(self.column)
+        if value is None:
+            return False
+        if self.lo is not None:
+            if self.lo_inclusive:
+                if value < self.lo:
+                    return False
+            elif value <= self.lo:
+                return False
+        if self.hi is not None:
+            if self.hi_inclusive:
+                if value > self.hi:
+                    return False
+            elif value >= self.hi:
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    """Conjunction of predicates."""
+
+    parts: Tuple[Predicate, ...]
+
+    def __init__(self, *parts: Predicate) -> None:
+        flattened = []
+        for part in parts:
+            if isinstance(part, And):
+                flattened.extend(part.parts)
+            else:
+                flattened.append(part)
+        object.__setattr__(self, "parts", tuple(flattened))
+
+    def matches(self, row: Dict[str, Any]) -> bool:
+        return all(part.matches(row) for part in self.parts)
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    """Disjunction of predicates (always planned as a sequential scan)."""
+
+    parts: Tuple[Predicate, ...]
+
+    def __init__(self, *parts: Predicate) -> None:
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def matches(self, row: Dict[str, Any]) -> bool:
+        return any(part.matches(row) for part in self.parts)
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    """Negation of a predicate (always planned as a sequential scan)."""
+
+    part: Predicate
+
+    def matches(self, row: Dict[str, Any]) -> bool:
+        return not self.part.matches(row)
+
+
+@dataclass(frozen=True)
+class Func(Predicate):
+    """Arbitrary Python predicate.  Forces a sequential scan.
+
+    ``description`` is used in diagnostics and plan explanations; the
+    function itself must be deterministic and side-effect free.
+    """
+
+    fn: Callable[[Dict[str, Any]], bool]
+    description: str = "<func>"
+
+    def matches(self, row: Dict[str, Any]) -> bool:
+        return bool(self.fn(row))
+
+
+# ----------------------------------------------------------------------
+# Queries
+# ----------------------------------------------------------------------
+class Query:
+    """Base class for executable queries."""
+
+
+@dataclass(frozen=True)
+class Select(Query):
+    """Select rows from one table.
+
+    Attributes:
+        table: table name.
+        predicate: row filter (default: match all rows).
+        columns: optional projection (column names to keep).
+        order_by: optional column to sort the result by.
+        descending: sort direction for ``order_by``.
+        limit: optional maximum number of rows returned.  The validity
+            interval is still computed over all matching rows, which is
+            conservative but always correct.
+    """
+
+    table: str
+    predicate: Predicate = field(default_factory=TruePredicate)
+    columns: Optional[Tuple[str, ...]] = None
+    order_by: Optional[str] = None
+    descending: bool = False
+    limit: Optional[int] = None
+
+    def __init__(
+        self,
+        table: str,
+        predicate: Optional[Predicate] = None,
+        columns: Optional[Sequence[str]] = None,
+        order_by: Optional[str] = None,
+        descending: bool = False,
+        limit: Optional[int] = None,
+    ) -> None:
+        object.__setattr__(self, "table", table)
+        object.__setattr__(self, "predicate", predicate or TruePredicate())
+        object.__setattr__(self, "columns", tuple(columns) if columns is not None else None)
+        object.__setattr__(self, "order_by", order_by)
+        object.__setattr__(self, "descending", descending)
+        object.__setattr__(self, "limit", limit)
+
+
+@dataclass(frozen=True)
+class Join(Query):
+    """Nested-loop join of an outer select against an inner table.
+
+    For every row produced by ``outer``, the executor looks up rows of
+    ``inner_table`` whose ``inner_column`` equals the outer row's
+    ``outer_column`` (using an index when available), applies
+    ``inner_predicate``, and emits the merged row.  Columns of the inner row
+    are prefixed with ``inner_prefix`` when it is given, which keeps same-name
+    columns from colliding.
+    """
+
+    outer: Select
+    inner_table: str
+    outer_column: str
+    inner_column: str
+    inner_predicate: Predicate = field(default_factory=TruePredicate)
+    inner_prefix: str = ""
+    order_by: Optional[str] = None
+    descending: bool = False
+    limit: Optional[int] = None
+
+    def __init__(
+        self,
+        outer: Select,
+        inner_table: str,
+        on: Tuple[str, str],
+        inner_predicate: Optional[Predicate] = None,
+        inner_prefix: str = "",
+        order_by: Optional[str] = None,
+        descending: bool = False,
+        limit: Optional[int] = None,
+    ) -> None:
+        object.__setattr__(self, "outer", outer)
+        object.__setattr__(self, "inner_table", inner_table)
+        object.__setattr__(self, "outer_column", on[0])
+        object.__setattr__(self, "inner_column", on[1])
+        object.__setattr__(self, "inner_predicate", inner_predicate or TruePredicate())
+        object.__setattr__(self, "inner_prefix", inner_prefix)
+        object.__setattr__(self, "order_by", order_by)
+        object.__setattr__(self, "descending", descending)
+        object.__setattr__(self, "limit", limit)
+
+
+@dataclass(frozen=True)
+class Aggregate(Query):
+    """Aggregate over the rows of a select.
+
+    Supported functions: ``count``, ``sum``, ``max``, ``min``, ``avg``.
+    The result is a single row ``{"value": ...}``; for ``max``/``min`` over
+    an empty input the value is ``None``, for ``count``/``sum`` it is ``0``.
+    """
+
+    source: Select
+    function: str
+    column: Optional[str] = None
+
+    _SUPPORTED = ("count", "sum", "max", "min", "avg")
+
+    def __post_init__(self) -> None:
+        if self.function not in self._SUPPORTED:
+            raise ValueError(f"unsupported aggregate {self.function!r}")
+        if self.function != "count" and self.column is None:
+            raise ValueError(f"aggregate {self.function!r} requires a column")

@@ -1,0 +1,60 @@
+"""Version reclamation (the "vacuum cleaner").
+
+The paper relies on PostgreSQL's no-overwrite storage manager: old tuple
+versions stay around until an asynchronous vacuum process removes them, which
+is exactly what lets pinned snapshots keep reading the past cheaply.  This
+module reproduces the reclamation step: a tuple version may be removed once
+no retained snapshot — neither a pinned snapshot nor the latest state — can
+see it any more.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Tuple
+
+from repro.db.tuples import TupleVersion, UncommittedMark
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.db.database import Database
+
+__all__ = ["vacuum_database", "vacuum_horizon"]
+
+
+def vacuum_horizon(database: "Database") -> int:
+    """Oldest timestamp any retained snapshot might still read.
+
+    This is the minimum of the pinned snapshot timestamps and the latest
+    committed timestamp; versions dead at or before this point are safe to
+    remove.
+    """
+    pinned = database.pinned_snapshots
+    horizon = database.latest_timestamp
+    if pinned:
+        horizon = min(horizon, min(pinned))
+    return horizon
+
+
+def vacuum_database(database: "Database") -> Tuple[int, int]:
+    """Remove versions invisible to every retained snapshot.
+
+    Returns ``(removed_count, horizon)``.
+    """
+    horizon = vacuum_horizon(database)
+    removed = 0
+    for table in database.tables.values():
+        dead: List[TupleVersion] = []
+        for version in table.scan_versions():
+            xmax = version.xmax
+            if xmax is None or isinstance(xmax, UncommittedMark):
+                continue
+            if isinstance(version.xmin, UncommittedMark):
+                continue
+            # Visible at ts only if xmax > ts, so a version with
+            # xmax <= horizon is invisible to the horizon and to everything
+            # newer; nothing older than the horizon is retained.
+            if xmax <= horizon:
+                dead.append(version)
+        for version in dead:
+            table.remove_version(version)
+        removed += len(dead)
+    return removed, horizon

@@ -1,0 +1,104 @@
+"""Convenience wiring of a complete TxCache deployment.
+
+A TxCache deployment (paper Figure 1) consists of a database, a set of cache
+nodes, the pincushion, and one TxCache library instance per application
+server, all sharing one invalidation stream.  :class:`TxCacheDeployment`
+builds and wires these pieces so examples, tests, and the benchmark harness
+do not repeat the plumbing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cache.cluster import CacheCluster
+from repro.clock import Clock, ManualClock
+from repro.comm.multicast import InvalidationBus
+from repro.core.api import ConsistencyMode, TxCacheClient
+from repro.db.database import Database
+from repro.pincushion.pincushion import Pincushion
+
+__all__ = ["TxCacheDeployment"]
+
+
+@dataclass
+class TxCacheDeployment:
+    """One database, one cache cluster, one pincushion, many clients."""
+
+    clock: Clock = field(default_factory=ManualClock)
+    cache_nodes: int = 2
+    cache_capacity_bytes_per_node: int = 64 * 1024 * 1024
+    mode: ConsistencyMode = ConsistencyMode.CONSISTENT
+    default_staleness: float = 30.0
+    new_pin_threshold: float = 5.0
+    pincushion_expiry_seconds: float = 60.0
+    track_validity: bool = True
+
+    def __post_init__(self) -> None:
+        self.invalidation_bus = InvalidationBus()
+        self.database = Database(
+            clock=self.clock,
+            invalidation_bus=self.invalidation_bus,
+            track_validity=self.track_validity,
+        )
+        self.cache = CacheCluster(
+            node_count=self.cache_nodes,
+            capacity_bytes_per_node=self.cache_capacity_bytes_per_node,
+            clock=self.clock,
+            invalidation_bus=self.invalidation_bus,
+        )
+        self.pincushion = Pincushion(
+            clock=self.clock,
+            unpin_callback=self.database.unpin,
+            expiry_seconds=self.pincushion_expiry_seconds,
+        )
+        self.clients: List[TxCacheClient] = []
+
+    # ------------------------------------------------------------------
+    # Clients
+    # ------------------------------------------------------------------
+    def client(
+        self,
+        mode: Optional[ConsistencyMode] = None,
+        default_staleness: Optional[float] = None,
+    ) -> TxCacheClient:
+        """Create a new TxCache library instance attached to this deployment."""
+        client = TxCacheClient(
+            database=self.database,
+            cache=self.cache,
+            pincushion=self.pincushion,
+            clock=self.clock,
+            mode=mode or self.mode,
+            default_staleness=(
+                self.default_staleness if default_staleness is None else default_staleness
+            ),
+            new_pin_threshold=self.new_pin_threshold,
+        )
+        self.clients.append(client)
+        return client
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def housekeeping(self, max_staleness: Optional[float] = None) -> None:
+        """Run the periodic background chores of a deployment.
+
+        * expire old, unused pinned snapshots (pincushion sweep, which in
+          turn unpins them on the database);
+        * vacuum tuple versions nothing can see any more;
+        * eagerly evict cache entries too stale to satisfy any transaction
+          within ``max_staleness`` seconds.
+        """
+        staleness = self.default_staleness if max_staleness is None else max_staleness
+        self.pincushion.expire_old_snapshots()
+        self.database.vacuum()
+        horizon_wallclock = self.clock.now() - staleness
+        horizon_ts = self.database.newest_timestamp_at_or_before(horizon_wallclock)
+        if horizon_ts > 0:
+            self.cache.evict_stale(horizon_ts)
+
+    def advance(self, seconds: float) -> None:
+        """Advance a manual clock (no-op guard for system clocks)."""
+        if isinstance(self.clock, ManualClock):
+            self.clock.advance(seconds)

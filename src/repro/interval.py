@@ -1,0 +1,242 @@
+"""Validity intervals and interval sets.
+
+TxCache tags every cached value and every database query result with a
+*validity interval*: the range of (logical commit) timestamps over which the
+value is the correct answer.  The lower bound is the commit timestamp of the
+transaction that made the value current; the upper bound is the commit
+timestamp of the first later transaction that changed it, or unbounded if the
+value is still current (paper section 4.1).
+
+Timestamps in this implementation are integer logical commit timestamps
+assigned by the database (:class:`repro.db.database.Database`).  An interval
+``Interval(lo, hi)`` covers the timestamps ``lo <= t < hi``; ``hi is None``
+means the interval is unbounded on the right (the value is still valid).
+
+:class:`IntervalSet` is a union of disjoint intervals.  It is used for the
+*invalidity mask* of a query (paper section 5.2): the union of the validity
+intervals of all tuples that matched the query predicate but failed the
+snapshot visibility check (phantoms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional
+
+__all__ = ["Interval", "IntervalSet", "UNBOUNDED"]
+
+#: Sentinel meaning "no upper bound" (the value is still valid).
+UNBOUNDED: Optional[int] = None
+
+
+@dataclass(frozen=True, order=False)
+class Interval:
+    """A half-open validity interval ``[lo, hi)`` of logical timestamps.
+
+    ``hi is None`` denotes an unbounded interval (still valid).  Intervals
+    are immutable; all operations return new intervals.
+    """
+
+    lo: int
+    hi: Optional[int] = UNBOUNDED
+
+    def __post_init__(self) -> None:
+        if self.hi is not None and self.hi < self.lo:
+            raise ValueError(f"invalid interval: hi={self.hi} < lo={self.lo}")
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    @property
+    def unbounded(self) -> bool:
+        """True if the interval has no upper bound (still valid)."""
+        return self.hi is None
+
+    @property
+    def empty(self) -> bool:
+        """True if the interval contains no timestamps."""
+        return self.hi is not None and self.hi <= self.lo
+
+    def contains(self, timestamp: int) -> bool:
+        """True if ``timestamp`` lies within the interval."""
+        if timestamp < self.lo:
+            return False
+        return self.hi is None or timestamp < self.hi
+
+    def intersects(self, other: "Interval") -> bool:
+        """True if the two intervals share at least one timestamp."""
+        return not self.intersect(other).empty
+
+    def contains_interval(self, other: "Interval") -> bool:
+        """True if ``other`` lies entirely within this interval."""
+        if other.empty:
+            return True
+        if other.lo < self.lo:
+            return False
+        if self.hi is None:
+            return True
+        if other.hi is None:
+            return False
+        return other.hi <= self.hi
+
+    # ------------------------------------------------------------------
+    # Combinators
+    # ------------------------------------------------------------------
+    def intersect(self, other: "Interval") -> "Interval":
+        """Return the intersection of the two intervals (possibly empty)."""
+        lo = max(self.lo, other.lo)
+        if self.hi is None:
+            hi = other.hi
+        elif other.hi is None:
+            hi = self.hi
+        else:
+            hi = min(self.hi, other.hi)
+        if hi is not None and hi < lo:
+            hi = lo  # normalized empty interval
+        return Interval(lo, hi)
+
+    def union_hull(self, other: "Interval") -> "Interval":
+        """Return the smallest interval covering both (not a true union)."""
+        lo = min(self.lo, other.lo)
+        hi = None if (self.hi is None or other.hi is None) else max(self.hi, other.hi)
+        return Interval(lo, hi)
+
+    def truncate(self, timestamp: int) -> "Interval":
+        """Return this interval with its upper bound capped at ``timestamp``.
+
+        Used when an invalidation arrives: a still-valid cache entry becomes
+        invalid as of the invalidating transaction's commit timestamp.
+        """
+        if self.hi is not None and self.hi <= timestamp:
+            return self
+        hi = max(self.lo, timestamp)
+        return Interval(self.lo, hi)
+
+    def clamp_upper(self, timestamp: Optional[int]) -> "Interval":
+        """Return this interval intersected with ``(-inf, timestamp)``.
+
+        Unlike :meth:`truncate` this never widens the interval and treats
+        ``None`` as "no clamp".
+        """
+        if timestamp is None:
+            return self
+        return self.intersect(Interval(self.lo, timestamp)) if timestamp >= self.lo else Interval(self.lo, self.lo)
+
+    def subtract(self, other: "Interval") -> List["Interval"]:
+        """Return this interval minus ``other`` as a list of 0-2 intervals."""
+        if other.empty or not self.intersects(other):
+            return [] if self.empty else [self]
+        pieces: List[Interval] = []
+        # Left piece: [self.lo, other.lo)
+        if self.lo < other.lo:
+            pieces.append(Interval(self.lo, other.lo))
+        # Right piece: [other.hi, self.hi)
+        if other.hi is not None:
+            if self.hi is None or other.hi < self.hi:
+                pieces.append(Interval(other.hi, self.hi))
+        return pieces
+
+    # ------------------------------------------------------------------
+    # Dunder helpers
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        hi = "inf" if self.hi is None else str(self.hi)
+        return f"[{self.lo}, {hi})"
+
+
+class IntervalSet:
+    """A union of disjoint, sorted intervals.
+
+    Used primarily for the invalidity mask during query execution and for
+    bookkeeping of the timestamps covered by the versions of a cache key.
+    """
+
+    def __init__(self, intervals: Iterable[Interval] = ()) -> None:
+        self._intervals: List[Interval] = []
+        for interval in intervals:
+            self.add(interval)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, interval: Interval) -> None:
+        """Add ``interval``, merging it with any overlapping members."""
+        if interval.empty:
+            return
+        merged = interval
+        kept: List[Interval] = []
+        for existing in self._intervals:
+            if _touches(existing, merged):
+                merged = existing.union_hull(merged)
+            else:
+                kept.append(existing)
+        kept.append(merged)
+        kept.sort(key=lambda iv: iv.lo)
+        self._intervals = kept
+
+    def update(self, intervals: Iterable[Interval]) -> None:
+        """Add every interval in ``intervals``."""
+        for interval in intervals:
+            self.add(interval)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self._intervals)
+
+    def __bool__(self) -> bool:
+        return bool(self._intervals)
+
+    @property
+    def intervals(self) -> List[Interval]:
+        """The disjoint member intervals, sorted by lower bound."""
+        return list(self._intervals)
+
+    def contains(self, timestamp: int) -> bool:
+        """True if any member interval contains ``timestamp``."""
+        return any(iv.contains(timestamp) for iv in self._intervals)
+
+    def intersects(self, interval: Interval) -> bool:
+        """True if any member interval intersects ``interval``."""
+        return any(iv.intersects(interval) for iv in self._intervals)
+
+    def subtract_from(self, interval: Interval) -> List[Interval]:
+        """Return ``interval`` minus every member of this set."""
+        pieces = [interval] if not interval.empty else []
+        for mask in self._intervals:
+            next_pieces: List[Interval] = []
+            for piece in pieces:
+                next_pieces.extend(piece.subtract(mask))
+            pieces = next_pieces
+            if not pieces:
+                break
+        return pieces
+
+    def piece_containing(self, interval: Interval, timestamp: int) -> Interval:
+        """Return the piece of ``interval - self`` that contains ``timestamp``.
+
+        This is how the final validity interval of a query is derived: the
+        result tuple validity minus the invalidity mask, restricted to the
+        contiguous piece that includes the query's snapshot timestamp (the
+        query result is known to be correct at that timestamp).
+        """
+        for piece in self.subtract_from(interval):
+            if piece.contains(timestamp):
+                return piece
+        raise ValueError(
+            f"timestamp {timestamp} not in {interval!r} minus mask {self._intervals!r}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IntervalSet({self._intervals!r})"
+
+
+def _touches(a: Interval, b: Interval) -> bool:
+    """True if the intervals overlap or are adjacent (can be merged)."""
+    a_hi = a.hi if a.hi is not None else float("inf")
+    b_hi = b.hi if b.hi is not None else float("inf")
+    return a.lo <= b_hi and b.lo <= a_hi

@@ -1,0 +1,5 @@
+"""The pincushion: registry of pinned database snapshots."""
+
+from repro.pincushion.pincushion import PinnedSnapshot, Pincushion
+
+__all__ = ["Pincushion", "PinnedSnapshot"]

@@ -1,0 +1,148 @@
+"""The pincushion daemon (paper section 5.4).
+
+TxCache needs to know which snapshots are pinned on the database and which of
+them fall within a read-only transaction's staleness limit, and it must
+eventually unpin snapshots that are no longer needed.  Rather than burdening
+the database, the paper places this bookkeeping in a lightweight daemon, the
+*pincushion*.
+
+The pincushion keeps a table of pinned snapshots: the snapshot id (which is a
+commit timestamp), the wall-clock time it corresponds to, and the number of
+running transactions that might be using it.  Read-only transactions ask it
+for all sufficiently fresh pinned snapshots at BEGIN and release them at
+COMMIT/ABORT; a periodic sweep unpins snapshots that are old and unused.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.clock import Clock, SystemClock
+
+__all__ = ["PinnedSnapshot", "Pincushion", "PincushionStats"]
+
+
+@dataclass
+class PinnedSnapshot:
+    """One row of the pincushion's table."""
+
+    snapshot_id: int
+    wallclock: float
+    in_use: int = 0
+
+
+@dataclass
+class PincushionStats:
+    """Counters describing pincushion traffic."""
+
+    fresh_requests: int = 0
+    registrations: int = 0
+    releases: int = 0
+    expirations: int = 0
+
+
+class Pincushion:
+    """In-process reproduction of the pincushion daemon.
+
+    ``unpin_callback`` is invoked with a snapshot id when the pincushion
+    decides to expire it; the TxCache deployment wires this to
+    ``Database.unpin`` so the database can eventually vacuum old versions.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        unpin_callback: Optional[Callable[[int], None]] = None,
+        expiry_seconds: float = 60.0,
+    ) -> None:
+        self.clock = clock or SystemClock()
+        self._unpin_callback = unpin_callback
+        self.expiry_seconds = expiry_seconds
+        self._snapshots: Dict[int, PinnedSnapshot] = {}
+        self.stats = PincushionStats()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def fresh_snapshots(self, staleness: float, mark_in_use: bool = True) -> List[PinnedSnapshot]:
+        """Return every pinned snapshot within ``staleness`` seconds of now.
+
+        When ``mark_in_use`` is True (the normal path at transaction BEGIN)
+        each returned snapshot's in-use count is incremented; the caller must
+        balance it with :meth:`release` when the transaction finishes.
+        """
+        self.stats.fresh_requests += 1
+        cutoff = self.clock.now() - staleness
+        fresh = [
+            snapshot
+            for snapshot in self._snapshots.values()
+            if snapshot.wallclock >= cutoff
+        ]
+        fresh.sort(key=lambda snapshot: snapshot.snapshot_id)
+        if mark_in_use:
+            for snapshot in fresh:
+                snapshot.in_use += 1
+        return fresh
+
+    def snapshot(self, snapshot_id: int) -> Optional[PinnedSnapshot]:
+        """Return the pinned snapshot with the given id, if registered."""
+        return self._snapshots.get(snapshot_id)
+
+    @property
+    def pinned_ids(self) -> List[int]:
+        """Ids of every registered snapshot, ascending."""
+        return sorted(self._snapshots)
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    # ------------------------------------------------------------------
+    # Registration and release
+    # ------------------------------------------------------------------
+    def register(self, snapshot_id: int, wallclock: float, in_use: bool = True) -> PinnedSnapshot:
+        """Record a snapshot that a library instance just pinned.
+
+        If the snapshot is already registered its in-use count is simply
+        bumped (two transactions may race to pin the same latest snapshot).
+        """
+        self.stats.registrations += 1
+        existing = self._snapshots.get(snapshot_id)
+        if existing is not None:
+            if in_use:
+                existing.in_use += 1
+            return existing
+        snapshot = PinnedSnapshot(
+            snapshot_id=snapshot_id, wallclock=wallclock, in_use=1 if in_use else 0
+        )
+        self._snapshots[snapshot_id] = snapshot
+        return snapshot
+
+    def release(self, snapshot_ids: List[int]) -> None:
+        """Drop the in-use marks a finishing transaction held."""
+        self.stats.releases += 1
+        for snapshot_id in snapshot_ids:
+            snapshot = self._snapshots.get(snapshot_id)
+            if snapshot is not None and snapshot.in_use > 0:
+                snapshot.in_use -= 1
+
+    # ------------------------------------------------------------------
+    # Expiry sweep
+    # ------------------------------------------------------------------
+    def expire_old_snapshots(self, older_than: Optional[float] = None) -> List[int]:
+        """Unpin unused snapshots older than the threshold.
+
+        Returns the ids that were expired.  A snapshot still marked in-use is
+        never expired regardless of age.
+        """
+        threshold = self.expiry_seconds if older_than is None else older_than
+        cutoff = self.clock.now() - threshold
+        expired: List[int] = []
+        for snapshot_id, snapshot in list(self._snapshots.items()):
+            if snapshot.in_use == 0 and snapshot.wallclock < cutoff:
+                del self._snapshots[snapshot_id]
+                expired.append(snapshot_id)
+                self.stats.expirations += 1
+                if self._unpin_callback is not None:
+                    self._unpin_callback(snapshot_id)
+        return expired

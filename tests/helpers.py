@@ -1,0 +1,87 @@
+"""Shared builders used across the test suite."""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.core.api import ConsistencyMode
+from repro.db.database import Database
+from repro.db.schema import IndexSpec, TableSchema
+from repro.deployment import TxCacheDeployment
+
+
+def simple_schema(name: str = "users") -> TableSchema:
+    """A small table used by many database tests."""
+    return TableSchema.build(
+        name,
+        ["id", "name", "region", "score"],
+        primary_key="id",
+        indexes=["name", IndexSpec("region", ordered=True)],
+    )
+
+
+def build_database(rows: int = 10) -> Database:
+    """A database with one populated ``users`` table."""
+    from repro.clock import ManualClock
+
+    database = Database(clock=ManualClock())
+    database.create_table(simple_schema())
+    database.bulk_load(
+        "users",
+        [
+            {"id": i, "name": f"user{i}", "region": i % 3, "score": float(i)}
+            for i in range(1, rows + 1)
+        ],
+    )
+    return database
+
+
+def build_deployment(
+    rows: int = 20,
+    mode: ConsistencyMode = ConsistencyMode.CONSISTENT,
+    staleness: float = 30.0,
+    cache_nodes: int = 2,
+    capacity_bytes: int = 4 * 1024 * 1024,
+) -> Tuple[TxCacheDeployment, "object"]:
+    """A full deployment with the simple ``users`` table and one client."""
+    deployment = TxCacheDeployment(
+        cache_nodes=cache_nodes,
+        cache_capacity_bytes_per_node=capacity_bytes,
+        mode=mode,
+        default_staleness=staleness,
+    )
+    deployment.database.create_table(simple_schema())
+    deployment.database.bulk_load(
+        "users",
+        [
+            {"id": i, "name": f"user{i}", "region": i % 3, "score": float(i)}
+            for i in range(1, rows + 1)
+        ],
+    )
+    client = deployment.client()
+    return deployment, client
+
+
+def update_user(deployment: TxCacheDeployment, user_id: int, **changes) -> int:
+    """Commit one read/write transaction updating a user row.
+
+    The deployment clock advances slightly afterwards so that wall-clock
+    staleness bounds can distinguish "before the write" from "after it".
+    """
+    from repro.db.query import Eq
+
+    transaction = deployment.database.begin_rw()
+    transaction.update("users", Eq("id", user_id), changes)
+    timestamp = transaction.commit()
+    deployment.advance(0.1)
+    return timestamp
+
+
+def insert_users(deployment: TxCacheDeployment, rows: Iterable[dict]) -> int:
+    """Commit one read/write transaction inserting several user rows."""
+    transaction = deployment.database.begin_rw()
+    for row in rows:
+        transaction.insert("users", row)
+    timestamp = transaction.commit()
+    deployment.advance(0.1)
+    return timestamp

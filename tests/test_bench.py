@@ -1,0 +1,188 @@
+"""Tests for the benchmark harness: cost model, driver, and experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.rubis.datagen import IN_MEMORY_CONFIG
+from repro.bench.costmodel import BufferCache, ClusterSpec, CostModel, CostParameters
+from repro.bench.driver import BenchmarkConfig, run_benchmark
+from repro.bench.experiments import ExperimentSettings, validity_tracking_overhead
+from repro.bench.report import format_series, format_table
+from repro.core.api import ConsistencyMode
+from repro.db.executor import QueryResult
+from repro.db.query import Select
+from repro.interval import Interval
+
+
+def fake_result(rows=(), examined=0):
+    return QueryResult(
+        rows=list(rows), validity=Interval(0), tags=frozenset(), timestamp=0, examined=examined
+    )
+
+
+class TestBufferCache:
+    def test_first_access_misses_then_hits(self):
+        cache = BufferCache(capacity_rows=10)
+        assert not cache.access("t", 1)
+        assert cache.access("t", 1)
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_lru_eviction(self):
+        cache = BufferCache(capacity_rows=2)
+        cache.access("t", 1)
+        cache.access("t", 2)
+        cache.access("t", 3)  # evicts 1
+        assert not cache.access("t", 1)
+
+    def test_capacity_floor(self):
+        assert BufferCache(capacity_rows=0).capacity_rows == 1
+
+
+class TestCostModel:
+    def test_query_costs_accumulate(self):
+        model = CostModel()
+        model.begin_interaction()
+        model.observe_query(Select("users"), fake_result(examined=10))
+        cost = model.end_interaction()
+        params = model.parameters
+        assert cost.db == pytest.approx(params.db_cost_per_query + 10 * params.db_cost_per_tuple)
+        assert cost.web > 0
+
+    def test_disk_bound_charges_buffer_misses(self):
+        model = CostModel(disk_bound=True, total_rows=1000)
+        model.begin_interaction()
+        rows = [{"id": i} for i in range(5)]
+        model.observe_query(Select("users"), fake_result(rows=rows))
+        first = model.end_interaction()
+        model.begin_interaction()
+        model.observe_query(Select("users"), fake_result(rows=rows))
+        second = model.end_interaction()
+        # The second access finds the rows in the buffer cache.
+        assert second.db < first.db
+
+    def test_cacheable_call_costs(self):
+        model = CostModel()
+        model.begin_interaction()
+        model.charge_cacheable_call(hit=True)
+        hit_cost = model.current.web
+        model.charge_cacheable_call(hit=False)
+        model.charge_bypassed_call()
+        cost = model.end_interaction()
+        assert cost.cache > 0
+        assert hit_cost < model.parameters.web_cost_per_cacheable_call + model.parameters.web_cost_per_interaction
+
+    def test_peak_throughput_uses_bottleneck(self):
+        model = CostModel()
+        model.begin_interaction()
+        model.current.db += 0.010
+        model.current.web += 0.002
+        model.end_interaction()
+        cluster = ClusterSpec(db_nodes=1, web_nodes=4, cache_nodes=1)
+        assert model.bottleneck(cluster) == "db"
+        assert model.peak_throughput(cluster) == pytest.approx(100.0, rel=0.2)
+
+    def test_utilization_shares_normalized(self):
+        model = CostModel()
+        model.begin_interaction()
+        model.current.db += 0.010
+        model.current.web += 0.005
+        model.current.cache += 0.001
+        model.end_interaction()
+        shares = model.utilization_shares(ClusterSpec(1, 1, 1))
+        assert shares["db"] == pytest.approx(1.0)
+        assert 0 < shares["cache"] < shares["web"] < 1.0
+
+    def test_reset(self):
+        model = CostModel()
+        model.begin_interaction()
+        model.current.db += 1.0
+        model.end_interaction()
+        model.reset()
+        assert model.interactions == 0
+        assert model.demand_per_interaction().db == 0.0
+
+
+class TestClusterSpec:
+    def test_paper_defaults(self):
+        in_memory = ClusterSpec.in_memory_default()
+        assert (in_memory.db_nodes, in_memory.web_nodes, in_memory.cache_nodes) == (1, 7, 2)
+        disk = ClusterSpec.disk_bound_default()
+        assert disk.web_nodes == disk.cache_nodes == 8
+
+
+class TestBenchmarkDriver:
+    @pytest.fixture(scope="class")
+    def quick_result(self):
+        config = BenchmarkConfig(
+            database_config=IN_MEMORY_CONFIG,
+            cache_size_bytes=256 * 1024,
+            scale=400,
+            sessions=6,
+            warmup_interactions=150,
+            measure_interactions=300,
+            seed=2,
+            label="unit-test",
+        )
+        return config, run_benchmark(config)
+
+    def test_result_fields_populated(self, quick_result):
+        config, result = quick_result
+        assert result.label == "unit-test"
+        assert result.peak_throughput > 0
+        assert 0.0 <= result.hit_rate <= 1.0
+        assert result.interactions == config.measure_interactions
+        assert result.bottleneck in {"db", "web", "cache"}
+        assert result.simulated_seconds > 0
+        assert sum(result.miss_fractions.values()) == pytest.approx(1.0, abs=1e-6) or result.miss_fractions
+
+    def test_caching_beats_no_caching(self, quick_result):
+        config, cached = quick_result
+        baseline_config = BenchmarkConfig(
+            database_config=IN_MEMORY_CONFIG,
+            cache_size_bytes=256 * 1024,
+            mode=ConsistencyMode.NO_CACHE,
+            scale=400,
+            sessions=6,
+            warmup_interactions=150,
+            measure_interactions=300,
+            seed=2,
+        )
+        baseline = run_benchmark(baseline_config)
+        assert baseline.hit_rate == 0.0
+        assert cached.peak_throughput > baseline.peak_throughput
+
+    def test_workload_mix_is_mostly_read_only(self, quick_result):
+        _config, result = quick_result
+        assert 0.05 <= result.read_write_fraction <= 0.25
+
+    def test_summary_is_a_single_line(self, quick_result):
+        _config, result = quick_result
+        assert "\n" not in result.summary()
+
+
+class TestExperimentHelpers:
+    def test_experiment_settings_quick_and_full_differ(self):
+        assert ExperimentSettings.quick().measure_interactions < ExperimentSettings.full().measure_interactions
+
+    def test_validity_tracking_overhead_is_small(self):
+        result = validity_tracking_overhead(queries=400)
+        # The paper found no observable difference; allow generous slack for
+        # the Python implementation but catch pathological regressions.
+        assert result.overhead_fraction < 2.0
+        assert result.stock_seconds_per_query > 0
+        assert "overhead" in result.format_table()
+
+
+class TestReport:
+    def test_format_table_aligns_columns(self):
+        text = format_table(["a", "bb"], [[1, "x"], [22, "yy"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        # title + header + separator + two data rows
+        assert len(lines) == 5
+        assert all(len(line) == len(lines[1]) for line in lines[1:])
+
+    def test_format_series(self):
+        text = format_series("hit rate", [1, 2], [0.5, 1.0])
+        assert "hit rate" in text and "1:" in text

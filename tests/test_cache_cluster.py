@@ -1,0 +1,98 @@
+"""Tests for the cache cluster (routing + aggregate behaviour)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.cluster import CacheCluster
+from repro.clock import ManualClock
+from repro.comm.multicast import InvalidationBus, InvalidationMessage
+from repro.db.invalidation import InvalidationTag
+from repro.interval import Interval
+
+
+@pytest.fixture
+def cluster():
+    return CacheCluster(node_count=3, capacity_bytes_per_node=256 * 1024, clock=ManualClock())
+
+
+class TestRouting:
+    def test_put_and_lookup_route_to_same_node(self, cluster):
+        keys = [f"key-{i}" for i in range(100)]
+        for key in keys:
+            cluster.put(key, key.upper(), Interval(0))
+        for key in keys:
+            assert cluster.lookup(key, 0, 10).value == key.upper()
+
+    def test_keys_spread_across_nodes(self, cluster):
+        for i in range(300):
+            cluster.put(f"key-{i}", i, Interval(0))
+        populated = [s for s in cluster.servers.values() if s.entry_count > 0]
+        assert len(populated) == 3
+
+    def test_server_for_is_stable(self, cluster):
+        assert cluster.server_for("abc") is cluster.server_for("abc")
+
+    def test_probe_and_was_ever_stored(self, cluster):
+        cluster.put("k", 1, Interval(0, 5))
+        assert cluster.probe("k", 0, 4)
+        assert not cluster.probe("k", 6, 9)
+        assert cluster.was_ever_stored("k")
+        assert not cluster.was_ever_stored("other")
+
+    def test_add_and_remove_node(self, cluster):
+        cluster.add_node("extra", capacity_bytes=1024)
+        assert cluster.node_count == 4
+        with pytest.raises(ValueError):
+            cluster.add_node("extra", capacity_bytes=1024)
+        cluster.remove_node("extra")
+        assert cluster.node_count == 3
+
+
+class TestInvalidationFanout:
+    def test_all_nodes_receive_invalidations(self):
+        bus = InvalidationBus()
+        cluster = CacheCluster(node_count=3, clock=ManualClock(), invalidation_bus=bus)
+        # Insert still-valid entries on every node.
+        for i in range(60):
+            cluster.put(f"key-{i}", i, Interval(0), frozenset({InvalidationTag.key("t", "id", i)}))
+        bus.publish(InvalidationMessage(timestamp=5, tags=(InvalidationTag.wildcard("t"),)))
+        for server in cluster.servers.values():
+            assert server.last_invalidation_timestamp == 5
+        stats = cluster.aggregate_stats()
+        assert stats.entries_invalidated == 60
+
+
+class TestAggregation:
+    def test_aggregate_stats_sums_nodes(self, cluster):
+        cluster.put("a", 1, Interval(0))
+        cluster.put("b", 2, Interval(0))
+        cluster.lookup("a", 0, 5)
+        cluster.lookup("missing", 0, 5)
+        stats = cluster.aggregate_stats()
+        assert stats.insertions == 2
+        assert stats.lookups == 2
+        assert stats.hits == 1
+
+    def test_capacity_and_usage(self, cluster):
+        assert cluster.capacity_bytes == 3 * 256 * 1024
+        cluster.put("a", "x" * 500, Interval(0))
+        assert cluster.used_bytes > 0
+        assert cluster.entry_count == 1
+
+    def test_evict_stale_and_clear(self, cluster):
+        cluster.put("a", 1, Interval(0, 3))
+        cluster.put("b", 2, Interval(5, 9))
+        assert cluster.evict_stale(4) == 1
+        cluster.clear()
+        assert cluster.entry_count == 0
+
+    def test_reset_stats(self, cluster):
+        cluster.put("a", 1, Interval(0))
+        cluster.reset_stats()
+        assert cluster.aggregate_stats().insertions == 0
+
+    def test_key_distribution_reporting(self, cluster):
+        keys = [f"key-{i}" for i in range(90)]
+        distribution = cluster.key_distribution(keys)
+        assert sum(distribution.values()) == 90

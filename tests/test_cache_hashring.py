@@ -1,0 +1,97 @@
+"""Tests for consistent hashing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.hashring import ConsistentHashRing
+
+
+class TestBasics:
+    def test_single_node_gets_everything(self):
+        ring = ConsistentHashRing(["only"])
+        assert all(ring.node_for(f"key{i}") == "only" for i in range(50))
+
+    def test_empty_ring_raises(self):
+        with pytest.raises(LookupError):
+            ConsistentHashRing().node_for("k")
+
+    def test_lookup_is_deterministic(self):
+        ring = ConsistentHashRing(["a", "b", "c"])
+        assert ring.node_for("some-key") == ring.node_for("some-key")
+
+    def test_add_node_idempotent(self):
+        ring = ConsistentHashRing(["a"])
+        ring.add_node("a")
+        assert len(ring) == 1
+
+    def test_remove_node(self):
+        ring = ConsistentHashRing(["a", "b"])
+        ring.remove_node("a")
+        assert ring.nodes == ["b"]
+        assert all(ring.node_for(f"key{i}") == "b" for i in range(20))
+
+    def test_remove_missing_node_is_noop(self):
+        ring = ConsistentHashRing(["a"])
+        ring.remove_node("zzz")
+        assert len(ring) == 1
+
+    def test_invalid_virtual_nodes(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing(virtual_nodes=0)
+
+
+class TestDistribution:
+    def test_keys_spread_over_nodes(self):
+        ring = ConsistentHashRing([f"n{i}" for i in range(4)], virtual_nodes=200)
+        keys = [f"key-{i}" for i in range(4000)]
+        counts = ring.distribution(keys)
+        assert set(counts) == {f"n{i}" for i in range(4)}
+        for count in counts.values():
+            # With 200 virtual nodes the load imbalance should be modest.
+            assert 0.5 * 1000 < count < 1.7 * 1000
+
+    def test_node_removal_only_remaps_its_keys(self):
+        """Consistent hashing: removing a node must not move keys between
+        surviving nodes."""
+        ring = ConsistentHashRing(["a", "b", "c"], virtual_nodes=100)
+        keys = [f"key-{i}" for i in range(1000)]
+        before = {key: ring.node_for(key) for key in keys}
+        ring.remove_node("b")
+        for key in keys:
+            after = ring.node_for(key)
+            if before[key] != "b":
+                assert after == before[key]
+            else:
+                assert after in {"a", "c"}
+
+    def test_node_addition_only_steals_keys(self):
+        ring = ConsistentHashRing(["a", "b"], virtual_nodes=100)
+        keys = [f"key-{i}" for i in range(1000)]
+        before = {key: ring.node_for(key) for key in keys}
+        ring.add_node("c")
+        moved_to_existing = sum(
+            1
+            for key in keys
+            if ring.node_for(key) != before[key] and ring.node_for(key) != "c"
+        )
+        assert moved_to_existing == 0
+
+
+class TestProperties:
+    @given(st.text(min_size=1, max_size=30))
+    @settings(max_examples=100)
+    def test_every_key_maps_to_a_member(self, key):
+        ring = ConsistentHashRing(["a", "b", "c"])
+        assert ring.node_for(key) in {"a", "b", "c"}
+
+    @given(st.lists(st.text(min_size=1, max_size=10), min_size=1, max_size=20, unique=True))
+    @settings(max_examples=50)
+    def test_mapping_independent_of_insertion_order(self, node_names):
+        forward = ConsistentHashRing(node_names)
+        backward = ConsistentHashRing(list(reversed(node_names)))
+        for i in range(50):
+            key = f"key-{i}"
+            assert forward.node_for(key) == backward.node_for(key)

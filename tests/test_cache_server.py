@@ -1,0 +1,232 @@
+"""Tests for the versioned cache server."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.server import CacheServer
+from repro.clock import ManualClock
+from repro.comm.multicast import InvalidationMessage
+from repro.db.invalidation import InvalidationTag
+from repro.interval import Interval
+
+
+@pytest.fixture
+def server():
+    return CacheServer(name="c0", capacity_bytes=1024 * 1024, clock=ManualClock())
+
+
+def tag(value, column="id", table="users"):
+    return InvalidationTag.key(table, column, value)
+
+
+def invalidate(server, ts, *tags):
+    server.process_invalidation(InvalidationMessage(timestamp=ts, tags=tuple(tags)))
+
+
+class TestVersionedLookup:
+    def test_miss_on_empty_cache(self, server):
+        result = server.lookup("k", 0, 10)
+        assert not result.hit
+        assert not result.key_ever_stored
+
+    def test_hit_within_interval(self, server):
+        server.put("k", "value", Interval(3, 8))
+        result = server.lookup("k", 4, 6)
+        assert result.hit
+        assert result.value == "value"
+        assert result.interval == Interval(3, 8)
+
+    def test_hit_on_partial_overlap(self, server):
+        server.put("k", "value", Interval(3, 8))
+        assert server.lookup("k", 0, 3).hit       # 3 is acceptable
+        assert server.lookup("k", 7, 20).hit      # 7 is acceptable
+        assert not server.lookup("k", 8, 20).hit  # interval excludes 8
+        assert not server.lookup("k", 0, 2).hit
+
+    def test_multiple_versions_most_recent_returned(self, server):
+        server.put("k", "old", Interval(0, 5))
+        server.put("k", "new", Interval(5, 10))
+        result = server.lookup("k", 0, 20)
+        assert result.value == "new"
+
+    def test_old_version_still_reachable(self, server):
+        server.put("k", "old", Interval(0, 5))
+        server.put("k", "new", Interval(5, 10))
+        assert server.lookup("k", 2, 4).value == "old"
+
+    def test_still_valid_entry_effective_upper_bound(self, server):
+        server.put("k", "value", Interval(3), tags=frozenset({tag(1)}))
+        # No invalidation processed yet: entry known valid only at [3, 4).
+        assert server.lookup("k", 3, 10).interval == Interval(3, 4)
+        server.note_timestamp(9)
+        assert server.lookup("k", 3, 10).interval == Interval(3, 10)
+
+    def test_lookup_result_reports_key_history(self, server):
+        server.put("k", "value", Interval(0, 2))
+        result = server.lookup("k", 5, 9)
+        assert not result.hit
+        assert result.key_ever_stored
+        assert result.fresh_version_exists
+
+    def test_probe_does_not_affect_stats(self, server):
+        server.put("k", "value", Interval(0, 5))
+        before = server.stats.lookups
+        assert server.probe("k", 0, 10)
+        assert not server.probe("k", 6, 10)
+        assert server.stats.lookups == before
+
+    def test_raw_interval_and_tags_returned(self, server):
+        tags = frozenset({tag(7)})
+        server.put("k", "value", Interval(2), tags=tags)
+        server.note_timestamp(5)
+        result = server.lookup("k", 2, 5)
+        assert result.raw_interval == Interval(2, None)
+        assert result.tags == tags
+
+
+class TestPut:
+    def test_empty_interval_rejected(self, server):
+        assert not server.put("k", "v", Interval(5, 5))
+        assert server.stats.rejected_insertions == 1
+
+    def test_duplicate_covered_interval_rejected(self, server):
+        assert server.put("k", "v", Interval(0, 10))
+        assert not server.put("k", "v", Interval(2, 8))
+        assert server.entry_count == 1
+
+    def test_insert_after_invalidation_is_truncated(self, server):
+        """The insert/invalidate race: a stale still-valid insert arriving
+        after the invalidation for its tags must not stay valid forever."""
+        invalidate(server, 7, tag(1))
+        server.put("k", "stale", Interval(3), tags=frozenset({tag(1)}))
+        entry = server.versions_of("k")[0]
+        assert not entry.still_valid
+        assert entry.interval.hi == 7
+
+    def test_insert_after_unrelated_invalidation_stays_valid(self, server):
+        invalidate(server, 7, tag(999))
+        server.put("k", "fresh", Interval(3), tags=frozenset({tag(1)}))
+        assert server.versions_of("k")[0].still_valid
+
+    def test_insert_after_wildcard_invalidation_is_truncated(self, server):
+        invalidate(server, 7, InvalidationTag.wildcard("users"))
+        server.put("k", "stale", Interval(3), tags=frozenset({tag(1)}))
+        assert not server.versions_of("k")[0].still_valid
+
+    def test_size_accounting(self, server):
+        server.put("k", "x" * 100, Interval(0))
+        assert server.used_bytes > 100
+
+
+class TestInvalidationProcessing:
+    def test_matching_tag_truncates_entry(self, server):
+        server.put("k", "v", Interval(2), tags=frozenset({tag(1)}))
+        invalidate(server, 9, tag(1))
+        entry = server.versions_of("k")[0]
+        assert entry.interval == Interval(2, 9)
+        assert server.stats.entries_invalidated == 1
+
+    def test_non_matching_tag_leaves_entry_valid(self, server):
+        server.put("k", "v", Interval(2), tags=frozenset({tag(1)}))
+        invalidate(server, 9, tag(2))
+        assert server.versions_of("k")[0].still_valid
+
+    def test_wildcard_invalidation_hits_precise_dependency(self, server):
+        server.put("k", "v", Interval(2), tags=frozenset({tag(1)}))
+        invalidate(server, 9, InvalidationTag.wildcard("users"))
+        assert not server.versions_of("k")[0].still_valid
+
+    def test_precise_invalidation_hits_wildcard_dependency(self, server):
+        """An entry that depends on a scan (wildcard tag) is affected by any
+        update to that table."""
+        server.put("k", "v", Interval(2), tags=frozenset({InvalidationTag.wildcard("users")}))
+        invalidate(server, 9, tag(5))
+        assert not server.versions_of("k")[0].still_valid
+
+    def test_invalidation_advances_watermark(self, server):
+        invalidate(server, 12, tag(1))
+        assert server.last_invalidation_timestamp == 12
+
+    def test_bounded_entries_unaffected(self, server):
+        server.put("k", "v", Interval(2, 6))
+        invalidate(server, 9, InvalidationTag.wildcard("users"))
+        assert server.versions_of("k")[0].interval == Interval(2, 6)
+
+    def test_atomic_invalidations_share_timestamp(self, server):
+        server.put("a", "v", Interval(2), tags=frozenset({tag(1)}))
+        server.put("b", "v", Interval(3), tags=frozenset({tag(2)}))
+        invalidate(server, 9, tag(1), tag(2))
+        assert server.versions_of("a")[0].interval.hi == 9
+        assert server.versions_of("b")[0].interval.hi == 9
+
+
+class TestEviction:
+    def test_lru_eviction_when_over_capacity(self):
+        clock = ManualClock()
+        server = CacheServer(capacity_bytes=2000, clock=clock)
+        for i in range(30):
+            clock.advance(1.0)
+            server.put(f"k{i}", "x" * 100, Interval(0))
+        assert server.used_bytes <= 2000
+        assert server.stats.lru_evictions > 0
+        # The most recently inserted key is still present.
+        assert server.lookup("k29", 0, 10).hit
+
+    def test_recently_used_keys_survive(self):
+        clock = ManualClock()
+        server = CacheServer(capacity_bytes=3000, clock=clock)
+        server.put("hot", "x" * 100, Interval(0))
+        for i in range(40):
+            clock.advance(1.0)
+            server.lookup("hot", 0, 10)
+            server.put(f"cold{i}", "x" * 100, Interval(0))
+        assert server.lookup("hot", 0, 10).hit
+
+    def test_evictions_are_not_errors(self, server):
+        """Evicted entries simply miss later (cache entries are never pinned)."""
+        small = CacheServer(capacity_bytes=500, clock=ManualClock())
+        small.put("a", "x" * 400, Interval(0))
+        small.put("b", "y" * 400, Interval(0))
+        assert small.lookup("b", 0, 10).hit
+        assert not small.lookup("a", 0, 10).hit
+        assert small.lookup("a", 0, 10).key_ever_stored
+
+    def test_evict_stale_removes_expired_versions(self, server):
+        server.put("k", "old", Interval(0, 4))
+        server.put("k", "new", Interval(4, 9))
+        removed = server.evict_stale(5)
+        assert removed == 1
+        assert not server.lookup("k", 0, 3).hit
+        assert server.lookup("k", 4, 8).hit
+
+    def test_evict_stale_keeps_still_valid(self, server):
+        server.put("k", "v", Interval(0), tags=frozenset({tag(1)}))
+        assert server.evict_stale(100) == 0
+        # Still-valid entries survive eager eviction and remain usable once
+        # the invalidation watermark catches up to the requested range.
+        server.note_timestamp(150)
+        assert server.lookup("k", 100, 200).hit is True
+
+    def test_clear(self, server):
+        server.put("k", "v", Interval(0))
+        server.clear()
+        assert server.entry_count == 0
+        assert server.used_bytes == 0
+
+
+class TestStats:
+    def test_hit_rate(self, server):
+        server.put("k", "v", Interval(0))
+        server.lookup("k", 0, 5)
+        server.lookup("missing", 0, 5)
+        assert server.stats.hits == 1
+        assert server.stats.misses == 1
+        assert server.stats.hit_rate == pytest.approx(0.5)
+
+    def test_reset(self, server):
+        server.put("k", "v", Interval(0))
+        server.lookup("k", 0, 5)
+        server.stats.reset()
+        assert server.stats.lookups == 0
+        assert server.stats.insertions == 0

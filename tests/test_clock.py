@@ -1,0 +1,53 @@
+"""Tests for the clock abstractions."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.clock import ManualClock, SystemClock
+
+
+class TestManualClock:
+    def test_starts_at_given_time(self):
+        assert ManualClock(5.0).now() == 5.0
+
+    def test_defaults_to_zero(self):
+        assert ManualClock().now() == 0.0
+
+    def test_advance(self):
+        clock = ManualClock()
+        clock.advance(2.5)
+        clock.advance(1.0)
+        assert clock.now() == pytest.approx(3.5)
+
+    def test_advance_returns_new_time(self):
+        assert ManualClock(1.0).advance(2.0) == pytest.approx(3.0)
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ManualClock().advance(-1)
+
+    def test_set_forward(self):
+        clock = ManualClock()
+        clock.set(10.0)
+        assert clock.now() == 10.0
+
+    def test_set_backwards_rejected(self):
+        clock = ManualClock(10.0)
+        with pytest.raises(ValueError):
+            clock.set(5.0)
+
+
+class TestSystemClock:
+    def test_tracks_real_time(self):
+        clock = SystemClock()
+        before = time.time()
+        observed = clock.now()
+        after = time.time()
+        assert before <= observed <= after
+
+    def test_monotonic_enough(self):
+        clock = SystemClock()
+        assert clock.now() <= clock.now()

@@ -1,0 +1,78 @@
+"""Tests for cache-key derivation."""
+
+from __future__ import annotations
+
+from repro.core.keys import cache_key, function_fingerprint, stable_repr
+
+
+def sample_function(a, b=2):
+    return a + b
+
+
+class TestStableRepr:
+    def test_dict_key_order_does_not_matter(self):
+        assert stable_repr({"a": 1, "b": 2}) == stable_repr({"b": 2, "a": 1})
+
+    def test_set_order_does_not_matter(self):
+        assert stable_repr({3, 1, 2}) == stable_repr({2, 3, 1})
+
+    def test_lists_and_tuples_distinguished(self):
+        assert stable_repr([1, 2]) != stable_repr((1, 2))
+
+    def test_nested_structures(self):
+        a = {"x": [1, {"y": 2}]}
+        b = {"x": [1, {"y": 2}]}
+        assert stable_repr(a) == stable_repr(b)
+
+    def test_integral_floats_normalized(self):
+        assert stable_repr(1.0) == stable_repr(1)
+        assert stable_repr(1.5) != stable_repr(1)
+
+
+class TestCacheKey:
+    def test_same_call_same_key(self):
+        assert cache_key(sample_function, (1,), {"b": 3}) == cache_key(
+            sample_function, (1,), {"b": 3}
+        )
+
+    def test_different_args_different_keys(self):
+        assert cache_key(sample_function, (1,)) != cache_key(sample_function, (2,))
+
+    def test_different_kwargs_different_keys(self):
+        assert cache_key(sample_function, (1,), {"b": 3}) != cache_key(
+            sample_function, (1,), {"b": 4}
+        )
+
+    def test_different_functions_different_keys(self):
+        def other(a, b=2):
+            return a - b
+
+        assert cache_key(sample_function, (1,)) != cache_key(other, (1,))
+
+    def test_explicit_name_identity(self):
+        assert cache_key("app.get_user", (5,)) == cache_key("app.get_user", (5,))
+        assert cache_key("app.get_user", (5,)) != cache_key("app.get_item", (5,))
+
+    def test_key_contains_readable_prefix(self):
+        key = cache_key("module.get_user", (5,))
+        assert key.startswith("get_user:")
+
+    def test_code_change_changes_key(self):
+        """Keys incorporate the implementation fingerprint, so a changed
+        function body no longer matches old entries (software-update safety)."""
+
+        def version_one(a):
+            return a + 1
+
+        def version_two(a):
+            return a + 2
+
+        assert cache_key(version_one, (1,)) != cache_key(version_two, (1,))
+
+
+class TestFunctionFingerprint:
+    def test_fingerprint_stable_for_same_function(self):
+        assert function_fingerprint(sample_function) == function_fingerprint(sample_function)
+
+    def test_fingerprint_for_builtin(self):
+        assert "builtin" in function_fingerprint(len)

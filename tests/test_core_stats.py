@@ -1,0 +1,70 @@
+"""Tests for client statistics and miss classification bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.stats import ClientStats, MissType
+
+
+class TestRecording:
+    def test_hits_and_misses(self):
+        stats = ClientStats()
+        stats.record_hit()
+        stats.record_miss(MissType.COMPULSORY)
+        stats.record_miss(MissType.CONSISTENCY)
+        assert stats.cacheable_calls == 3
+        assert stats.hits == 1
+        assert stats.misses == 2
+        assert stats.misses_by_type[MissType.COMPULSORY] == 1
+        assert stats.misses_by_type[MissType.CONSISTENCY] == 1
+
+    def test_bypass(self):
+        stats = ClientStats()
+        stats.record_bypass()
+        assert stats.cache_bypassed_calls == 1
+        assert stats.lookups == 0
+
+    def test_hit_rate(self):
+        stats = ClientStats()
+        assert stats.hit_rate == 0.0
+        stats.record_hit()
+        stats.record_hit()
+        stats.record_miss(MissType.COMPULSORY)
+        assert stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_miss_fractions(self):
+        stats = ClientStats()
+        assert sum(stats.miss_fractions().values()) == 0.0
+        stats.record_miss(MissType.COMPULSORY)
+        stats.record_miss(MissType.COMPULSORY)
+        stats.record_miss(MissType.STALE_OR_CAPACITY)
+        stats.record_miss(MissType.CONSISTENCY)
+        fractions = stats.miss_fractions()
+        assert fractions[MissType.COMPULSORY] == pytest.approx(0.5)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+
+class TestResetAndMerge:
+    def test_reset(self):
+        stats = ClientStats()
+        stats.record_hit()
+        stats.record_miss(MissType.COMPULSORY)
+        stats.db_queries = 5
+        stats.reset()
+        assert stats.hits == 0
+        assert stats.misses == 0
+        assert stats.db_queries == 0
+        assert all(v == 0 for v in stats.misses_by_type.values())
+
+    def test_merge(self):
+        a = ClientStats()
+        b = ClientStats()
+        a.record_hit()
+        b.record_miss(MissType.CONSISTENCY)
+        b.db_queries = 3
+        a.merge(b)
+        assert a.hits == 1
+        assert a.misses == 1
+        assert a.misses_by_type[MissType.CONSISTENCY] == 1
+        assert a.db_queries == 3

@@ -1,0 +1,249 @@
+"""Tests for query execution and validity-interval tracking.
+
+These exercise the heart of the paper's database modification: the result
+tuple validity, the invalidity mask built from phantoms, the final validity
+interval, and the invalidation tags attached to each query result.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.invalidation import InvalidationTag
+from repro.db.query import Aggregate, And, Eq, Func, In, Join, Or, Range, Select
+from repro.clock import ManualClock
+from repro.interval import Interval
+from tests.helpers import build_database, simple_schema
+
+
+@pytest.fixture
+def db():
+    return build_database(rows=10)
+
+
+def update_user(db, user_id, **changes):
+    """Commit a read/write transaction changing one user."""
+    tx = db.begin_rw()
+    tx.update("users", Eq("id", user_id), changes)
+    return tx.commit()
+
+
+def delete_user(db, user_id):
+    tx = db.begin_rw()
+    tx.delete("users", Eq("id", user_id))
+    return tx.commit()
+
+
+def insert_user(db, user_id, **extra):
+    tx = db.begin_rw()
+    row = {"id": user_id, "name": f"user{user_id}", "region": 0, "score": 0.0}
+    row.update(extra)
+    tx.insert("users", row)
+    return tx.commit()
+
+
+class TestBasicSelects:
+    def test_point_lookup(self, db):
+        result = db.begin_ro().query(Select("users", Eq("id", 3)))
+        assert len(result.rows) == 1
+        assert result.rows[0]["name"] == "user3"
+
+    def test_full_scan(self, db):
+        result = db.begin_ro().query(Select("users"))
+        assert len(result.rows) == 10
+
+    def test_projection(self, db):
+        result = db.begin_ro().query(Select("users", Eq("id", 1), columns=["name"]))
+        assert result.rows == [{"name": "user1"}]
+
+    def test_order_by_and_limit(self, db):
+        result = db.begin_ro().query(Select("users", order_by="id", descending=True, limit=3))
+        assert [row["id"] for row in result.rows] == [10, 9, 8]
+
+    def test_range_predicate(self, db):
+        result = db.begin_ro().query(Select("users", Range("id", 3, 5)))
+        assert sorted(row["id"] for row in result.rows) == [3, 4, 5]
+
+    def test_in_predicate(self, db):
+        result = db.begin_ro().query(Select("users", In("id", [2, 4, 6])))
+        assert sorted(row["id"] for row in result.rows) == [2, 4, 6]
+
+    def test_compound_predicate(self, db):
+        result = db.begin_ro().query(
+            Select("users", And(Range("id", 1, 6), Eq("region", 0)))
+        )
+        assert sorted(row["id"] for row in result.rows) == [3, 6]
+
+    def test_or_and_func_predicates(self, db):
+        result = db.begin_ro().query(
+            Select("users", Or(Eq("id", 1), Func(lambda r: r["id"] == 2)))
+        )
+        assert sorted(row["id"] for row in result.rows) == [1, 2]
+
+    def test_rows_are_copies(self, db):
+        result = db.begin_ro().query(Select("users", Eq("id", 1)))
+        result.rows[0]["name"] = "mutated"
+        again = db.begin_ro().query(Select("users", Eq("id", 1)))
+        assert again.rows[0]["name"] == "user1"
+
+    def test_unknown_table_raises(self, db):
+        from repro.db.errors import UnknownTableError
+
+        with pytest.raises(UnknownTableError):
+            db.begin_ro().query(Select("missing"))
+
+
+class TestAggregates:
+    def test_count(self, db):
+        assert db.begin_ro().query(Aggregate(Select("users"), "count")).scalar() == 10
+
+    def test_max_min_sum_avg(self, db):
+        ro = db.begin_ro()
+        assert ro.query(Aggregate(Select("users"), "max", "id")).scalar() == 10
+        assert ro.query(Aggregate(Select("users"), "min", "id")).scalar() == 1
+        assert ro.query(Aggregate(Select("users"), "sum", "id")).scalar() == 55
+        assert ro.query(Aggregate(Select("users"), "avg", "id")).scalar() == pytest.approx(5.5)
+
+    def test_aggregates_over_empty_input(self, db):
+        ro = db.begin_ro()
+        empty = Select("users", Eq("id", 999))
+        assert ro.query(Aggregate(empty, "count")).scalar() == 0
+        assert ro.query(Aggregate(empty, "max", "id")).scalar() is None
+        assert ro.query(Aggregate(empty, "sum", "id")).scalar() == 0
+
+    def test_invalid_aggregate_rejected(self):
+        with pytest.raises(ValueError):
+            Aggregate(Select("users"), "median", "id")
+        with pytest.raises(ValueError):
+            Aggregate(Select("users"), "max")
+
+
+class TestJoins:
+    def test_join_merges_rows(self):
+        db = Database(clock=ManualClock())
+        db.create_table(simple_schema("users"))
+        db.create_table(simple_schema("accounts"))
+        db.bulk_load("users", [{"id": 1, "name": "a", "region": 7, "score": 0.0}])
+        db.bulk_load("accounts", [{"id": 7, "name": "acct", "region": 0, "score": 9.0}])
+        result = db.begin_ro().query(
+            Join(Select("users"), "accounts", on=("region", "id"), inner_prefix="acct_")
+        )
+        assert len(result.rows) == 1
+        assert result.rows[0]["acct_score"] == 9.0
+        assert result.rows[0]["name"] == "a"
+
+    def test_join_tags_include_both_tables(self):
+        db = Database(clock=ManualClock())
+        db.create_table(simple_schema("users"))
+        db.create_table(simple_schema("accounts"))
+        db.bulk_load("users", [{"id": 1, "name": "a", "region": 7, "score": 0.0}])
+        db.bulk_load("accounts", [{"id": 7, "name": "acct", "region": 0, "score": 9.0}])
+        result = db.begin_ro().query(Join(Select("users"), "accounts", on=("region", "id")))
+        tables = {tag.table for tag in result.tags}
+        assert tables == {"users", "accounts"}
+
+
+class TestValidityIntervals:
+    def test_initial_data_is_valid_from_zero(self, db):
+        result = db.begin_ro().query(Select("users", Eq("id", 1)))
+        assert result.validity == Interval(0, None)
+        assert result.still_valid
+
+    def test_update_bounds_old_snapshot_result(self, db):
+        ts = update_user(db, 1, name="renamed")
+        old = db.begin_ro(snapshot_id=0).query(Select("users", Eq("id", 1)))
+        assert old.validity == Interval(0, ts)
+        new = db.begin_ro().query(Select("users", Eq("id", 1)))
+        assert new.validity == Interval(ts, None)
+
+    def test_unrelated_update_does_not_narrow_validity(self, db):
+        update_user(db, 5, name="other")
+        result = db.begin_ro().query(Select("users", Eq("id", 1)))
+        assert result.validity == Interval(0, None)
+
+    def test_phantom_insert_bounds_earlier_result(self, db):
+        """A row inserted later bounds the validity of an earlier empty result."""
+        ts = insert_user(db, 42)
+        result = db.begin_ro(snapshot_id=0).query(Select("users", Eq("id", 42)))
+        assert result.rows == []
+        assert result.validity == Interval(0, ts)
+
+    def test_phantom_delete_bounds_later_result(self, db):
+        """After a delete, the new (empty) result's validity starts at the delete."""
+        ts = delete_user(db, 3)
+        result = db.begin_ro().query(Select("users", Eq("id", 3)))
+        assert result.rows == []
+        assert result.validity == Interval(ts, None)
+
+    def test_scan_validity_intersects_all_matching_rows(self, db):
+        ts1 = update_user(db, 2, score=50.0)
+        ts2 = update_user(db, 4, score=60.0)
+        result = db.begin_ro().query(Select("users", Range("id", 1, 5)))
+        # The result contains rows last modified at ts1 and ts2, so it is
+        # valid only from the latest of those commits onwards.
+        assert result.validity == Interval(ts2, None)
+        assert ts1 < ts2
+
+    def test_aggregate_validity_reflects_contributing_rows(self, db):
+        ts = update_user(db, 7, score=99.0)
+        result = db.begin_ro().query(Aggregate(Select("users"), "max", "score"))
+        assert result.scalar() == 99.0
+        assert result.validity.lo == ts
+
+    def test_validity_piece_contains_query_timestamp(self, db):
+        update_user(db, 1, name="v2")
+        update_user(db, 1, name="v3")
+        for snapshot in (0, 1, 2):
+            result = db.begin_ro(snapshot_id=snapshot).query(Select("users", Eq("id", 1)))
+            assert result.validity.contains(snapshot)
+
+    def test_limit_does_not_break_validity(self, db):
+        ts = update_user(db, 9, score=1.5)
+        result = db.begin_ro().query(Select("users", order_by="id", limit=2))
+        # Conservative: validity accounts for all matching rows, including
+        # those beyond the limit, so the modified row bounds it.
+        assert result.validity.lo == ts
+
+
+class TestQueryTags:
+    def test_index_lookup_gets_precise_tag(self, db):
+        result = db.begin_ro().query(Select("users", Eq("name", "user3")))
+        assert result.tags == frozenset({InvalidationTag.key("users", "name", "user3")})
+
+    def test_seq_scan_gets_wildcard_tag(self, db):
+        result = db.begin_ro().query(Select("users", Eq("score", 3.0)))
+        assert result.tags == frozenset({InvalidationTag.wildcard("users")})
+
+    def test_range_scan_gets_wildcard_tag(self, db):
+        result = db.begin_ro().query(Select("users", Range("region", 0, 1)))
+        assert result.tags == frozenset({InvalidationTag.wildcard("users")})
+
+
+class TestValidityTrackingDisabled:
+    def test_no_tracking_returns_point_interval_and_no_tags(self):
+        db = Database(clock=ManualClock(), track_validity=False)
+        db.create_table(simple_schema())
+        db.bulk_load("users", [{"id": 1, "name": "a", "region": 0, "score": 0.0}])
+        result = db.begin_ro().query(Select("users", Eq("id", 1)))
+        assert result.validity == Interval(0, None)
+        assert result.tags == frozenset()
+
+
+class TestExecutorStats:
+    def test_stats_accumulate(self, db):
+        db.executor.stats.reset()
+        ro = db.begin_ro()
+        ro.query(Select("users", Eq("id", 1)))
+        ro.query(Select("users"))
+        assert db.executor.stats.queries == 2
+        assert db.executor.stats.index_lookups == 1
+        assert db.executor.stats.seq_scans == 1
+        assert db.executor.stats.rows_returned == 11
+
+    def test_observers_called(self, db):
+        seen = []
+        db.executor.add_observer(lambda query, result: seen.append((query, result)))
+        db.begin_ro().query(Select("users", Eq("id", 1)))
+        assert len(seen) == 1
+        db.executor.remove_observer

@@ -1,0 +1,125 @@
+"""Tests for hash and ordered indexes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.errors import ConstraintError
+from repro.db.index import HashIndex, OrderedIndex, build_index
+from repro.db.schema import IndexSpec
+from repro.db.tuples import TupleVersion
+
+
+def make_version(row_id, **values):
+    return TupleVersion(row_id=row_id, values=values, xmin=0)
+
+
+class TestHashIndex:
+    def test_lookup_finds_inserted_version(self):
+        index = HashIndex(IndexSpec("name"))
+        v = make_version(1, name="alice")
+        index.insert(v)
+        assert index.lookup("alice") == [v]
+
+    def test_lookup_missing_key_is_empty(self):
+        index = HashIndex(IndexSpec("name"))
+        assert index.lookup("nobody") == []
+
+    def test_multiple_versions_same_key(self):
+        index = HashIndex(IndexSpec("region"))
+        versions = [make_version(i, region=1) for i in range(3)]
+        for v in versions:
+            index.insert(v)
+        assert set(id(v) for v in index.lookup(1)) == set(id(v) for v in versions)
+
+    def test_remove(self):
+        index = HashIndex(IndexSpec("name"))
+        v = make_version(1, name="alice")
+        index.insert(v)
+        index.remove(v)
+        assert index.lookup("alice") == []
+
+    def test_remove_missing_is_noop(self):
+        index = HashIndex(IndexSpec("name"))
+        index.remove(make_version(1, name="ghost"))
+
+    def test_unique_index_rejects_second_current_row(self):
+        index = HashIndex(IndexSpec("id", unique=True))
+        index.insert(make_version(1, id=7))
+        with pytest.raises(ConstraintError):
+            index.insert(make_version(2, id=7))
+
+    def test_unique_index_allows_new_version_of_same_row(self):
+        index = HashIndex(IndexSpec("id", unique=True))
+        old = make_version(1, id=7)
+        index.insert(old)
+        old.xmax = 5  # superseded
+        index.insert(make_version(1, id=7))
+
+    def test_len_counts_versions(self):
+        index = HashIndex(IndexSpec("name"))
+        index.insert(make_version(1, name="a"))
+        index.insert(make_version(2, name="b"))
+        assert len(index) == 2
+
+    def test_none_key_supported(self):
+        index = HashIndex(IndexSpec("name"))
+        v = make_version(1, name=None)
+        index.insert(v)
+        assert index.lookup(None) == [v]
+
+
+class TestOrderedIndex:
+    def build(self, keys):
+        index = OrderedIndex(IndexSpec("k", ordered=True))
+        versions = [make_version(i, k=key) for i, key in enumerate(keys)]
+        for v in versions:
+            index.insert(v)
+        return index, versions
+
+    def test_range_scan_inclusive(self):
+        index, _ = self.build([5, 1, 9, 3, 7])
+        keys = [v.values["k"] for v in index.range_scan(3, 7)]
+        assert keys == [3, 5, 7]
+
+    def test_range_scan_exclusive_bounds(self):
+        index, _ = self.build([1, 2, 3, 4, 5])
+        keys = [v.values["k"] for v in index.range_scan(2, 4, lo_inclusive=False, hi_inclusive=False)]
+        assert keys == [3]
+
+    def test_range_scan_open_bounds(self):
+        index, _ = self.build([4, 2, 8])
+        assert [v.values["k"] for v in index.range_scan()] == [2, 4, 8]
+        assert [v.values["k"] for v in index.range_scan(lo=4)] == [4, 8]
+        assert [v.values["k"] for v in index.range_scan(hi=4)] == [2, 4]
+
+    def test_equality_lookup_still_works(self):
+        index, _ = self.build([4, 2, 8])
+        assert len(index.lookup(4)) == 1
+
+    def test_remove_updates_sorted_keys(self):
+        index, versions = self.build([4, 2, 8])
+        target = next(v for v in versions if v.values["k"] == 4)
+        index.remove(target)
+        assert [v.values["k"] for v in index.range_scan()] == [2, 8]
+
+    def test_duplicate_keys_in_range(self):
+        index = OrderedIndex(IndexSpec("k", ordered=True))
+        for i in range(4):
+            index.insert(make_version(i, k=5))
+        assert len(list(index.range_scan(5, 5))) == 4
+
+    def test_none_keys_sort_first(self):
+        index = OrderedIndex(IndexSpec("k", ordered=True))
+        index.insert(make_version(1, k=None))
+        index.insert(make_version(2, k=3))
+        all_keys = [v.values["k"] for v in index.range_scan()]
+        assert all_keys[0] is None
+
+
+class TestBuildIndex:
+    def test_builds_hash_for_unordered(self):
+        assert type(build_index(IndexSpec("x"))) is HashIndex
+
+    def test_builds_ordered_for_ordered(self):
+        assert type(build_index(IndexSpec("x", ordered=True))) is OrderedIndex

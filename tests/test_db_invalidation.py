@@ -1,0 +1,74 @@
+"""Tests for invalidation tags and tag collapsing."""
+
+from __future__ import annotations
+
+from repro.db.invalidation import (
+    InvalidationTag,
+    collapse_tags,
+    tags_for_modified_tuple,
+)
+
+
+class TestInvalidationTag:
+    def test_wildcard_construction(self):
+        tag = InvalidationTag.wildcard("users")
+        assert tag.is_wildcard
+        assert str(tag) == "users:?"
+
+    def test_key_construction(self):
+        tag = InvalidationTag.key("users", "name", "alice")
+        assert not tag.is_wildcard
+        assert str(tag) == "users:name='alice'"
+
+    def test_precise_tags_overlap_when_equal(self):
+        a = InvalidationTag.key("users", "id", 3)
+        assert a.overlaps(InvalidationTag.key("users", "id", 3))
+        assert not a.overlaps(InvalidationTag.key("users", "id", 4))
+        assert not a.overlaps(InvalidationTag.key("users", "name", 3))
+
+    def test_wildcard_overlaps_everything_in_table(self):
+        wildcard = InvalidationTag.wildcard("users")
+        assert wildcard.overlaps(InvalidationTag.key("users", "id", 1))
+        assert InvalidationTag.key("users", "id", 1).overlaps(wildcard)
+        assert not wildcard.overlaps(InvalidationTag.wildcard("items"))
+
+    def test_tags_are_hashable_and_deduplicate(self):
+        tags = {InvalidationTag.key("t", "c", 1), InvalidationTag.key("t", "c", 1)}
+        assert len(tags) == 1
+
+
+class TestTagsForModifiedTuple:
+    def test_one_tag_per_index(self):
+        tags = tags_for_modified_tuple("users", ["id", "name"], {"id": 1, "name": "a"})
+        assert tags == {
+            InvalidationTag.key("users", "id", 1),
+            InvalidationTag.key("users", "name", "a"),
+        }
+
+    def test_missing_column_yields_none_key(self):
+        tags = tags_for_modified_tuple("users", ["region"], {"id": 1})
+        assert tags == {InvalidationTag.key("users", "region", None)}
+
+
+class TestCollapseTags:
+    def test_small_sets_pass_through(self):
+        tags = {InvalidationTag.key("users", "id", i) for i in range(5)}
+        assert collapse_tags(tags, threshold=10) == frozenset(tags)
+
+    def test_large_sets_collapse_to_wildcard(self):
+        tags = {InvalidationTag.key("users", "id", i) for i in range(20)}
+        assert collapse_tags(tags, threshold=10) == frozenset({InvalidationTag.wildcard("users")})
+
+    def test_existing_wildcard_subsumes_precise_tags(self):
+        tags = {
+            InvalidationTag.wildcard("users"),
+            InvalidationTag.key("users", "id", 1),
+        }
+        assert collapse_tags(tags) == frozenset({InvalidationTag.wildcard("users")})
+
+    def test_tables_collapse_independently(self):
+        tags = {InvalidationTag.key("users", "id", i) for i in range(20)}
+        tags |= {InvalidationTag.key("items", "id", 1)}
+        collapsed = collapse_tags(tags, threshold=10)
+        assert InvalidationTag.wildcard("users") in collapsed
+        assert InvalidationTag.key("items", "id", 1) in collapsed

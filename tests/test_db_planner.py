@@ -1,0 +1,96 @@
+"""Tests for access-method selection and its invalidation tags."""
+
+from __future__ import annotations
+
+from repro.db.invalidation import InvalidationTag
+from repro.db.planner import IndexEqualityPath, IndexRangePath, SeqScanPath, plan_select
+from repro.db.query import And, Eq, Func, In, Not, Or, Range, Select
+from repro.db.table import Table
+from tests.helpers import simple_schema
+
+
+def table():
+    return Table(simple_schema())
+
+
+class TestPlanSelection:
+    def test_eq_on_primary_key_uses_index(self):
+        path = plan_select(Select("users", Eq("id", 3)), table())
+        assert isinstance(path, IndexEqualityPath)
+        assert path.column == "id"
+        assert path.keys == (3,)
+
+    def test_eq_on_secondary_index(self):
+        path = plan_select(Select("users", Eq("name", "bob")), table())
+        assert isinstance(path, IndexEqualityPath)
+        assert path.column == "name"
+
+    def test_eq_on_unindexed_column_seq_scans(self):
+        path = plan_select(Select("users", Eq("score", 1.0)), table())
+        assert isinstance(path, SeqScanPath)
+
+    def test_in_on_indexed_column(self):
+        path = plan_select(Select("users", In("id", [1, 2, 3])), table())
+        assert isinstance(path, IndexEqualityPath)
+        assert path.keys == (1, 2, 3)
+
+    def test_range_on_ordered_index(self):
+        path = plan_select(Select("users", Range("region", 1, 2)), table())
+        assert isinstance(path, IndexRangePath)
+        assert (path.lo, path.hi) == (1, 2)
+
+    def test_range_on_hash_index_seq_scans(self):
+        path = plan_select(Select("users", Range("name", "a", "b")), table())
+        assert isinstance(path, SeqScanPath)
+
+    def test_conjunction_prefers_equality(self):
+        predicate = And(Range("region", 0, 2), Eq("id", 5))
+        path = plan_select(Select("users", predicate), table())
+        assert isinstance(path, IndexEqualityPath)
+
+    def test_conjunction_falls_back_to_range(self):
+        predicate = And(Range("region", 0, 2), Eq("score", 1.0))
+        path = plan_select(Select("users", predicate), table())
+        assert isinstance(path, IndexRangePath)
+
+    def test_or_uses_seq_scan(self):
+        path = plan_select(Select("users", Or(Eq("id", 1), Eq("id", 2))), table())
+        assert isinstance(path, SeqScanPath)
+
+    def test_not_uses_seq_scan(self):
+        path = plan_select(Select("users", Not(Eq("id", 1))), table())
+        assert isinstance(path, SeqScanPath)
+
+    def test_func_uses_seq_scan(self):
+        path = plan_select(Select("users", Func(lambda row: True)), table())
+        assert isinstance(path, SeqScanPath)
+
+    def test_no_predicate_uses_seq_scan(self):
+        path = plan_select(Select("users"), table())
+        assert isinstance(path, SeqScanPath)
+
+
+class TestPlanTags:
+    def test_equality_path_has_precise_tags(self):
+        path = plan_select(Select("users", Eq("name", "alice")), table())
+        assert path.tags() == frozenset({InvalidationTag.key("users", "name", "alice")})
+
+    def test_in_path_has_one_tag_per_key(self):
+        path = plan_select(Select("users", In("id", [1, 2])), table())
+        assert path.tags() == frozenset(
+            {InvalidationTag.key("users", "id", 1), InvalidationTag.key("users", "id", 2)}
+        )
+
+    def test_range_path_has_wildcard_tag(self):
+        path = plan_select(Select("users", Range("region", 0, 5)), table())
+        assert path.tags() == frozenset({InvalidationTag.wildcard("users")})
+
+    def test_seq_scan_has_wildcard_tag(self):
+        path = plan_select(Select("users"), table())
+        assert path.tags() == frozenset({InvalidationTag.wildcard("users")})
+
+    def test_kind_labels(self):
+        t = table()
+        assert plan_select(Select("users", Eq("id", 1)), t).kind == "index_eq"
+        assert plan_select(Select("users", Range("region", 0, 1)), t).kind == "index_range"
+        assert plan_select(Select("users"), t).kind == "seq_scan"

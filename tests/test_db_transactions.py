@@ -1,0 +1,235 @@
+"""Tests for read/write and read-only transactions (snapshot isolation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comm.multicast import InvalidationBus
+from repro.db.database import Database
+from repro.db.errors import SerializationError, TransactionStateError
+from repro.db.invalidation import InvalidationTag
+from repro.db.query import Eq, Select
+from repro.clock import ManualClock
+from tests.helpers import build_database, simple_schema
+
+
+@pytest.fixture
+def db():
+    return build_database(rows=5)
+
+
+class TestReadWriteBasics:
+    def test_insert_visible_after_commit(self, db):
+        tx = db.begin_rw()
+        tx.insert("users", {"id": 99, "name": "new", "region": 0, "score": 0.0})
+        tx.commit()
+        assert len(db.begin_ro().query(Select("users", Eq("id", 99))).rows) == 1
+
+    def test_insert_invisible_before_commit(self, db):
+        tx = db.begin_rw()
+        tx.insert("users", {"id": 99, "name": "new", "region": 0, "score": 0.0})
+        assert db.begin_ro().query(Select("users", Eq("id", 99))).rows == []
+        tx.commit()
+
+    def test_transaction_sees_its_own_insert(self, db):
+        tx = db.begin_rw()
+        tx.insert("users", {"id": 99, "name": "new", "region": 0, "score": 0.0})
+        assert len(tx.query(Select("users", Eq("id", 99))).rows) == 1
+
+    def test_update_changes_value(self, db):
+        tx = db.begin_rw()
+        count = tx.update("users", Eq("id", 2), {"name": "renamed"})
+        tx.commit()
+        assert count == 1
+        assert db.begin_ro().query(Select("users", Eq("id", 2))).rows[0]["name"] == "renamed"
+
+    def test_transaction_sees_its_own_update(self, db):
+        tx = db.begin_rw()
+        tx.update("users", Eq("id", 2), {"name": "renamed"})
+        assert tx.query(Select("users", Eq("id", 2))).rows[0]["name"] == "renamed"
+
+    def test_delete_removes_row(self, db):
+        tx = db.begin_rw()
+        count = tx.delete("users", Eq("id", 3))
+        tx.commit()
+        assert count == 1
+        assert db.begin_ro().query(Select("users", Eq("id", 3))).rows == []
+
+    def test_transaction_does_not_see_its_own_delete(self, db):
+        tx = db.begin_rw()
+        tx.delete("users", Eq("id", 3))
+        assert tx.query(Select("users", Eq("id", 3))).rows == []
+
+    def test_commit_returns_increasing_timestamps(self, db):
+        first = db.begin_rw()
+        first.update("users", Eq("id", 1), {"score": 1.0})
+        first_ts = first.commit()
+        second = db.begin_rw()
+        second.update("users", Eq("id", 2), {"score": 2.0})
+        assert second.commit() > first_ts
+
+    def test_empty_commit_consumes_no_timestamp(self, db):
+        before = db.latest_timestamp
+        tx = db.begin_rw()
+        tx.query(Select("users", Eq("id", 1)))
+        assert tx.commit() == before
+        assert db.latest_timestamp == before
+
+    def test_operations_after_commit_rejected(self, db):
+        tx = db.begin_rw()
+        tx.commit()
+        with pytest.raises(TransactionStateError):
+            tx.insert("users", {"id": 100, "name": "x", "region": 0, "score": 0.0})
+        with pytest.raises(TransactionStateError):
+            tx.commit()
+
+
+class TestAbort:
+    def test_aborted_insert_disappears(self, db):
+        tx = db.begin_rw()
+        tx.insert("users", {"id": 99, "name": "new", "region": 0, "score": 0.0})
+        tx.abort()
+        assert db.begin_ro().query(Select("users", Eq("id", 99))).rows == []
+        # The provisional version is physically removed, not just hidden.
+        assert db.table("users").index_on("id").lookup(99) == []
+
+    def test_aborted_update_restores_old_version(self, db):
+        tx = db.begin_rw()
+        tx.update("users", Eq("id", 2), {"name": "renamed"})
+        tx.abort()
+        row = db.begin_ro().query(Select("users", Eq("id", 2))).rows[0]
+        assert row["name"] == "user2"
+        # And the row can be updated again afterwards.
+        tx2 = db.begin_rw()
+        assert tx2.update("users", Eq("id", 2), {"name": "second"}) == 1
+        tx2.commit()
+
+    def test_aborted_delete_restores_row(self, db):
+        tx = db.begin_rw()
+        tx.delete("users", Eq("id", 2))
+        tx.abort()
+        assert len(db.begin_ro().query(Select("users", Eq("id", 2))).rows) == 1
+
+    def test_abort_counted(self, db):
+        before = db.stats.aborts
+        tx = db.begin_rw()
+        tx.abort()
+        assert db.stats.aborts == before + 1
+
+
+class TestSnapshotIsolation:
+    def test_reader_does_not_see_concurrent_uncommitted_write(self, db):
+        reader = db.begin_ro()
+        writer = db.begin_rw()
+        writer.update("users", Eq("id", 1), {"name": "changed"})
+        assert reader.query(Select("users", Eq("id", 1))).rows[0]["name"] == "user1"
+        writer.commit()
+        # Snapshot taken at BEGIN: still the old value.
+        assert reader.query(Select("users", Eq("id", 1))).rows[0]["name"] == "user1"
+
+    def test_new_reader_sees_committed_write(self, db):
+        writer = db.begin_rw()
+        writer.update("users", Eq("id", 1), {"name": "changed"})
+        writer.commit()
+        assert db.begin_ro().query(Select("users", Eq("id", 1))).rows[0]["name"] == "changed"
+
+    def test_write_write_conflict_detected(self, db):
+        first = db.begin_rw()
+        second = db.begin_rw()
+        first.update("users", Eq("id", 1), {"score": 10.0})
+        with pytest.raises(SerializationError):
+            second.update("users", Eq("id", 1), {"score": 20.0})
+
+    def test_conflict_with_committed_writer_detected(self, db):
+        early = db.begin_rw()  # snapshot before the other writer commits
+        other = db.begin_rw()
+        other.update("users", Eq("id", 1), {"score": 10.0})
+        other.commit()
+        with pytest.raises(SerializationError):
+            early.update("users", Eq("id", 1), {"score": 20.0})
+
+    def test_non_conflicting_writers_both_commit(self, db):
+        first = db.begin_rw()
+        second = db.begin_rw()
+        first.update("users", Eq("id", 1), {"score": 10.0})
+        second.update("users", Eq("id", 2), {"score": 20.0})
+        first.commit()
+        second.commit()
+
+
+class TestCommitInvalidations:
+    def build(self):
+        bus = InvalidationBus()
+        received = []
+
+        class Collector:
+            def process_invalidation(self, message):
+                received.append(message)
+
+        bus.subscribe(Collector())
+        db = Database(clock=ManualClock(), invalidation_bus=bus)
+        db.create_table(simple_schema())
+        db.bulk_load(
+            "users",
+            [{"id": i, "name": f"user{i}", "region": i % 2, "score": 0.0} for i in range(1, 4)],
+        )
+        return db, received
+
+    def test_update_publishes_tags_for_old_and_new_values(self):
+        db, received = self.build()
+        tx = db.begin_rw()
+        tx.update("users", Eq("id", 1), {"name": "renamed"})
+        ts = tx.commit()
+        assert len(received) == 1
+        message = received[0]
+        assert message.timestamp == ts
+        tags = set(message.tags)
+        assert InvalidationTag.key("users", "name", "user1") in tags
+        assert InvalidationTag.key("users", "name", "renamed") in tags
+        assert InvalidationTag.key("users", "id", 1) in tags
+
+    def test_insert_publishes_tags_for_each_index(self):
+        db, received = self.build()
+        tx = db.begin_rw()
+        tx.insert("users", {"id": 50, "name": "n", "region": 1, "score": 0.0})
+        tx.commit()
+        tags = set(received[0].tags)
+        assert InvalidationTag.key("users", "id", 50) in tags
+        assert InvalidationTag.key("users", "name", "n") in tags
+        assert InvalidationTag.key("users", "region", 1) in tags
+
+    def test_readonly_rw_commit_publishes_nothing(self):
+        db, received = self.build()
+        tx = db.begin_rw()
+        tx.query(Select("users", Eq("id", 1)))
+        tx.commit()
+        assert received == []
+
+    def test_bulk_update_collapses_to_wildcard(self):
+        db, received = self.build()
+        db.bulk_load(
+            "users",
+            [{"id": i, "name": f"bulk{i}", "region": 0, "score": 0.0} for i in range(100, 200)],
+        )
+        tx = db.begin_rw()
+        tx.update("users", Eq("region", 0), {"score": 5.0})
+        tx.commit()
+        tags = set(received[-1].tags)
+        assert InvalidationTag.wildcard("users") in tags
+
+
+class TestReadOnlyTransaction:
+    def test_commit_returns_snapshot_timestamp(self, db):
+        ro = db.begin_ro()
+        assert ro.commit() == db.latest_timestamp
+
+    def test_query_after_finish_rejected(self, db):
+        ro = db.begin_ro()
+        ro.commit()
+        with pytest.raises(TransactionStateError):
+            ro.query(Select("users"))
+
+    def test_abort_allowed(self, db):
+        ro = db.begin_ro()
+        ro.abort()
+        assert not ro.active

@@ -1,0 +1,296 @@
+"""Integration tests across the whole stack.
+
+These exercise scenarios the paper calls out explicitly:
+
+* the insert/invalidate race (section 4.2), using deferred invalidation
+  delivery;
+* transactional consistency under concurrent-style update streams — no
+  read-only transaction ever observes a state that violates a cross-row
+  invariant maintained by every write;
+* multiple application servers (clients) sharing one cache;
+* a MediaWiki-flavoured usage pattern (immutable revisions + mutable user
+  state), mirroring section 7.2.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.api import ConsistencyMode
+from repro.db.query import Eq, Select
+from repro.db.schema import TableSchema
+from repro.deployment import TxCacheDeployment
+from tests.helpers import simple_schema
+
+
+def build_bank_deployment(accounts: int = 8, **kwargs) -> TxCacheDeployment:
+    """A deployment with a toy bank schema maintaining a global invariant.
+
+    Every transfer moves money between two accounts, so the total balance is
+    constant; any transaction observing a different total has seen an
+    inconsistent mix of old and new state.
+    """
+    deployment = TxCacheDeployment(**kwargs)
+    deployment.database.create_table(
+        TableSchema.build("accounts", ["id", "balance"], primary_key="id")
+    )
+    deployment.database.bulk_load(
+        "accounts", [{"id": i, "balance": 100} for i in range(accounts)]
+    )
+    return deployment
+
+
+def transfer(deployment: TxCacheDeployment, source: int, target: int, amount: int) -> None:
+    transaction = deployment.database.begin_rw()
+    rows = transaction.query(Select("accounts", Eq("id", source))).rows
+    transaction.update("accounts", Eq("id", source), {"balance": rows[0]["balance"] - amount})
+    rows = transaction.query(Select("accounts", Eq("id", target))).rows
+    transaction.update("accounts", Eq("id", target), {"balance": rows[0]["balance"] + amount})
+    transaction.commit()
+    deployment.advance(0.05)
+
+
+class TestConsistencyInvariant:
+    @pytest.mark.parametrize("mode", [ConsistencyMode.CONSISTENT])
+    def test_total_balance_invariant_preserved(self, mode):
+        """Interleave transfers with read-only transactions that read some
+        accounts through cacheable functions and the rest directly from the
+        database: the observed total must always be exactly the initial total."""
+        accounts = 8
+        deployment = build_bank_deployment(accounts=accounts, mode=mode)
+        client = deployment.client(mode=mode)
+
+        @client.cacheable(name="get_balance")
+        def get_balance(account_id):
+            return client.query(Select("accounts", Eq("id", account_id))).rows[0]["balance"]
+
+        rng = random.Random(5)
+        expected_total = accounts * 100
+        for round_number in range(60):
+            transfer(
+                deployment,
+                rng.randrange(accounts),
+                rng.randrange(accounts),
+                rng.randint(1, 25),
+            )
+            with client.read_only(staleness=rng.choice([0, 5, 30])):
+                cached_part = rng.randrange(accounts)
+                total = 0
+                for account in range(accounts):
+                    if account <= cached_part:
+                        total += get_balance(account)
+                    else:
+                        total += client.query(
+                            Select("accounts", Eq("id", account))
+                        ).rows[0]["balance"]
+            assert total == expected_total, f"inconsistent snapshot on round {round_number}"
+
+    def test_no_consistency_mode_can_violate_the_invariant(self):
+        """The same scenario without TxCache's guarantee eventually observes
+        a broken invariant, demonstrating why the guarantee matters."""
+        accounts = 4
+        deployment = build_bank_deployment(accounts=accounts, mode=ConsistencyMode.NO_CONSISTENCY)
+        client = deployment.client(mode=ConsistencyMode.NO_CONSISTENCY)
+
+        @client.cacheable(name="get_balance")
+        def get_balance(account_id):
+            return client.query(Select("accounts", Eq("id", account_id))).rows[0]["balance"]
+
+        # Cache every balance at the initial state.
+        with client.read_only():
+            for account in range(accounts):
+                get_balance(account)
+
+        violations = 0
+        rng = random.Random(11)
+        for _ in range(40):
+            transfer(deployment, rng.randrange(accounts), rng.randrange(accounts), 10)
+            with client.read_only(staleness=30):
+                total = 0
+                for account in range(accounts):
+                    if account % 2 == 0:
+                        total += get_balance(account)  # possibly stale cache
+                    else:
+                        total += client.query(
+                            Select("accounts", Eq("id", account))
+                        ).rows[0]["balance"]  # latest state
+            if total != accounts * 100:
+                violations += 1
+        assert violations > 0
+
+
+class TestInvalidationRace:
+    def test_insert_after_delayed_invalidation_does_not_go_stale_forever(self):
+        """Reproduce the race of section 4.2: a read computes a value, an
+        update invalidates it, and the value is inserted into the cache only
+        after the invalidation has been processed.  Ordering by commit
+        timestamps means the entry is truncated on insert and later
+        transactions are not stuck with it."""
+        deployment, client = _simple_deployment()
+
+        @client.cacheable(name="get_user")
+        def get_user(user_id):
+            return client.query(Select("users", Eq("id", user_id))).rows[0]
+
+        # Read the value inside a transaction, but "delay" its insertion by
+        # doing the update + invalidation in between: simulate by directly
+        # computing the value first, then committing an update, then letting
+        # the original transaction finish (which performs the PUT).
+        client.begin_ro()
+        value = get_user_compute_only(client, 1)
+
+        transaction = deployment.database.begin_rw()
+        transaction.update("users", Eq("id", 1), {"name": "newer"})
+        transaction.commit()
+        deployment.advance(0.1)
+
+        # Now the slow reader finally stores its (stale) value.
+        stale_interval = deployment.database.begin_ro(snapshot_id=0).query(
+            Select("users", Eq("id", 1))
+        )
+        deployment.cache.put("get_user:manual", value, stale_interval.validity, stale_interval.tags)
+        client.abort()
+
+        # The stored entry must not claim to be still valid.
+        server = deployment.cache.server_for("get_user:manual")
+        entry = server.versions_of("get_user:manual")[0]
+        assert not entry.still_valid
+
+    def test_deferred_invalidation_stream_keeps_lookups_safe(self):
+        """With delivery deferred, still-valid entries are only trusted up to
+        the last processed invalidation, so a transaction that needs newer
+        data goes to the database instead of reading a possibly-stale entry."""
+        deployment, client = _simple_deployment()
+        bus = deployment.invalidation_bus
+        bus.set_synchronous(False)
+
+        @client.cacheable(name="get_user")
+        def get_user(user_id):
+            return client.query(Select("users", Eq("id", user_id))).rows[0]
+
+        with client.read_only():
+            assert get_user(1)["name"] == "user1"
+
+        transaction = deployment.database.begin_rw()
+        transaction.update("users", Eq("id", 1), {"name": "updated"})
+        transaction.commit()
+        deployment.advance(0.2)
+
+        # Invalidation not yet delivered: a freshness-demanding transaction
+        # must still see the new value (it cannot trust the cached entry
+        # beyond the last invalidation it has processed).
+        with client.read_only(staleness=0):
+            assert get_user(1)["name"] == "updated"
+
+        bus.deliver_pending()
+        with client.read_only(staleness=0):
+            assert get_user(1)["name"] == "updated"
+
+
+class TestMultipleApplicationServers:
+    def test_invalidation_visible_to_all_clients(self):
+        deployment, first = _simple_deployment()
+        second = deployment.client()
+
+        @first.cacheable(name="get_user")
+        def get_user_first(user_id):
+            return first.query(Select("users", Eq("id", user_id))).rows[0]
+
+        @second.cacheable(name="get_user")
+        def get_user_second(user_id):
+            return second.query(Select("users", Eq("id", user_id))).rows[0]
+
+        with first.read_only():
+            assert get_user_first(2)["name"] == "user2"
+
+        with second.read_write():
+            second.update("users", Eq("id", 2), {"name": "from-second"})
+        deployment.advance(0.1)
+
+        with first.read_only(staleness=0):
+            assert get_user_first(2)["name"] == "from-second"
+        # And the other client shares the (re)cached value.
+        with second.read_only(staleness=0):
+            assert get_user_second(2)["name"] == "from-second"
+
+
+class TestWikiStyleWorkload:
+    def test_immutable_revisions_and_mutable_user_state(self):
+        """MediaWiki-style usage (section 7.2): article revisions are
+        immutable (cache entries stay valid forever) while user objects
+        change (entries get invalidated); the user's edit count must be
+        consistent with the revisions visible in the same transaction."""
+        deployment = TxCacheDeployment()
+        database = deployment.database
+        database.create_table(
+            TableSchema.build(
+                "revisions", ["id", "page", "text", "author"], primary_key="id", indexes=["page"]
+            )
+        )
+        database.create_table(
+            TableSchema.build("wiki_users", ["id", "name", "edit_count"], primary_key="id")
+        )
+        database.bulk_load("wiki_users", [{"id": 1, "name": "alice", "edit_count": 0}])
+        client = deployment.client()
+
+        @client.cacheable(name="get_revision")
+        def get_revision(revision_id):
+            rows = client.query(Select("revisions", Eq("id", revision_id))).rows
+            return rows[0] if rows else None
+
+        @client.cacheable(name="page_revision_count")
+        def page_revision_count(page):
+            return len(client.query(Select("revisions", Eq("page", page))).rows)
+
+        @client.cacheable(name="get_wiki_user")
+        def get_wiki_user(user_id):
+            return client.query(Select("wiki_users", Eq("id", user_id))).rows[0]
+
+        def edit_page(revision_id, page, text):
+            with client.read_write():
+                client.insert(
+                    "revisions", {"id": revision_id, "page": page, "text": text, "author": 1}
+                )
+                user = client.query(Select("wiki_users", Eq("id", 1))).rows[0]
+                client.update("wiki_users", Eq("id", 1), {"edit_count": user["edit_count"] + 1})
+            deployment.advance(0.1)
+
+        for revision in range(1, 6):
+            edit_page(revision, "Main_Page", f"revision {revision}")
+            with client.read_only(staleness=0):
+                count = page_revision_count("Main_Page")
+                user = get_wiki_user(1)
+                revision_text = get_revision(revision)["text"]
+            # The edit count the user object reports always matches the number
+            # of revisions visible at the same snapshot.
+            assert count == user["edit_count"] == revision
+            assert revision_text == f"revision {revision}"
+
+        # Old revisions are immutable: their cached entries are still valid
+        # and keep hitting without invalidation traffic.
+        with client.read_only():
+            assert get_revision(1)["text"] == "revision 1"
+        hits_before = client.stats.hits
+        with client.read_only():
+            get_revision(1)
+        assert client.stats.hits == hits_before + 1
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def _simple_deployment():
+    deployment = TxCacheDeployment()
+    deployment.database.create_table(simple_schema())
+    deployment.database.bulk_load(
+        "users",
+        [{"id": i, "name": f"user{i}", "region": 0, "score": float(i)} for i in range(1, 6)],
+    )
+    return deployment, deployment.client()
+
+
+def get_user_compute_only(client, user_id):
+    """Run the query for a user without storing anything in the cache."""
+    return client.query(Select("users", Eq("id", user_id))).rows[0]

@@ -1,0 +1,107 @@
+"""Tests for the pincushion (pinned-snapshot registry)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import ManualClock
+from repro.pincushion.pincushion import Pincushion
+
+
+@pytest.fixture
+def clock():
+    return ManualClock()
+
+
+@pytest.fixture
+def pincushion(clock):
+    return Pincushion(clock=clock, expiry_seconds=60.0)
+
+
+class TestRegistration:
+    def test_register_and_query(self, pincushion):
+        pincushion.register(5, wallclock=0.0)
+        assert pincushion.pinned_ids == [5]
+        assert pincushion.snapshot(5).wallclock == 0.0
+
+    def test_register_same_snapshot_twice_bumps_usage(self, pincushion):
+        pincushion.register(5, wallclock=0.0)
+        pincushion.register(5, wallclock=0.0)
+        assert len(pincushion) == 1
+        assert pincushion.snapshot(5).in_use == 2
+
+    def test_register_without_use(self, pincushion):
+        pincushion.register(5, wallclock=0.0, in_use=False)
+        assert pincushion.snapshot(5).in_use == 0
+
+
+class TestFreshness:
+    def test_fresh_snapshots_filters_by_staleness(self, pincushion, clock):
+        pincushion.register(1, wallclock=0.0, in_use=False)
+        clock.advance(100.0)
+        pincushion.register(2, wallclock=95.0, in_use=False)
+        fresh = pincushion.fresh_snapshots(staleness=30.0, mark_in_use=False)
+        assert [s.snapshot_id for s in fresh] == [2]
+
+    def test_fresh_snapshots_sorted_ascending(self, pincushion):
+        pincushion.register(9, wallclock=0.0, in_use=False)
+        pincushion.register(3, wallclock=0.0, in_use=False)
+        fresh = pincushion.fresh_snapshots(staleness=30.0, mark_in_use=False)
+        assert [s.snapshot_id for s in fresh] == [3, 9]
+
+    def test_fresh_snapshots_marks_in_use(self, pincushion):
+        pincushion.register(1, wallclock=0.0, in_use=False)
+        pincushion.fresh_snapshots(staleness=30.0)
+        assert pincushion.snapshot(1).in_use == 1
+
+    def test_release_balances_in_use(self, pincushion):
+        pincushion.register(1, wallclock=0.0, in_use=False)
+        fresh = pincushion.fresh_snapshots(staleness=30.0)
+        pincushion.release([s.snapshot_id for s in fresh])
+        assert pincushion.snapshot(1).in_use == 0
+
+    def test_release_never_goes_negative(self, pincushion):
+        pincushion.register(1, wallclock=0.0, in_use=False)
+        pincushion.release([1])
+        assert pincushion.snapshot(1).in_use == 0
+
+
+class TestExpiry:
+    def test_old_unused_snapshots_expire(self, pincushion, clock):
+        unpinned = []
+        pincushion._unpin_callback = unpinned.append
+        pincushion.register(1, wallclock=0.0, in_use=False)
+        clock.advance(120.0)
+        expired = pincushion.expire_old_snapshots()
+        assert expired == [1]
+        assert unpinned == [1]
+        assert len(pincushion) == 0
+
+    def test_in_use_snapshots_never_expire(self, pincushion, clock):
+        pincushion.register(1, wallclock=0.0)  # in use
+        clock.advance(1000.0)
+        assert pincushion.expire_old_snapshots() == []
+        assert len(pincushion) == 1
+
+    def test_recent_snapshots_not_expired(self, pincushion, clock):
+        pincushion.register(1, wallclock=0.0, in_use=False)
+        clock.advance(10.0)
+        assert pincushion.expire_old_snapshots() == []
+
+    def test_custom_threshold(self, pincushion, clock):
+        pincushion.register(1, wallclock=0.0, in_use=False)
+        clock.advance(10.0)
+        assert pincushion.expire_old_snapshots(older_than=5.0) == [1]
+
+
+class TestStats:
+    def test_counters(self, pincushion, clock):
+        pincushion.register(1, wallclock=0.0, in_use=False)
+        pincushion.fresh_snapshots(staleness=30.0)
+        pincushion.release([1])
+        clock.advance(500.0)
+        pincushion.expire_old_snapshots()
+        assert pincushion.stats.registrations == 1
+        assert pincushion.stats.fresh_requests == 1
+        assert pincushion.stats.releases == 1
+        assert pincushion.stats.expirations == 1

@@ -1,0 +1,107 @@
+"""Tests for the RUBiS client emulator and workload mixes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.rubis.app import RubisApp
+from repro.apps.rubis.datagen import IN_MEMORY_CONFIG, populate_database
+from repro.apps.rubis.schema import create_rubis_schema
+from repro.apps.rubis.workload import (
+    BIDDING_MIX,
+    BROWSING_MIX,
+    INTERACTION_NAMES,
+    INTERACTIONS,
+    RubisClientSession,
+)
+from repro.deployment import TxCacheDeployment
+
+
+@pytest.fixture(scope="module")
+def session_setup():
+    deployment = TxCacheDeployment(cache_capacity_bytes_per_node=4 * 1024 * 1024)
+    create_rubis_schema(deployment.database)
+    dataset = populate_database(deployment.database, IN_MEMORY_CONFIG.scaled(800), seed=3)
+    app = RubisApp(deployment.client(), dataset)
+    return deployment, app
+
+
+class TestWorkloadDefinition:
+    def test_twenty_six_interactions_defined(self):
+        assert len(INTERACTION_NAMES) == 26
+
+    def test_five_read_write_interactions(self):
+        writes = [name for name, i in INTERACTIONS.items() if not i.read_only]
+        assert sorted(writes) == [
+            "register_item",
+            "register_user",
+            "store_bid",
+            "store_buy_now",
+            "store_comment",
+        ]
+
+    def test_transition_probabilities_sum_to_one(self):
+        for state, choices in BIDDING_MIX.transitions.items():
+            assert sum(p for _name, p in choices) == pytest.approx(1.0), state
+
+    def test_transition_targets_are_known_interactions(self):
+        for choices in BIDDING_MIX.transitions.values():
+            for name, _p in choices:
+                assert name in INTERACTIONS
+
+    def test_every_interaction_reachable(self):
+        reachable = set()
+        for choices in BIDDING_MIX.transitions.values():
+            reachable.update(name for name, _p in choices)
+        assert reachable == set(INTERACTION_NAMES) - {BIDDING_MIX.initial_state} | {"home"}
+
+    def test_bidding_mix_is_roughly_fifteen_percent_writes(self):
+        fraction = BIDDING_MIX.read_write_fraction(steps=30_000)
+        assert 0.10 <= fraction <= 0.20
+
+    def test_browsing_mix_has_no_writes(self):
+        assert BROWSING_MIX.read_write_fraction(steps=5_000) == 0.0
+
+
+class TestClientSession:
+    def test_session_runs_every_interaction_without_error(self, session_setup):
+        _deployment, app = session_setup
+        session = RubisClientSession(app, BIDDING_MIX, seed=1, staleness=30)
+        for name in INTERACTION_NAMES:
+            session.execute(name)
+        assert sum(session.interactions_run.values()) == len(INTERACTION_NAMES)
+        assert session.read_write_count == 5
+
+    def test_markov_walk_executes_transactions(self, session_setup):
+        deployment, app = session_setup
+        session = RubisClientSession(
+            app, BIDDING_MIX, seed=2, staleness=30, now_fn=deployment.clock.now
+        )
+        for _ in range(80):
+            session.step()
+            deployment.advance(0.05)
+        assert sum(session.interactions_run.values()) == 80
+        assert session.read_only_count > session.read_write_count
+
+    def test_think_time_positive(self, session_setup):
+        _deployment, app = session_setup
+        session = RubisClientSession(app, BIDDING_MIX, seed=3)
+        samples = [session.think_time() for _ in range(200)]
+        assert all(s >= 0 for s in samples)
+        assert sum(samples) / len(samples) == pytest.approx(7.0, rel=0.5)
+
+    def test_sessions_with_same_seed_follow_same_path(self, session_setup):
+        _deployment, app = session_setup
+        a = RubisClientSession(app, BIDDING_MIX, seed=9)
+        b = RubisClientSession(app, BIDDING_MIX, seed=9)
+        path_a = [a.step() for _ in range(15)]
+        path_b = [b.step() for _ in range(15)]
+        assert path_a == path_b
+
+    def test_item_locality(self, session_setup):
+        _deployment, app = session_setup
+        session = RubisClientSession(app, BIDDING_MIX, seed=4)
+        picks = [session.pick_item() for _ in range(300)]
+        hot_cutoff = max(1, len(app.dataset.active_item_ids) // 10)
+        hot = sum(1 for p in picks if p in set(app.dataset.active_item_ids[:hot_cutoff]))
+        assert hot > len(picks) * 0.4
