@@ -1,0 +1,135 @@
+"""Transport overhead: in-process calls vs real networked cache servers.
+
+Two claims are checked here:
+
+* **Simulated results are transport-invariant.**  The benchmark figures are
+  derived from the cost model over *what happened* (queries, hits, misses),
+  not from Python wall-clock time, so running the same configuration with
+  ``transport="socket"`` must reproduce the in-process throughput and hit
+  rate exactly.  This is what guarantees the transport refactor cannot
+  regress the Figure 5 results (which run in-process with zero RPC cost).
+* **Real overhead is visible and batching pays.**  A microbenchmark reports
+  the wall-clock cost of cache operations over TCP relative to in-process
+  calls, and that a batched ``multi_lookup`` round trip amortizes it.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.apps.rubis.datagen import IN_MEMORY_CONFIG
+from repro.bench.costmodel import CostParameters
+from repro.bench.driver import BenchmarkConfig, run_benchmark
+from repro.cache.cluster import CacheCluster
+from repro.cache.entry import LookupRequest
+from repro.clock import ManualClock
+from repro.interval import Interval
+
+#: A deliberately small configuration: the socket run replays every cache
+#: operation as a real RPC, so this keeps the benchmark in seconds.
+def _config(transport: str, rpc_cost_seconds: float = 0.0) -> BenchmarkConfig:
+    return BenchmarkConfig(
+        database_config=IN_MEMORY_CONFIG,
+        cache_size_bytes=512 * 1024,
+        scale=400,
+        sessions=8,
+        warmup_interactions=200,
+        measure_interactions=400,
+        transport=transport,
+        cost_parameters=CostParameters(rpc_cost_seconds=rpc_cost_seconds),
+        label=f"transport-{transport}",
+        seed=3,
+    )
+
+
+def test_socket_transport_reproduces_in_process_results(benchmark):
+    """Same workload, same figures, whichever transport serves the cache."""
+
+    def run_pair():
+        return run_benchmark(_config("inprocess")), run_benchmark(_config("socket"))
+
+    inprocess, socket_result = run_once(benchmark, run_pair)
+    print(
+        f"\nin-process: {inprocess.summary()}"
+        f"\nsocket:     {socket_result.summary()}"
+    )
+    assert socket_result.peak_throughput == pytest.approx(inprocess.peak_throughput)
+    assert socket_result.hit_rate == pytest.approx(inprocess.hit_rate)
+    assert socket_result.miss_counts == inprocess.miss_counts
+    assert socket_result.bottleneck == inprocess.bottleneck
+
+
+def test_rpc_cost_model_charges_batched_round_trips_once(benchmark):
+    """A nonzero rpc_cost_seconds lowers throughput; batching bounds the hit.
+
+    Every cacheable call issues at most two round trips (one batched
+    lookup+probe, one put on a miss), so the throughput penalty of pricing
+    RPCs stays well below what per-key charging would produce."""
+
+    def run_pair():
+        return (
+            run_benchmark(_config("inprocess")),
+            run_benchmark(_config("inprocess", rpc_cost_seconds=2e-3)),
+        )
+
+    free, priced = run_once(benchmark, run_pair)
+    print(
+        f"\nrpc cost 0:    {free.summary()}"
+        f"\nrpc cost 2ms:  {priced.summary()}"
+    )
+    # Pricing RPCs makes the web tier (which blocks on them) the bottleneck
+    # and costs throughput...
+    assert priced.peak_throughput < free.peak_throughput
+    assert priced.bottleneck == "web"
+    # ...but the same workload executed (only the charge differs), and
+    # batching keeps the penalty bounded: at most two round trips per
+    # cacheable call, not one per key examined.
+    assert priced.hit_rate == pytest.approx(free.hit_rate)
+    assert priced.peak_throughput > free.peak_throughput * 0.2
+
+
+def test_wire_overhead_microbenchmark(benchmark):
+    """Report the per-op wall cost of TCP framing vs direct calls."""
+    OPS = 2000
+
+    def timed_trace(kind: str):
+        cluster = CacheCluster(
+            node_count=2, capacity_bytes_per_node=4 * 1024 * 1024,
+            clock=ManualClock(), transport=kind,
+        )
+        try:
+            start = time.perf_counter()
+            for i in range(OPS):
+                cluster.put(f"key-{i % 500}", {"i": i}, Interval(0, i + 1))
+            for i in range(OPS):
+                cluster.lookup(f"key-{i % 500}", 0, i)
+            singles = time.perf_counter() - start
+            start = time.perf_counter()
+            for i in range(0, OPS, 10):
+                cluster.multi_lookup(
+                    [LookupRequest(f"key-{(i + j) % 500}", 0, i) for j in range(10)]
+                )
+            batched = time.perf_counter() - start
+            return singles, batched
+        finally:
+            cluster.close()
+
+    def run_both():
+        return timed_trace("inprocess"), timed_trace("socket")
+
+    (in_singles, in_batched), (sock_singles, sock_batched) = run_once(benchmark, run_both)
+    per_op_overhead = (sock_singles - in_singles) / (2 * OPS)
+    print(
+        f"\nin-process:  {2 * OPS} ops in {in_singles * 1e3:7.1f} ms, "
+        f"{OPS // 10} batched lookups in {in_batched * 1e3:7.1f} ms"
+        f"\nsocket:      {2 * OPS} ops in {sock_singles * 1e3:7.1f} ms, "
+        f"{OPS // 10} batched lookups in {sock_batched * 1e3:7.1f} ms"
+        f"\nper-op socket overhead: {per_op_overhead * 1e6:7.1f} us"
+    )
+    # The networked path costs more per operation...
+    assert sock_singles > in_singles
+    # ...and batching 10 keys per frame beats 10 single round trips.
+    assert sock_batched < sock_singles

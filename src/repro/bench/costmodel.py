@@ -58,6 +58,11 @@ class CostParameters:
     web_hit_cost_fraction: float = 0.25
     # Cache-server costs.
     cache_cost_per_request: float = 70e-6
+    #: Client-side cost of one cache round trip (marshalling + kernel TCP).
+    #: Charged per RPC, so a batched multi-key lookup is charged once — this
+    #: is what makes batching pay off in a networked topology.  The default
+    #: of zero models the original in-process wiring.
+    rpc_cost_seconds: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -180,6 +185,16 @@ class CostModel:
         else:
             self.current.web += params.web_cost_per_cacheable_call
             self.current.cache += 2 * params.cache_cost_per_request
+
+    def charge_cache_rpcs(self, count: int) -> None:
+        """Charge the network cost of ``count`` cache round trips.
+
+        The web tier pays (the application server blocks on the RPC); a
+        batched operation counts as one round trip however many keys it
+        carries, so the charge rewards batching.
+        """
+        if count:
+            self.current.web += self.parameters.rpc_cost_seconds * count
 
     def charge_bypassed_call(self) -> None:
         """Charge a cacheable call that bypassed the cache (RW transaction or

@@ -50,6 +50,9 @@ class BenchmarkConfig:
     cluster: Optional[ClusterSpec] = None
     cost_parameters: CostParameters = field(default_factory=CostParameters)
     mix: WorkloadMix = field(default_factory=lambda: BIDDING_MIX)
+    #: How application servers reach the cache nodes: "inprocess" (direct
+    #: calls, the original wiring) or "socket" (real TCP cache servers).
+    transport: str = "inprocess"
     sessions: int = 24
     warmup_interactions: int = 2000
     measure_interactions: int = 4000
@@ -105,7 +108,23 @@ def run_benchmark(config: BenchmarkConfig) -> BenchmarkResult:
         cache_capacity_bytes_per_node=max(1, config.cache_size_bytes // cluster.cache_nodes),
         mode=config.mode,
         default_staleness=config.staleness,
+        transport=config.transport,
     )
+    try:
+        return _run_on_deployment(config, cluster, scaled_db_config, clock, deployment)
+    finally:
+        # Networked cache nodes hold sockets and threads; release them even
+        # when setup or the workload fails.
+        deployment.shutdown()
+
+
+def _run_on_deployment(
+    config: BenchmarkConfig,
+    cluster: ClusterSpec,
+    scaled_db_config: RubisConfig,
+    clock: ManualClock,
+    deployment: TxCacheDeployment,
+) -> BenchmarkResult:
     create_rubis_schema(deployment.database)
     dataset = populate_database(deployment.database, scaled_db_config, seed=config.seed)
 
@@ -141,6 +160,7 @@ def run_benchmark(config: BenchmarkConfig) -> BenchmarkResult:
             before_misses = client.stats.misses
             before_bypassed = client.stats.cache_bypassed_calls
             before_rw = client.stats.rw_transactions
+            before_rpcs = client.stats.cache_rpcs
 
             cost_model.begin_interaction()
             session.step()
@@ -151,6 +171,7 @@ def run_benchmark(config: BenchmarkConfig) -> BenchmarkResult:
                 cost_model.charge_cacheable_call(hit=False)
             for _ in range(client.stats.cache_bypassed_calls - before_bypassed):
                 cost_model.charge_bypassed_call()
+            cost_model.charge_cache_rpcs(client.stats.cache_rpcs - before_rpcs)
             if client.stats.rw_transactions > before_rw:
                 cost_model.charge_update_transaction()
             cost = cost_model.end_interaction()

@@ -1,15 +1,25 @@
-"""Versioned cache substrate: cache servers, consistent hashing, cluster."""
+"""Versioned cache substrate: cache servers, consistent hashing, cluster.
+
+Cache nodes can be reached in-process (zero overhead) or as real networked
+servers over TCP (:mod:`repro.cache.netserver`); the cluster routes through
+either via the :class:`repro.comm.transport.CacheTransport` abstraction.
+"""
 
 from repro.cache.cluster import CacheCluster
-from repro.cache.entry import CacheEntry, LookupResult
+from repro.cache.entry import CacheEntry, LookupRequest, LookupResult
 from repro.cache.hashring import ConsistentHashRing
+from repro.cache.netserver import CacheServerProcess, CacheTransportError, SocketTransport
 from repro.cache.server import CacheServer, CacheServerStats
 
 __all__ = [
     "CacheCluster",
     "CacheEntry",
+    "LookupRequest",
     "LookupResult",
     "ConsistentHashRing",
     "CacheServer",
     "CacheServerStats",
+    "CacheServerProcess",
+    "SocketTransport",
+    "CacheTransportError",
 ]

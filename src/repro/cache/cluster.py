@@ -1,28 +1,48 @@
-"""A set of cache servers addressed through consistent hashing.
+"""A set of cache nodes addressed through consistent hashing.
 
 The application library never talks to individual cache nodes; it hands keys
 to the cluster, which routes each key to the responsible node using the hash
 ring, exactly as the paper's TxCache library maps a key to a cache server.
 All nodes subscribe to the same invalidation stream.
+
+The cluster reaches each node through a :class:`CacheTransport`
+(:mod:`repro.comm.transport`), so the same routing logic serves two
+topologies:
+
+* ``transport="inprocess"`` — nodes are plain :class:`CacheServer` objects
+  called directly (zero overhead; the original behaviour);
+* ``transport="socket"`` — each node runs as a
+  :class:`repro.cache.netserver.CacheServerProcess` behind a TCP endpoint
+  and is reached via a :class:`repro.cache.netserver.SocketTransport`,
+  modelling the paper's real deployment of standalone cache servers.
+
+Batched lookups (:meth:`CacheCluster.multi_lookup`) group requests by
+responsible node and issue one round trip per node, which is where a
+networked topology recovers most of its RPC cost.
 """
 
 from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Optional, Sequence
 
-from repro.cache.entry import LookupResult
+from repro.cache.entry import LookupRequest, LookupResult
 from repro.cache.hashring import ConsistentHashRing
+from repro.cache.netserver import CacheServerProcess, SocketTransport
 from repro.cache.server import CacheServer, CacheServerStats
 from repro.clock import Clock, SystemClock
 from repro.comm.multicast import InvalidationBus
+from repro.comm.transport import CacheTransport, InProcessTransport
 from repro.db.invalidation import InvalidationTag
 from repro.interval import Interval
 
 __all__ = ["CacheCluster"]
 
+#: Supported values of the ``transport`` constructor argument.
+TRANSPORT_KINDS = ("inprocess", "socket")
+
 
 class CacheCluster:
-    """Routes cache operations to the responsible cache server."""
+    """Routes cache operations to the responsible cache node's transport."""
 
     def __init__(
         self,
@@ -32,14 +52,28 @@ class CacheCluster:
         invalidation_bus: Optional[InvalidationBus] = None,
         virtual_nodes: int = 100,
         node_names: Optional[Sequence[str]] = None,
+        transport: str = "inprocess",
     ) -> None:
-        clock = clock or SystemClock()
+        if transport not in TRANSPORT_KINDS:
+            raise ValueError(
+                f"unknown transport {transport!r}; expected one of {TRANSPORT_KINDS}"
+            )
+        self.transport_kind = transport
+        self._clock = clock or SystemClock()
+        self._bus: Optional[InvalidationBus] = None
+        self._servers: Dict[str, CacheServer] = {}
+        self._transports: Dict[str, CacheTransport] = {}
+        self._processes: Dict[str, CacheServerProcess] = {}
         if node_names is None:
             node_names = [f"cache{i}" for i in range(node_count)]
-        self._servers: Dict[str, CacheServer] = {
-            name: CacheServer(name=name, capacity_bytes=capacity_bytes_per_node, clock=clock)
-            for name in node_names
-        }
+        try:
+            for name in node_names:
+                self._start_node(name, capacity_bytes_per_node, self._clock)
+        except BaseException:
+            # Don't orphan already-started networked nodes (listener sockets
+            # and threads) when a later node fails to come up.
+            self._teardown_nodes()
+            raise
         self.ring = ConsistentHashRing(nodes=list(self._servers), virtual_nodes=virtual_nodes)
         if invalidation_bus is not None:
             self.attach_invalidation_bus(invalidation_bus)
@@ -49,43 +83,128 @@ class CacheCluster:
     # ------------------------------------------------------------------
     @property
     def servers(self) -> Dict[str, CacheServer]:
-        """Mapping of node name to cache server."""
+        """Mapping of node name to the underlying cache server.
+
+        The server objects live in this process under both transports (the
+        socket transport serves them from a node thread), so they remain
+        available for introspection; live traffic always goes through the
+        transports.
+        """
         return dict(self._servers)
+
+    @property
+    def transports(self) -> Dict[str, CacheTransport]:
+        """Mapping of node name to the transport reaching that node."""
+        return dict(self._transports)
 
     @property
     def node_count(self) -> int:
         """Number of cache nodes."""
-        return len(self._servers)
+        return len(self._transports)
 
     def server_for(self, key: str) -> CacheServer:
-        """The server responsible for ``key`` under consistent hashing."""
+        """The underlying server responsible for ``key`` (introspection)."""
         return self._servers[self.ring.node_for(key)]
 
+    def transport_for(self, key: str) -> CacheTransport:
+        """The transport to the node responsible for ``key``."""
+        return self._transports[self.ring.node_for(key)]
+
     def attach_invalidation_bus(self, bus: InvalidationBus) -> None:
-        """Subscribe every node to the database's invalidation stream."""
-        for server in self._servers.values():
-            bus.subscribe(server)
+        """Subscribe every node's transport to the invalidation stream.
+
+        The cluster remembers the bus so nodes removed later are also
+        unsubscribed (otherwise a removed node would keep consuming the
+        stream forever).
+        """
+        self._bus = bus
+        for transport in self._transports.values():
+            bus.subscribe(transport)
 
     def add_node(self, name: str, capacity_bytes: int, clock: Optional[Clock] = None) -> CacheServer:
         """Add a cache node to the cluster (keys re-map via the ring)."""
-        if name in self._servers:
+        if name in self._transports:
             raise ValueError(f"cache node {name!r} already exists")
-        server = CacheServer(name=name, capacity_bytes=capacity_bytes, clock=clock or SystemClock())
-        self._servers[name] = server
+        server = self._start_node(name, capacity_bytes, clock or self._clock)
         self.ring.add_node(name)
+        if self._bus is not None:
+            self._bus.subscribe(self._transports[name])
         return server
 
     def remove_node(self, name: str) -> None:
-        """Remove a cache node; its contents are lost (cache semantics)."""
+        """Remove a cache node; its contents are lost (cache semantics).
+
+        The node's transport is unsubscribed from the invalidation bus and
+        closed, and a networked node's server is shut down.
+        """
+        transport = self._transports.pop(name, None)
         self._servers.pop(name, None)
         self.ring.remove_node(name)
+        if transport is None:
+            return
+        if self._bus is not None:
+            self._bus.unsubscribe(transport)
+        transport.close()
+        process = self._processes.pop(name, None)
+        if process is not None:
+            process.shutdown()
+
+    def close(self) -> None:
+        """Shut down every node (connections, socket servers, subscriptions)."""
+        for name in list(self._transports):
+            self.remove_node(name)
+
+    def _teardown_nodes(self) -> None:
+        """Close every transport and stop every node (no ring/bus updates)."""
+        for transport in self._transports.values():
+            transport.close()
+        for process in self._processes.values():
+            process.shutdown()
+        self._transports.clear()
+        self._processes.clear()
+        self._servers.clear()
+
+    def _start_node(self, name: str, capacity_bytes: int, clock: Clock) -> CacheServer:
+        server = CacheServer(name=name, capacity_bytes=capacity_bytes, clock=clock)
+        self._servers[name] = server
+        if self.transport_kind == "socket":
+            process = CacheServerProcess(server)
+            self._processes[name] = process
+            try:
+                self._transports[name] = SocketTransport(process.address, name=name)
+            except BaseException:
+                # Connecting failed: stop the just-started node instead of
+                # leaving its listener thread orphaned.
+                self._processes.pop(name).shutdown()
+                self._servers.pop(name)
+                raise
+        else:
+            self._transports[name] = InProcessTransport(server)
+        return server
 
     # ------------------------------------------------------------------
     # Cache operations (routed)
     # ------------------------------------------------------------------
     def lookup(self, key: str, lo: int, hi: int) -> LookupResult:
         """Route a versioned lookup to the responsible node."""
-        return self.server_for(key).lookup(key, lo, hi)
+        return self.transport_for(key).lookup(key, lo, hi)
+
+    def multi_lookup(self, requests: Sequence[LookupRequest]) -> List[LookupResult]:
+        """Answer a batch of lookups/probes, one round trip per node touched.
+
+        Requests are grouped by responsible node, each group is sent as one
+        batched operation, and the answers are reassembled in request order.
+        Results are identical to issuing the requests one at a time.
+        """
+        by_node: Dict[str, List[int]] = {}
+        for index, request in enumerate(requests):
+            by_node.setdefault(self.ring.node_for(request.key), []).append(index)
+        results: List[Optional[LookupResult]] = [None] * len(requests)
+        for node, indices in by_node.items():
+            batch = [requests[i] for i in indices]
+            for i, result in zip(indices, self._transports[node].multi_lookup(batch)):
+                results[i] = result
+        return results  # type: ignore[return-value]  # every slot is filled
 
     def put(
         self,
@@ -95,26 +214,27 @@ class CacheCluster:
         tags: FrozenSet[InvalidationTag] = frozenset(),
     ) -> bool:
         """Route an insertion to the responsible node."""
-        return self.server_for(key).put(key, value, interval, tags)
+        return self.transport_for(key).put(key, value, interval, tags)
 
     def probe(self, key: str, lo: int, hi: int) -> bool:
         """Statistics-free hit check on the responsible node (see server)."""
-        return self.server_for(key).probe(key, lo, hi)
+        return self.transport_for(key).probe(key, lo, hi)
 
     def was_ever_stored(self, key: str) -> bool:
         """True if the responsible node has ever stored ``key``."""
-        return self.server_for(key).was_ever_stored(key)
+        return self.transport_for(key).was_ever_stored(key)
 
     def evict_stale(self, oldest_useful_timestamp: int) -> int:
         """Eagerly drop too-stale entries on every node."""
         return sum(
-            server.evict_stale(oldest_useful_timestamp) for server in self._servers.values()
+            transport.evict_stale(oldest_useful_timestamp)
+            for transport in self._transports.values()
         )
 
     def clear(self) -> None:
         """Empty every node."""
-        for server in self._servers.values():
-            server.clear()
+        for transport in self._transports.values():
+            transport.clear()
 
     # ------------------------------------------------------------------
     # Statistics
@@ -122,19 +242,14 @@ class CacheCluster:
     def aggregate_stats(self) -> CacheServerStats:
         """Sum the per-node counters into one stats object."""
         total = CacheServerStats()
-        for server in self._servers.values():
-            for field_name in CacheServerStats.__dataclass_fields__:
-                setattr(
-                    total,
-                    field_name,
-                    getattr(total, field_name) + getattr(server.stats, field_name),
-                )
+        for transport in self._transports.values():
+            total += transport.stats()
         return total
 
     def reset_stats(self) -> None:
         """Reset the counters of every node."""
-        for server in self._servers.values():
-            server.stats.reset()
+        for transport in self._transports.values():
+            transport.reset_stats()
 
     @property
     def used_bytes(self) -> int:

@@ -9,7 +9,7 @@ from typing import Any, FrozenSet, Optional
 from repro.db.invalidation import InvalidationTag
 from repro.interval import Interval
 
-__all__ = ["CacheEntry", "LookupResult", "estimate_size"]
+__all__ = ["CacheEntry", "LookupRequest", "LookupResult", "estimate_size"]
 
 #: Fixed per-entry bookkeeping overhead charged against the byte budget, in
 #: addition to the serialized size of the key and value.
@@ -69,6 +69,23 @@ class CacheEntry:
             return self.interval
         known_through = max(self.interval.lo, last_invalidation_ts)
         return Interval(self.interval.lo, known_through + 1)
+
+
+@dataclass(frozen=True)
+class LookupRequest:
+    """One element of a batched (multi-key) cache lookup.
+
+    ``probe=True`` requests a statistics-free hit check instead of a full
+    lookup: the server answers whether a lookup over ``[lo, hi]`` would hit
+    without counting towards hit/miss statistics or touching LRU ordering.
+    Bundling a probe with the lookup it classifies lets the client library
+    resolve a miss's type in the same round trip as the lookup itself.
+    """
+
+    key: str
+    lo: int
+    hi: int
+    probe: bool = False
 
 
 @dataclass(frozen=True)

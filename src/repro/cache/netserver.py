@@ -1,0 +1,346 @@
+"""Cache nodes as real networked servers (TCP + length-prefixed frames).
+
+The paper deploys cache nodes as standalone servers that application servers
+reach over a gigabit LAN.  This module provides that topology for the
+reproduction:
+
+* :class:`CacheServerProcess` serves one :class:`CacheServer` over TCP.  It
+  owns a listening socket and a dedicated service thread per node (plus one
+  handler thread per accepted connection), standing in for the separate
+  cache-server process of a production deployment while remaining debuggable
+  in a single Python process.  Shutdown is graceful: in-flight requests
+  finish, then every socket is closed and the threads are joined.
+* :class:`SocketTransport` is the client side: a
+  :class:`repro.comm.transport.CacheTransport` that speaks the framed
+  protocol over one persistent connection.  It is what a
+  :class:`repro.cache.cluster.CacheCluster` built with ``transport="socket"``
+  routes operations (and the invalidation stream) through.
+
+Wire protocol
+-------------
+Every message — request or response — is one *frame*: a 4-byte big-endian
+unsigned length followed by that many bytes of payload, in the spirit of the
+length-delimited framing used for streaming structured data over plain
+sockets.  A request payload decodes to ``(op, args)`` where ``op`` names a
+cache operation (``"lookup"``, ``"multi_lookup"``, ``"put"``, ``"probe"``,
+``"was_ever_stored"``, ``"evict_stale"``, ``"clear"``, ``"stats"``,
+``"reset_stats"``, ``"invalidate"``, ``"note_timestamp"``, ``"ping"``) and
+``args`` is a tuple of its positional arguments.  A response payload decodes
+to ``("ok", value)`` or ``("err", message)``.  Payloads are encoded with
+:mod:`pickle` because cached values are arbitrary Python objects (query-result
+rows, tuples, frozensets of invalidation tags) that must round-trip exactly;
+both endpoints of the simulated deployment are trusted, which is the standard
+caveat for pickle-based RPC.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import threading
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.cache.entry import LookupRequest, LookupResult
+from repro.cache.server import CacheServer, CacheServerStats
+from repro.comm.multicast import InvalidationMessage
+from repro.db.invalidation import InvalidationTag
+from repro.interval import Interval
+
+__all__ = ["CacheServerProcess", "SocketTransport", "CacheTransportError"]
+
+#: Frame header: payload length as a 4-byte big-endian unsigned integer.
+_HEADER = struct.Struct("!I")
+
+#: Upper bound on a single frame, as a sanity check against corrupt headers.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+class CacheTransportError(RuntimeError):
+    """A cache RPC failed (connection lost or server-side error)."""
+
+
+# ----------------------------------------------------------------------
+# Framing helpers (shared by both endpoints)
+# ----------------------------------------------------------------------
+def send_frame(sock: socket.socket, payload: object) -> None:
+    """Serialize ``payload`` and write it as one length-prefixed frame."""
+    data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_HEADER.pack(len(data)) + data)
+
+
+def recv_frame(sock: socket.socket) -> object:
+    """Read one length-prefixed frame and deserialize its payload.
+
+    Raises :class:`ConnectionError` on EOF (orderly shutdown of the peer).
+    """
+    header = _recv_exactly(sock, _HEADER.size)
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise CacheTransportError(f"oversized frame: {length} bytes")
+    return pickle.loads(_recv_exactly(sock, length))
+
+
+def _recv_exactly(sock: socket.socket, count: int) -> bytes:
+    chunks: List[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionError("connection closed by peer")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# ----------------------------------------------------------------------
+# Server side
+# ----------------------------------------------------------------------
+class CacheServerProcess:
+    """One cache node served over TCP in its own thread.
+
+    Wraps a :class:`CacheServer` and exposes it at a TCP endpoint.  All
+    operations on the underlying server are serialized by a lock, so several
+    client connections (application servers) may be open at once.  The
+    wrapped server object remains reachable in-process via :attr:`server`
+    for tests and introspection, but live traffic goes through the socket.
+    """
+
+    def __init__(
+        self,
+        server: CacheServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.server = server
+        self._lock = threading.Lock()
+        self._listener = socket.create_server((host, port))
+        self.address: Tuple[str, int] = self._listener.getsockname()[:2]
+        self._running = True
+        self._connections: List[socket.socket] = []
+        self._handler_threads: List[threading.Thread] = []
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"cache-node-{server.name}", daemon=True
+        )
+        self._accept_thread.start()
+
+    @property
+    def running(self) -> bool:
+        """True until :meth:`shutdown` completes."""
+        return self._running
+
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                connection, _peer = self._listener.accept()
+            except OSError:
+                return  # listener closed: shutting down
+            self._connections.append(connection)
+            handler = threading.Thread(
+                target=self._serve_connection,
+                args=(connection,),
+                name=f"cache-conn-{self.server.name}",
+                daemon=True,
+            )
+            self._handler_threads.append(handler)
+            handler.start()
+
+    def _serve_connection(self, connection: socket.socket) -> None:
+        try:
+            while self._running:
+                try:
+                    request = recv_frame(connection)
+                except (ConnectionError, OSError):
+                    return  # client went away or shutdown closed the socket
+                except CacheTransportError:
+                    return  # corrupt frame header: the stream cannot resync
+                except Exception as exc:
+                    # Undecodable payload; the frame was consumed in full, so
+                    # the stream is still in sync — report and keep serving.
+                    try:
+                        send_frame(connection, ("err", f"bad request frame: {exc}"))
+                    except OSError:
+                        return
+                    continue
+                try:
+                    op, args = request
+                    with self._lock:
+                        result = self._dispatch(op, args)
+                    response = ("ok", result)
+                except Exception as exc:  # server must survive bad requests
+                    response = ("err", f"{type(exc).__name__}: {exc}")
+                try:
+                    send_frame(connection, response)
+                except OSError:
+                    return
+        finally:
+            _close_quietly(connection)
+
+    def _dispatch(self, op: str, args: tuple) -> object:
+        server = self.server
+        if op == "lookup":
+            return server.lookup(*args)
+        if op == "multi_lookup":
+            return server.multi_lookup(*args)
+        if op == "put":
+            return server.put(*args)
+        if op == "probe":
+            return server.probe(*args)
+        if op == "was_ever_stored":
+            return server.was_ever_stored(*args)
+        if op == "evict_stale":
+            return server.evict_stale(*args)
+        if op == "clear":
+            return server.clear()
+        if op == "stats":
+            # A snapshot, so the client sees a stable copy of the counters.
+            return CacheServerStats().merge(server.stats)
+        if op == "reset_stats":
+            return server.stats.reset()
+        if op == "invalidate":
+            return server.process_invalidation(*args)
+        if op == "note_timestamp":
+            return server.note_timestamp(*args)
+        if op == "ping":
+            return server.name
+        raise ValueError(f"unknown cache operation {op!r}")
+
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Stop serving: close the listener and every connection, join threads."""
+        if not self._running:
+            return
+        self._running = False
+        _close_quietly(self._listener)
+        for connection in self._connections:
+            _close_quietly(connection)
+        for handler in self._handler_threads:
+            handler.join(timeout=2.0)
+        self._accept_thread.join(timeout=2.0)
+
+    def __enter__(self) -> "CacheServerProcess":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        host, port = self.address
+        return f"CacheServerProcess({self.server.name!r} @ {host}:{port})"
+
+
+# ----------------------------------------------------------------------
+# Client side
+# ----------------------------------------------------------------------
+class SocketTransport:
+    """Framed-protocol client to one networked cache node.
+
+    Implements :class:`repro.comm.transport.CacheTransport` over a single
+    persistent TCP connection.  Calls are serialized by a lock, matching the
+    one-outstanding-request-per-connection discipline of the framed protocol;
+    a deployment wanting more parallelism opens one transport per application
+    server, exactly as it would open one memcached connection per worker.
+    """
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        name: Optional[str] = None,
+        timeout_seconds: float = 30.0,
+    ) -> None:
+        self.address = address
+        self._lock = threading.Lock()
+        self._sock: Optional[socket.socket] = socket.create_connection(
+            address, timeout=timeout_seconds
+        )
+        # Learn (or verify) the node's name from the server itself.
+        self.name = name or self._call("ping")
+
+    # ------------------------------------------------------------------
+    def _call(self, op: str, *args: object) -> object:
+        with self._lock:
+            if self._sock is None:
+                raise CacheTransportError(f"transport to {self.address} is closed")
+            try:
+                send_frame(self._sock, (op, args))
+                response = recv_frame(self._sock)
+            except (ConnectionError, OSError) as exc:
+                # The request may already be on the wire; a later reply would
+                # desynchronize the request/response stream, so the
+                # connection cannot be reused after any I/O failure.
+                _close_quietly(self._sock)
+                self._sock = None
+                raise CacheTransportError(
+                    f"cache node at {self.address} unreachable: {exc}"
+                ) from exc
+        status, value = response
+        if status != "ok":
+            raise CacheTransportError(f"cache node {self.name or self.address}: {value}")
+        return value
+
+    # -- cache operations ----------------------------------------------
+    def lookup(self, key: str, lo: int, hi: int) -> LookupResult:
+        return self._call("lookup", key, lo, hi)
+
+    def multi_lookup(self, requests: Sequence[LookupRequest]) -> List[LookupResult]:
+        return self._call("multi_lookup", list(requests))
+
+    def put(
+        self,
+        key: str,
+        value: object,
+        interval: Interval,
+        tags: FrozenSet[InvalidationTag] = frozenset(),
+    ) -> bool:
+        return self._call("put", key, value, interval, tags)
+
+    def probe(self, key: str, lo: int, hi: int) -> bool:
+        return self._call("probe", key, lo, hi)
+
+    def was_ever_stored(self, key: str) -> bool:
+        return self._call("was_ever_stored", key)
+
+    def evict_stale(self, oldest_useful_timestamp: int) -> int:
+        return self._call("evict_stale", oldest_useful_timestamp)
+
+    def clear(self) -> None:
+        self._call("clear")
+
+    def stats(self) -> CacheServerStats:
+        return self._call("stats")
+
+    def reset_stats(self) -> None:
+        self._call("reset_stats")
+
+    # -- invalidation stream -------------------------------------------
+    def process_invalidation(self, message: InvalidationMessage) -> None:
+        self._call("invalidate", message)
+
+    def note_timestamp(self, timestamp: int) -> None:
+        self._call("note_timestamp", timestamp)
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            if self._sock is not None:
+                _close_quietly(self._sock)
+                self._sock = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        host, port = self.address
+        return f"SocketTransport({self.name!r} @ {host}:{port})"
+
+
+def _close_quietly(sock: socket.socket) -> None:
+    # shutdown() wakes any thread blocked in recv() on this socket — a bare
+    # close() does not reliably do so — so graceful teardown doesn't hang
+    # waiting on handler threads.
+    try:
+        sock.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass  # never connected, or the peer already went away
+    try:
+        sock.close()
+    except OSError:  # pragma: no cover - close never raises on Linux
+        pass

@@ -23,9 +23,9 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Set
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set
 
-from repro.cache.entry import CacheEntry, LookupResult, estimate_size
+from repro.cache.entry import CacheEntry, LookupRequest, LookupResult, estimate_size
 from repro.clock import Clock, SystemClock
 from repro.comm.multicast import InvalidationMessage
 from repro.db.invalidation import InvalidationTag
@@ -56,6 +56,22 @@ class CacheServerStats:
     def reset(self) -> None:
         for name in self.__dataclass_fields__:
             setattr(self, name, 0)
+
+    def merge(self, other: "CacheServerStats") -> "CacheServerStats":
+        """Add another node's counters into this one; returns ``self``.
+
+        This is the one place cross-node stats aggregation lives: the
+        cluster (and anything else summing per-node counters) goes through
+        ``merge`` / ``+=`` instead of open-coding a field loop.  Like
+        :meth:`reset`, it covers every dataclass field so a counter added
+        later cannot silently drop out of aggregation.
+        """
+        for name in self.__dataclass_fields__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        return self
+
+    def __iadd__(self, other: "CacheServerStats") -> "CacheServerStats":
+        return self.merge(other)
 
 
 class CacheServer:
@@ -159,6 +175,28 @@ class CacheServer:
             key_ever_stored=key in self._keys_ever_stored,
             fresh_version_exists=bool(versions),
         )
+
+    def multi_lookup(self, requests: Sequence[LookupRequest]) -> List[LookupResult]:
+        """Answer a batch of lookups/probes in one call, in request order.
+
+        Each :class:`LookupRequest` is served exactly as the corresponding
+        single-key operation would be (:meth:`lookup` for ``probe=False``,
+        :meth:`probe` for ``probe=True``), so batching never changes results
+        or statistics — it only saves round trips on a networked transport.
+        """
+        results: List[LookupResult] = []
+        for request in requests:
+            if request.probe:
+                results.append(
+                    LookupResult(
+                        hit=self.probe(request.key, request.lo, request.hi),
+                        key=request.key,
+                        key_ever_stored=request.key in self._keys_ever_stored,
+                    )
+                )
+            else:
+                results.append(self.lookup(request.key, request.lo, request.hi))
+        return results
 
     def probe(self, key: str, lo: int, hi: int) -> bool:
         """Check whether a lookup over ``[lo, hi]`` would hit.

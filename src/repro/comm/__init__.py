@@ -1,5 +1,12 @@
-"""Communication substrate: the ordered invalidation multicast bus."""
+"""Communication substrate: invalidation multicast and cache transports."""
 
 from repro.comm.multicast import InvalidationBus, InvalidationMessage, Subscriber
+from repro.comm.transport import CacheTransport, InProcessTransport
 
-__all__ = ["InvalidationBus", "InvalidationMessage", "Subscriber"]
+__all__ = [
+    "InvalidationBus",
+    "InvalidationMessage",
+    "Subscriber",
+    "CacheTransport",
+    "InProcessTransport",
+]

@@ -18,8 +18,9 @@ harmless.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import List, Protocol, Tuple
+from typing import Deque, List, Protocol, Tuple
 
 __all__ = ["InvalidationMessage", "Subscriber", "InvalidationBus"]
 
@@ -55,7 +56,7 @@ class InvalidationBus:
 
     def __init__(self, synchronous: bool = True) -> None:
         self._subscribers: List[Subscriber] = []
-        self._pending: List[InvalidationMessage] = []
+        self._pending: Deque[InvalidationMessage] = deque()
         self._synchronous = synchronous
         self._last_published: int = -1
         self._delivered_count = 0
@@ -97,7 +98,7 @@ class InvalidationBus:
         """Deliver every queued message, in order.  Returns the count."""
         delivered = 0
         while self._pending:
-            message = self._pending.pop(0)
+            message = self._pending.popleft()
             for subscriber in self._subscribers:
                 subscriber.process_invalidation(message)
             delivered += 1

@@ -1,0 +1,160 @@
+"""Transport abstraction between the TxCache library and a cache node.
+
+The paper's deployment runs each cache node as a standalone server that the
+application servers reach over the network; this reproduction originally
+wired the client library straight into in-process :class:`CacheServer`
+objects.  :class:`CacheTransport` is the seam between the two worlds: the
+cluster (and through it the client library) speaks only this protocol, and a
+deployment chooses how each node is reached:
+
+* :class:`InProcessTransport` — direct method calls on a local server, with
+  zero overhead; behaviour is identical to the pre-transport code path.
+* :class:`repro.cache.netserver.SocketTransport` — a length-prefixed framed
+  protocol over TCP to a :class:`repro.cache.netserver.CacheServerProcess`,
+  which is how a production topology (RPC cost, batching, node churn) is
+  represented.
+
+Both transports carry the invalidation stream as well: a transport is what
+the deployment subscribes to the :class:`repro.comm.multicast.InvalidationBus`,
+so invalidations follow the same path as cache operations regardless of how
+the node is deployed.
+
+The operations mirror the cache server's public surface: ``lookup``,
+``multi_lookup`` (a batch of lookups/probes answered in one round trip),
+``put``, ``probe``, ``was_ever_stored``, ``evict_stale``, ``clear`` and
+``stats``, plus the invalidation-stream entry points (``process_invalidation``,
+``note_timestamp``) and lifecycle helpers (``reset_stats``, ``close``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, FrozenSet, List, Protocol, Sequence, runtime_checkable
+
+from repro.comm.multicast import InvalidationMessage
+
+if TYPE_CHECKING:  # cache modules import repro.comm; avoid the import cycle
+    from repro.cache.entry import LookupRequest, LookupResult
+    from repro.cache.server import CacheServer, CacheServerStats
+    from repro.db.invalidation import InvalidationTag
+    from repro.interval import Interval
+
+__all__ = ["CacheTransport", "InProcessTransport"]
+
+
+@runtime_checkable
+class CacheTransport(Protocol):
+    """How the cluster reaches one cache node, wherever it runs."""
+
+    #: Name of the cache node this transport reaches.
+    name: str
+
+    # ------------------------------------------------------------------
+    # Cache operations
+    # ------------------------------------------------------------------
+    def lookup(self, key: str, lo: int, hi: int) -> LookupResult:
+        """Versioned lookup of ``key`` over the timestamp range ``[lo, hi]``."""
+
+    def multi_lookup(self, requests: Sequence[LookupRequest]) -> List[LookupResult]:
+        """Answer a batch of lookups/probes in one round trip, in order."""
+
+    def put(
+        self,
+        key: str,
+        value: object,
+        interval: Interval,
+        tags: FrozenSet[InvalidationTag] = frozenset(),
+    ) -> bool:
+        """Insert one version of ``key``; True if it was stored."""
+
+    def probe(self, key: str, lo: int, hi: int) -> bool:
+        """Statistics-free hit check over ``[lo, hi]``."""
+
+    def was_ever_stored(self, key: str) -> bool:
+        """True if ``key`` has ever been inserted on the node."""
+
+    def evict_stale(self, oldest_useful_timestamp: int) -> int:
+        """Eagerly drop entries too stale to be useful; returns the count."""
+
+    def clear(self) -> None:
+        """Empty the node."""
+
+    def stats(self) -> CacheServerStats:
+        """A snapshot of the node's counters."""
+
+    def reset_stats(self) -> None:
+        """Zero the node's counters."""
+
+    # ------------------------------------------------------------------
+    # Invalidation stream (InvalidationBus subscriber surface)
+    # ------------------------------------------------------------------
+    def process_invalidation(self, message: InvalidationMessage) -> None:
+        """Forward one invalidation-stream message to the node."""
+
+    def note_timestamp(self, timestamp: int) -> None:
+        """Advance the node's last-invalidation watermark without tags."""
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release any resources (connections) held by the transport."""
+
+
+class InProcessTransport:
+    """Zero-overhead transport to a cache server living in this process.
+
+    Every operation is a direct method call, preserving the exact behaviour
+    (results, statistics, LRU effects) of the pre-transport code path.
+    """
+
+    def __init__(self, server: CacheServer) -> None:
+        self.server = server
+        self.name = server.name
+
+    # -- cache operations ----------------------------------------------
+    def lookup(self, key: str, lo: int, hi: int) -> LookupResult:
+        return self.server.lookup(key, lo, hi)
+
+    def multi_lookup(self, requests: Sequence[LookupRequest]) -> List[LookupResult]:
+        return self.server.multi_lookup(requests)
+
+    def put(
+        self,
+        key: str,
+        value: object,
+        interval: Interval,
+        tags: FrozenSet[InvalidationTag] = frozenset(),
+    ) -> bool:
+        return self.server.put(key, value, interval, tags)
+
+    def probe(self, key: str, lo: int, hi: int) -> bool:
+        return self.server.probe(key, lo, hi)
+
+    def was_ever_stored(self, key: str) -> bool:
+        return self.server.was_ever_stored(key)
+
+    def evict_stale(self, oldest_useful_timestamp: int) -> int:
+        return self.server.evict_stale(oldest_useful_timestamp)
+
+    def clear(self) -> None:
+        self.server.clear()
+
+    def stats(self) -> CacheServerStats:
+        return self.server.stats
+
+    def reset_stats(self) -> None:
+        self.server.stats.reset()
+
+    # -- invalidation stream -------------------------------------------
+    def process_invalidation(self, message: InvalidationMessage) -> None:
+        self.server.process_invalidation(message)
+
+    def note_timestamp(self, timestamp: int) -> None:
+        self.server.note_timestamp(timestamp)
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Nothing to release for an in-process server."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"InProcessTransport({self.name!r})"

@@ -33,6 +33,7 @@ from enum import Enum
 from typing import Any, Callable, Dict, Iterator, Optional, Union
 
 from repro.cache.cluster import CacheCluster
+from repro.cache.entry import LookupRequest
 from repro.clock import Clock, SystemClock
 from repro.core.exceptions import (
     NotInTransactionError,
@@ -307,7 +308,18 @@ class TxCacheClient:
 
         key = cache_key(key_identity, args, kwargs)
         lookup_bounds = self._lookup_bounds(state)
-        result = self.cache.lookup(key, *lookup_bounds)
+        # One batched round trip fetches both the lookup over the pin-set
+        # bounds and the statistics-free probe over the transaction's
+        # original staleness window that classifies an eventual miss, so a
+        # networked transport pays a single RPC either way.
+        probe_bounds = self._probe_bounds(state)
+        requests = [LookupRequest(key, lookup_bounds[0], lookup_bounds[1])]
+        if probe_bounds != lookup_bounds:
+            requests.append(LookupRequest(key, probe_bounds[0], probe_bounds[1], probe=True))
+        responses = self.cache.multi_lookup(requests)
+        self.stats.cache_rpcs += 1
+        result = responses[0]
+        probe_hit = responses[1].hit if len(responses) > 1 else result.hit
 
         if result.hit:
             usable = True
@@ -320,7 +332,7 @@ class TxCacheClient:
                 self.stats.record_hit()
                 return result.value
 
-        self.stats.record_miss(self._classify_miss(state, key, result))
+        self.stats.record_miss(self._classify_miss(result, probe_hit))
         return self._execute_and_store(state, fn, key, display_name, args, kwargs)
 
     def _execute_and_store(
@@ -341,6 +353,7 @@ class TxCacheClient:
         interval = frame.validity
         tags = frozenset(frame.tags) if interval.unbounded else frozenset()
         self.cache.put(key, value, interval, tags)
+        self.stats.cache_rpcs += 1
         # The enclosing functions (if any) already accumulated everything the
         # inner function observed, because database/cache observations are
         # folded into every frame on the stack as they happen.
@@ -358,15 +371,22 @@ class TxCacheClient:
             raise TxCacheError("pin set has no concrete timestamps")
         return bounds
 
-    def _classify_miss(self, state: ReadOnlyState, key: str, result) -> MissType:
+    def _probe_bounds(self, state: ReadOnlyState) -> tuple:
+        """The transaction's original staleness window (miss classification).
+
+        A miss is a consistency miss if a lookup over this window — ignoring
+        the narrowing caused by data already read — would have hit.
+        """
+        initial = state.initial_bounds
+        lo = initial[0] if initial else 0
+        return (lo, _FAR_FUTURE)
+
+    @staticmethod
+    def _classify_miss(result, probe_hit: bool) -> MissType:
         """Classify a miss as compulsory, stale/capacity, or consistency."""
         if not result.key_ever_stored:
             return MissType.COMPULSORY
-        # Would a lookup over the transaction's original staleness window
-        # (ignoring the narrowing caused by data already read) have hit?
-        initial = state.initial_bounds
-        lo = initial[0] if initial else 0
-        if self.cache.probe(key, lo, _FAR_FUTURE):
+        if probe_hit:
             return MissType.CONSISTENCY
         return MissType.STALE_OR_CAPACITY
 

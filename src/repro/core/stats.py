@@ -50,6 +50,9 @@ class ClientStats:
     db_queries: int = 0
     pins_created: int = 0
     cache_bypassed_calls: int = 0
+    #: Cache round trips issued (a batched multi-key lookup counts once, a
+    #: put counts once); the cost model charges network cost per round trip.
+    cache_rpcs: int = 0
 
     # ------------------------------------------------------------------
     # Recording
@@ -103,6 +106,7 @@ class ClientStats:
         self.db_queries = 0
         self.pins_created = 0
         self.cache_bypassed_calls = 0
+        self.cache_rpcs = 0
 
     def merge(self, other: "ClientStats") -> None:
         """Add another stats object into this one (multi-client aggregation)."""
@@ -118,3 +122,4 @@ class ClientStats:
         self.db_queries += other.db_queries
         self.pins_created += other.pins_created
         self.cache_bypassed_calls += other.cache_bypassed_calls
+        self.cache_rpcs += other.cache_rpcs

@@ -5,6 +5,14 @@ nodes, the pincushion, and one TxCache library instance per application
 server, all sharing one invalidation stream.  :class:`TxCacheDeployment`
 builds and wires these pieces so examples, tests, and the benchmark harness
 do not repeat the plumbing.
+
+The ``transport`` option selects how the cache nodes are deployed:
+``TxCacheDeployment(transport="inprocess")`` (the default) calls cache
+servers directly, while ``transport="socket"`` runs every node as a real
+TCP server (:class:`repro.cache.netserver.CacheServerProcess`) reached over
+a framed wire protocol — the paper's actual topology.  Socket deployments
+hold OS resources; call :meth:`TxCacheDeployment.shutdown` (or use the
+deployment as a context manager) when done.
 """
 
 from __future__ import annotations
@@ -29,6 +37,8 @@ class TxCacheDeployment:
     clock: Clock = field(default_factory=ManualClock)
     cache_nodes: int = 2
     cache_capacity_bytes_per_node: int = 64 * 1024 * 1024
+    #: "inprocess" (direct calls) or "socket" (networked cache servers).
+    transport: str = "inprocess"
     mode: ConsistencyMode = ConsistencyMode.CONSISTENT
     default_staleness: float = 30.0
     new_pin_threshold: float = 5.0
@@ -47,6 +57,7 @@ class TxCacheDeployment:
             capacity_bytes_per_node=self.cache_capacity_bytes_per_node,
             clock=self.clock,
             invalidation_bus=self.invalidation_bus,
+            transport=self.transport,
         )
         self.pincushion = Pincushion(
             clock=self.clock,
@@ -102,3 +113,20 @@ class TxCacheDeployment:
         """Advance a manual clock (no-op guard for system clocks)."""
         if isinstance(self.clock, ManualClock):
             self.clock.advance(seconds)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Tear the deployment down (closes networked cache nodes).
+
+        Safe to call more than once; a no-op for in-process transports
+        beyond emptying the cluster.
+        """
+        self.cache.close()
+
+    def __enter__(self) -> "TxCacheDeployment":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.shutdown()

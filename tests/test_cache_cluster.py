@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.cache.cluster import CacheCluster
+from repro.cache.server import CacheServerStats
 from repro.clock import ManualClock
 from repro.comm.multicast import InvalidationBus, InvalidationMessage
 from repro.db.invalidation import InvalidationTag
@@ -61,6 +62,57 @@ class TestInvalidationFanout:
             assert server.last_invalidation_timestamp == 5
         stats = cluster.aggregate_stats()
         assert stats.entries_invalidated == 60
+
+
+class TestBusMembership:
+    def test_remove_node_unsubscribes_from_invalidation_bus(self):
+        """Regression: a removed node must stop consuming the stream.
+
+        The cluster used to leave the removed server subscribed, so it kept
+        processing every invalidation forever (and kept the object alive)."""
+        bus = InvalidationBus()
+        cluster = CacheCluster(node_count=3, clock=ManualClock(), invalidation_bus=bus)
+        removed_server = cluster.servers["cache1"]
+        assert len(bus.subscribers) == 3
+
+        cluster.remove_node("cache1")
+        assert len(bus.subscribers) == 2
+
+        bus.publish(InvalidationMessage(timestamp=7, tags=(InvalidationTag.wildcard("t"),)))
+        assert removed_server.last_invalidation_timestamp == 0
+        assert removed_server.stats.invalidation_messages == 0
+        for server in cluster.servers.values():
+            assert server.last_invalidation_timestamp == 7
+
+    def test_node_added_after_attach_is_subscribed(self):
+        bus = InvalidationBus()
+        cluster = CacheCluster(node_count=1, clock=ManualClock(), invalidation_bus=bus)
+        extra = cluster.add_node("extra", capacity_bytes=1024)
+        bus.publish(InvalidationMessage(timestamp=3, tags=()))
+        assert extra.last_invalidation_timestamp == 3
+
+    def test_remove_node_without_bus_is_fine(self, cluster):
+        cluster.remove_node("cache0")
+        assert cluster.node_count == 2
+
+
+class TestStatsMerge:
+    def test_merge_adds_every_counter(self):
+        left = CacheServerStats(lookups=2, hits=1, misses=1, insertions=3)
+        right = CacheServerStats(lookups=5, hits=4, misses=1, lru_evictions=2)
+        result = left.merge(right)
+        assert result is left
+        assert left == CacheServerStats(
+            lookups=7, hits=5, misses=2, insertions=3, lru_evictions=2
+        )
+
+    def test_iadd_is_merge(self):
+        total = CacheServerStats()
+        total += CacheServerStats(stale_evictions=4, entries_invalidated=2)
+        total += CacheServerStats(stale_evictions=1, invalidation_messages=3)
+        assert total.stale_evictions == 5
+        assert total.entries_invalidated == 2
+        assert total.invalidation_messages == 3
 
 
 class TestAggregation:
