@@ -1,0 +1,45 @@
+"""Node-churn benchmark: hit-rate recovery after a planned cache-node join.
+
+Acceptance property of the elasticity subsystem: with live key migration a
+join is invisible — the hit rate stays within a few points of the no-churn
+baseline — while a cold join shows a miss trough over the remapped slice
+that only refills with traffic.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import node_churn
+
+from conftest import run_once
+
+
+def test_node_churn_recovery(benchmark, settings):
+    result = run_once(benchmark, node_churn, settings=settings)
+    print()
+    print(result.format_table())
+
+    baseline = result.baseline
+    migrated = result.with_migration
+    cold = result.without_migration
+
+    # One membership epoch per join; only the migrating run ships entries.
+    assert migrated.membership_epochs == 1
+    assert cold.membership_epochs == 1
+    assert migrated.entries_migrated > 0
+    assert cold.entries_migrated == 0
+    assert baseline.membership_epochs == 0
+
+    # With migration the join is invisible: overall hit rate and the
+    # post-join recovery stay within a few points of the baseline.
+    assert migrated.hit_rate >= baseline.hit_rate - 0.03
+    assert result.recovered(migrated) >= result.recovered(baseline) - 0.03
+    assert result.trough(migrated) >= result.trough(baseline) - 0.03
+
+    # Without migration the remapped slice cold-starts: a visible trough
+    # below the migrated run, and a lower overall hit rate.
+    assert result.trough(cold) <= result.trough(migrated) - 0.02
+    assert cold.hit_rate <= migrated.hit_rate - 0.01
+
+    # No failures were involved in a planned join.
+    assert migrated.degraded_lookups == 0
+    assert migrated.nodes_evicted == 0

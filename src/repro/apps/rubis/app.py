@@ -23,7 +23,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.apps.rubis.datagen import RubisDataset
 from repro.core.api import TxCacheClient
-from repro.db.query import Aggregate, And, Eq, Range, Select
+from repro.db.query import Aggregate, And, Eq, Select
 
 __all__ = ["RubisApp"]
 

@@ -17,7 +17,7 @@ TxCache transaction (read-only or read/write).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.apps.rubis.app import RubisApp

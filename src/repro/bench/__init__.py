@@ -11,12 +11,13 @@ per-interaction demand on the bottleneck resource.
 """
 
 from repro.bench.costmodel import ClusterSpec, CostModel, CostParameters
-from repro.bench.driver import BenchmarkConfig, BenchmarkResult, run_benchmark
+from repro.bench.driver import BenchmarkConfig, BenchmarkResult, ChurnEvent, run_benchmark
 from repro.bench.experiments import (
     figure5,
     figure6,
     figure7,
     figure8,
+    node_churn,
     validity_tracking_overhead,
 )
 
@@ -26,10 +27,12 @@ __all__ = [
     "ClusterSpec",
     "BenchmarkConfig",
     "BenchmarkResult",
+    "ChurnEvent",
     "run_benchmark",
     "figure5",
     "figure6",
     "figure7",
     "figure8",
+    "node_churn",
     "validity_tracking_overhead",
 ]

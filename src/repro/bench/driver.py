@@ -19,7 +19,7 @@ size, a staleness limit, and a consistency mode.  The driver
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.apps.rubis.app import RubisApp
 from repro.apps.rubis.datagen import RubisConfig, populate_database
@@ -31,11 +31,28 @@ from repro.core.api import ConsistencyMode
 from repro.core.stats import MissType
 from repro.deployment import TxCacheDeployment
 
-__all__ = ["BenchmarkConfig", "BenchmarkResult", "run_benchmark"]
+__all__ = ["BenchmarkConfig", "BenchmarkResult", "ChurnEvent", "run_benchmark"]
 
 #: Smallest clock advance per interaction; keeps time moving even for
 #: interactions fully absorbed by idle capacity.
 _MIN_TIME_STEP = 1e-5
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One cache-tier membership change during the measurement phase.
+
+    ``action`` is ``"join"`` (a node is added; ``migrate`` selects a warm
+    join via live key migration or a cold one), ``"leave"`` (a planned
+    removal, drained when ``migrate``), or ``"crash"`` (the node dies
+    without warning; failure-aware routing detects and evicts it).
+    """
+
+    at_interaction: int
+    action: str  # "join" | "leave" | "crash"
+    node: Optional[str] = None
+    migrate: bool = True
+    weight: float = 1.0
 
 
 @dataclass
@@ -59,6 +76,12 @@ class BenchmarkConfig:
     housekeeping_every: int = 400
     seed: int = 1
     label: str = ""
+    #: Membership changes applied during the measurement phase (node-churn
+    #: scenarios); each event fires before its ``at_interaction``-th step.
+    churn: Sequence[ChurnEvent] = ()
+    #: Interactions per hit-rate sample in ``BenchmarkResult.hit_rate_timeline``
+    #: (0 disables the timeline).
+    hit_rate_window: int = 0
 
     def resolved_cluster(self) -> ClusterSpec:
         if self.cluster is not None:
@@ -87,6 +110,15 @@ class BenchmarkResult:
     cache_entry_count: int
     invalidations_published: int
     simulated_seconds: float
+    #: Hit rate per ``hit_rate_window`` interactions over the measurement
+    #: phase (empty unless the config enables the timeline); this is what a
+    #: churn scenario's recovery curve is read from.
+    hit_rate_timeline: List[float] = field(default_factory=list)
+    #: Elasticity counters (membership epochs, migration, degraded routing).
+    membership_epochs: int = 0
+    entries_migrated: int = 0
+    degraded_lookups: int = 0
+    nodes_evicted: int = 0
 
     def summary(self) -> str:
         """One-line human-readable summary."""
@@ -98,6 +130,13 @@ class BenchmarkResult:
 
 def run_benchmark(config: BenchmarkConfig) -> BenchmarkResult:
     """Execute one benchmark configuration and return its measurements."""
+    for event in config.churn:
+        if not 0 <= event.at_interaction < config.measure_interactions:
+            raise ValueError(
+                f"churn event at interaction {event.at_interaction} falls outside "
+                f"the measurement phase [0, {config.measure_interactions}) and "
+                "would silently never fire"
+            )
     cluster = config.resolved_cluster()
     scaled_db_config = config.database_config.scaled(config.scale)
 
@@ -151,10 +190,33 @@ def _run_on_deployment(
         for i in range(config.sessions)
     ]
 
-    def run_phase(interactions: int) -> float:
+    def apply_churn(event: ChurnEvent) -> None:
+        """Apply one membership change to the running deployment."""
+        if event.action == "join":
+            deployment.add_cache_node(
+                name=event.node, weight=event.weight, migrate=event.migrate
+            )
+        elif event.action == "leave":
+            name = event.node or deployment.cache.ring.nodes[-1]
+            deployment.remove_cache_node(name, migrate=event.migrate)
+        elif event.action == "crash":
+            name = event.node or deployment.cache.ring.nodes[-1]
+            deployment.cache.fail_node(name)
+        else:
+            raise ValueError(f"unknown churn action {event.action!r}")
+
+    def run_phase(
+        interactions: int,
+        churn: Sequence[ChurnEvent] = (),
+        timeline: Optional[List[float]] = None,
+    ) -> float:
         """Run ``interactions`` steps; returns elapsed simulated seconds."""
         elapsed = 0.0
+        pending = sorted(churn, key=lambda event: event.at_interaction)
+        window_start: Tuple[int, int] = (client.stats.hits, client.stats.misses)
         for step in range(interactions):
+            while pending and pending[0].at_interaction <= step:
+                apply_churn(pending.pop(0))
             session = sessions[step % len(sessions)]
             before_hits = client.stats.hits
             before_misses = client.stats.misses
@@ -190,6 +252,16 @@ def _run_on_deployment(
 
             if (step + 1) % config.housekeeping_every == 0:
                 deployment.housekeeping(config.staleness)
+            if (
+                timeline is not None
+                and config.hit_rate_window
+                and (step + 1) % config.hit_rate_window == 0
+            ):
+                hits = client.stats.hits - window_start[0]
+                misses = client.stats.misses - window_start[1]
+                looked_up = hits + misses
+                timeline.append(hits / looked_up if looked_up else 0.0)
+                window_start = (client.stats.hits, client.stats.misses)
         return elapsed
 
     # Warmup: populate the cache, then discard all counters.
@@ -199,7 +271,12 @@ def _run_on_deployment(
     deployment.cache.reset_stats()
     deployment.database.stats.reset()
 
-    simulated_seconds = run_phase(config.measure_interactions)
+    hit_rate_timeline: List[float] = []
+    simulated_seconds = run_phase(
+        config.measure_interactions,
+        churn=config.churn,
+        timeline=hit_rate_timeline if config.hit_rate_window else None,
+    )
 
     total_rw = sum(session.read_write_count for session in sessions)
     total_all = sum(
@@ -222,4 +299,9 @@ def _run_on_deployment(
         cache_entry_count=deployment.cache.entry_count,
         invalidations_published=deployment.database.stats.invalidations_published,
         simulated_seconds=simulated_seconds,
+        hit_rate_timeline=hit_rate_timeline,
+        membership_epochs=deployment.membership.epoch,
+        entries_migrated=deployment.membership.stats.entries_migrated,
+        degraded_lookups=deployment.cache.health.degraded_lookups,
+        nodes_evicted=deployment.cache.health.nodes_evicted,
     )

@@ -19,26 +19,95 @@ topologies:
 Batched lookups (:meth:`CacheCluster.multi_lookup`) group requests by
 responsible node and issue one round trip per node, which is where a
 networked topology recovers most of its RPC cost.
+
+**Failure-aware routing.**  A cache is an optimization, so a dead cache node
+must never crash the application: every routed operation catches
+connection-level transport failures, marks the node *suspect*, and degrades
+to the semantics of an empty cache (lookups miss, puts are dropped) instead
+of raising.  After ``failure_threshold`` consecutive failures the node is
+evicted from the ring entirely — its key ranges fall to the surviving
+successors — and the :class:`repro.cache.membership.ClusterMembership`
+coordinator (when attached via :attr:`on_node_evicted`) records a new
+membership epoch.  Counters for all of this live in
+:class:`ClusterHealthStats`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
-from repro.cache.entry import LookupRequest, LookupResult
+from repro.cache.entry import EntryRecord, LookupRequest, LookupResult
 from repro.cache.hashring import ConsistentHashRing
-from repro.cache.netserver import CacheServerProcess, SocketTransport
+from repro.cache.netserver import (
+    CacheNodeUnreachableError,
+    CacheServerProcess,
+    SocketTransport,
+)
 from repro.cache.server import CacheServer, CacheServerStats
 from repro.clock import Clock, SystemClock
-from repro.comm.multicast import InvalidationBus
+from repro.comm.multicast import InvalidationBus, InvalidationMessage
 from repro.comm.transport import CacheTransport, InProcessTransport
 from repro.db.invalidation import InvalidationTag
 from repro.interval import Interval
 
-__all__ = ["CacheCluster"]
+__all__ = ["CacheCluster", "ClusterHealthStats"]
 
 #: Supported values of the ``transport`` constructor argument.
 TRANSPORT_KINDS = ("inprocess", "socket")
+
+#: Exceptions that mean "the node is unreachable" (never server-side errors).
+_FAILURE_EXCEPTIONS = (CacheNodeUnreachableError, ConnectionError, OSError)
+
+
+@dataclass
+class ClusterHealthStats:
+    """Counters for failure-aware routing (client-side, per cluster)."""
+
+    #: Individual transport I/O failures observed while routing.
+    transport_failures: int = 0
+    #: Transitions of a node from healthy to suspect.
+    suspect_marks: int = 0
+    #: Suspect nodes that answered again before reaching the threshold.
+    recoveries: int = 0
+    #: Nodes evicted from the ring after repeated failures.
+    nodes_evicted: int = 0
+    #: Lookups answered with a synthetic miss because the node was down.
+    degraded_lookups: int = 0
+    #: Puts silently dropped because the node was down.
+    degraded_puts: int = 0
+    #: Other operations (probes, eviction sweeps, invalidations…) skipped.
+    degraded_ops: int = 0
+
+
+class _NodeStreamGuard:
+    """Invalidation-bus subscriber shielding the bus from a dead node.
+
+    The bus delivers synchronously from inside database commits; without the
+    guard, one unreachable cache node would turn every update transaction
+    into an exception.  Failures are routed into the cluster's failure
+    accounting instead, so a dead node is detected (and eventually evicted)
+    from the invalidation path exactly as from the lookup path.
+    """
+
+    def __init__(self, cluster: "CacheCluster", name: str, transport: CacheTransport) -> None:
+        self._cluster = cluster
+        self.name = name
+        self.transport = transport
+
+    def process_invalidation(self, message: InvalidationMessage) -> None:
+        try:
+            self.transport.process_invalidation(message)
+        except _FAILURE_EXCEPTIONS:
+            self._cluster.health.degraded_ops += 1
+            self._cluster._note_failure(self.name)
+
+    def note_timestamp(self, timestamp: int) -> None:
+        try:
+            self.transport.note_timestamp(timestamp)
+        except _FAILURE_EXCEPTIONS:
+            self._cluster.health.degraded_ops += 1
+            self._cluster._note_failure(self.name)
 
 
 class CacheCluster:
@@ -53,17 +122,28 @@ class CacheCluster:
         virtual_nodes: int = 100,
         node_names: Optional[Sequence[str]] = None,
         transport: str = "inprocess",
+        failure_threshold: int = 3,
     ) -> None:
         if transport not in TRANSPORT_KINDS:
             raise ValueError(
                 f"unknown transport {transport!r}; expected one of {TRANSPORT_KINDS}"
             )
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be positive")
         self.transport_kind = transport
+        self.failure_threshold = failure_threshold
+        self.health = ClusterHealthStats()
+        #: Called with the node name after a failure-driven ring eviction
+        #: (the membership coordinator hooks this to record an epoch).
+        self.on_node_evicted: Optional[Callable[[str], None]] = None
         self._clock = clock or SystemClock()
         self._bus: Optional[InvalidationBus] = None
         self._servers: Dict[str, CacheServer] = {}
         self._transports: Dict[str, CacheTransport] = {}
         self._processes: Dict[str, CacheServerProcess] = {}
+        self._stream_guards: Dict[str, _NodeStreamGuard] = {}
+        self._failures: Dict[str, int] = {}
+        self._suspects: Set[str] = set()
         if node_names is None:
             node_names = [f"cache{i}" for i in range(node_count)]
         try:
@@ -98,9 +178,19 @@ class CacheCluster:
         return dict(self._transports)
 
     @property
+    def processes(self) -> Dict[str, CacheServerProcess]:
+        """Mapping of node name to its socket server (socket transport only)."""
+        return dict(self._processes)
+
+    @property
     def node_count(self) -> int:
         """Number of cache nodes."""
         return len(self._transports)
+
+    @property
+    def suspect_nodes(self) -> List[str]:
+        """Nodes with recent transport failures (not yet evicted)."""
+        return sorted(self._suspects)
 
     def server_for(self, key: str) -> CacheServer:
         """The underlying server responsible for ``key`` (introspection)."""
@@ -111,48 +201,108 @@ class CacheCluster:
         return self._transports[self.ring.node_for(key)]
 
     def attach_invalidation_bus(self, bus: InvalidationBus) -> None:
-        """Subscribe every node's transport to the invalidation stream.
+        """Subscribe every node to the invalidation stream (via guards).
 
         The cluster remembers the bus so nodes removed later are also
         unsubscribed (otherwise a removed node would keep consuming the
-        stream forever).
+        stream forever).  Each node is subscribed through a
+        :class:`_NodeStreamGuard` so an unreachable node degrades instead of
+        failing the publisher.
         """
         self._bus = bus
-        for transport in self._transports.values():
-            bus.subscribe(transport)
+        for name, transport in self._transports.items():
+            self._subscribe_node(name, transport)
 
     def add_node(self, name: str, capacity_bytes: int, clock: Optional[Clock] = None) -> CacheServer:
-        """Add a cache node to the cluster (keys re-map via the ring)."""
+        """Add a cache node to the cluster (keys re-map via the ring).
+
+        This is the *cold* join: remapped keys start over on the new node.
+        For a warm join that migrates entries, use
+        :meth:`repro.cache.membership.ClusterMembership.join`.
+        """
+        server = self.provision_node(name, capacity_bytes, clock)
+        self.ring.add_node(name)
+        return server
+
+    def provision_node(
+        self, name: str, capacity_bytes: int, clock: Optional[Clock] = None
+    ) -> CacheServer:
+        """Start a node (transport + invalidation stream) *outside* the ring.
+
+        The membership coordinator uses this to warm a joining node with
+        migrated entries before any traffic routes to it; plain
+        :meth:`add_node` is ``provision_node`` plus immediate ring insertion.
+        """
         if name in self._transports:
             raise ValueError(f"cache node {name!r} already exists")
         server = self._start_node(name, capacity_bytes, clock or self._clock)
-        self.ring.add_node(name)
         if self._bus is not None:
-            self._bus.subscribe(self._transports[name])
+            self._subscribe_node(name, self._transports[name])
         return server
+
+    def adopt_ring(self, ring: ConsistentHashRing) -> None:
+        """Atomically switch routing to a new ring (a membership epoch).
+
+        Every ring member must have a transport; nodes with a transport but
+        absent from the ring simply receive no traffic (e.g. a node that is
+        being drained before removal).
+        """
+        missing = [node for node in ring.nodes if node not in self._transports]
+        if missing:
+            raise ValueError(f"ring references unknown cache nodes: {missing}")
+        self.ring = ring
 
     def remove_node(self, name: str) -> None:
         """Remove a cache node; its contents are lost (cache semantics).
 
-        The node's transport is unsubscribed from the invalidation bus and
-        closed, and a networked node's server is shut down.
+        Raises :class:`KeyError` if no such node exists.  The node's
+        transport is unsubscribed from the invalidation bus and closed, and a
+        networked node's server is shut down.  For a planned removal that
+        migrates the node's entries to their new owners first, use
+        :meth:`repro.cache.membership.ClusterMembership.leave`.
         """
-        transport = self._transports.pop(name, None)
-        self._servers.pop(name, None)
+        if name not in self._transports:
+            raise KeyError(name)
         self.ring.remove_node(name)
-        if transport is None:
-            return
-        if self._bus is not None:
-            self._bus.unsubscribe(transport)
-        transport.close()
-        process = self._processes.pop(name, None)
+        self._detach_node(name)
+
+    def fail_node(self, name: str) -> None:
+        """Simulate a node crash (tests and the churn benchmark).
+
+        Under the socket transport the node's server process is shut down
+        and nothing else: routing still points at the dead endpoint, so the
+        failure path (suspect marking, degraded results, threshold eviction)
+        is exercised exactly as a real crash would.  Under the in-process
+        transport there is no wire to fail, so the node is evicted
+        immediately — the post-detection state of a crash.
+        """
+        if name not in self._transports:
+            raise KeyError(name)
+        process = self._processes.get(name)
         if process is not None:
             process.shutdown()
+        else:
+            self._evict_node(name)
 
     def close(self) -> None:
         """Shut down every node (connections, socket servers, subscriptions)."""
         for name in list(self._transports):
-            self.remove_node(name)
+            self.ring.remove_node(name)
+            self._detach_node(name)
+
+    def _detach_node(self, name: str) -> None:
+        """Tear down one node's transport/process/bus state (no ring update)."""
+        transport = self._transports.pop(name)
+        self._servers.pop(name, None)
+        self._failures.pop(name, None)
+        self._suspects.discard(name)
+        guard = self._stream_guards.pop(name, None)
+        if self._bus is not None and guard is not None:
+            self._bus.unsubscribe(guard)
+        transport.close()
+        process = self._processes.pop(name, None)
+        if process is not None:
+            process.shutdown()
 
     def _teardown_nodes(self) -> None:
         """Close every transport and stop every node (no ring/bus updates)."""
@@ -163,6 +313,7 @@ class CacheCluster:
         self._transports.clear()
         self._processes.clear()
         self._servers.clear()
+        self._stream_guards.clear()
 
     def _start_node(self, name: str, capacity_bytes: int, clock: Clock) -> CacheServer:
         server = CacheServer(name=name, capacity_bytes=capacity_bytes, clock=clock)
@@ -182,27 +333,111 @@ class CacheCluster:
             self._transports[name] = InProcessTransport(server)
         return server
 
+    def _subscribe_node(self, name: str, transport: CacheTransport) -> None:
+        guard = _NodeStreamGuard(self, name, transport)
+        self._stream_guards[name] = guard
+        self._bus.subscribe(guard)
+
     # ------------------------------------------------------------------
-    # Cache operations (routed)
+    # Failure accounting
+    # ------------------------------------------------------------------
+    def note_transport_failure(self, node: str) -> None:
+        """Record a transport failure observed outside routed operations.
+
+        The migration coordinator uses this when a node dies mid-migration:
+        the failure counts toward suspecting the node, but eviction is
+        deferred to the next *routed* failure so a membership change that is
+        staging a new ring is never invalidated from under itself.
+        """
+        self._note_failure(node, evict=False)
+
+    def _note_failure(self, node: str, evict: bool = True) -> None:
+        """Record one transport failure; evict the node at the threshold."""
+        if node not in self._transports:
+            return
+        self.health.transport_failures += 1
+        count = self._failures.get(node, 0) + 1
+        self._failures[node] = count
+        if node not in self._suspects:
+            self._suspects.add(node)
+            self.health.suspect_marks += 1
+        if evict and count >= self.failure_threshold:
+            self._evict_node(node)
+
+    def _note_success(self, node: str) -> None:
+        """A suspect node answered: clear its failure count."""
+        self._suspects.discard(node)
+        self._failures.pop(node, None)
+        self.health.recoveries += 1
+
+    def _evict_node(self, node: str) -> None:
+        """Drop a failed node from the ring; successors take over its keys."""
+        self.ring.remove_node(node)
+        self._detach_node(node)
+        self.health.nodes_evicted += 1
+        if self.on_node_evicted is not None:
+            self.on_node_evicted(node)
+
+    def _node_for(self, key: str) -> Optional[str]:
+        """The responsible node, or None when the ring is empty."""
+        try:
+            return self.ring.node_for(key)
+        except LookupError:
+            return None
+
+    # ------------------------------------------------------------------
+    # Cache operations (routed, degrading on node failure)
     # ------------------------------------------------------------------
     def lookup(self, key: str, lo: int, hi: int) -> LookupResult:
-        """Route a versioned lookup to the responsible node."""
-        return self.transport_for(key).lookup(key, lo, hi)
+        """Route a versioned lookup to the responsible node.
+
+        An unreachable node yields a synthetic (degraded) miss instead of an
+        exception: to the application a dead cache node looks like an empty
+        one.
+        """
+        node = self._node_for(key)
+        if node is not None:
+            try:
+                result = self._transports[node].lookup(key, lo, hi)
+            except _FAILURE_EXCEPTIONS:
+                self._note_failure(node)
+            else:
+                if node in self._suspects:
+                    self._note_success(node)
+                return result
+        self.health.degraded_lookups += 1
+        return LookupResult(hit=False, key=key, degraded=True)
 
     def multi_lookup(self, requests: Sequence[LookupRequest]) -> List[LookupResult]:
         """Answer a batch of lookups/probes, one round trip per node touched.
 
         Requests are grouped by responsible node, each group is sent as one
         batched operation, and the answers are reassembled in request order.
-        Results are identical to issuing the requests one at a time.
+        Results are identical to issuing the requests one at a time; a group
+        whose node is unreachable is answered with degraded misses.
         """
-        by_node: Dict[str, List[int]] = {}
+        by_node: Dict[Optional[str], List[int]] = {}
         for index, request in enumerate(requests):
-            by_node.setdefault(self.ring.node_for(request.key), []).append(index)
+            by_node.setdefault(self._node_for(request.key), []).append(index)
         results: List[Optional[LookupResult]] = [None] * len(requests)
         for node, indices in by_node.items():
             batch = [requests[i] for i in indices]
-            for i, result in zip(indices, self._transports[node].multi_lookup(batch)):
+            answers: Optional[List[LookupResult]] = None
+            if node is not None:
+                try:
+                    answers = self._transports[node].multi_lookup(batch)
+                except _FAILURE_EXCEPTIONS:
+                    self._note_failure(node)
+                else:
+                    if node in self._suspects:
+                        self._note_success(node)
+            if answers is None:
+                self.health.degraded_lookups += len(batch)
+                answers = [
+                    LookupResult(hit=False, key=request.key, degraded=True)
+                    for request in batch
+                ]
+            for i, result in zip(indices, answers):
                 results[i] = result
         return results  # type: ignore[return-value]  # every slot is filled
 
@@ -213,28 +448,96 @@ class CacheCluster:
         interval: Interval,
         tags: FrozenSet[InvalidationTag] = frozenset(),
     ) -> bool:
-        """Route an insertion to the responsible node."""
-        return self.transport_for(key).put(key, value, interval, tags)
+        """Route an insertion to the responsible node (no-op if it is down)."""
+        node = self._node_for(key)
+        if node is not None:
+            try:
+                stored = self._transports[node].put(key, value, interval, tags)
+            except _FAILURE_EXCEPTIONS:
+                self._note_failure(node)
+            else:
+                if node in self._suspects:
+                    self._note_success(node)
+                return stored
+        self.health.degraded_puts += 1
+        return False
 
     def probe(self, key: str, lo: int, hi: int) -> bool:
         """Statistics-free hit check on the responsible node (see server)."""
-        return self.transport_for(key).probe(key, lo, hi)
+        node = self._node_for(key)
+        if node is not None:
+            try:
+                answer = self._transports[node].probe(key, lo, hi)
+            except _FAILURE_EXCEPTIONS:
+                self._note_failure(node)
+            else:
+                if node in self._suspects:
+                    self._note_success(node)
+                return answer
+        self.health.degraded_ops += 1
+        return False
 
     def was_ever_stored(self, key: str) -> bool:
         """True if the responsible node has ever stored ``key``."""
-        return self.transport_for(key).was_ever_stored(key)
+        node = self._node_for(key)
+        if node is not None:
+            try:
+                answer = self._transports[node].was_ever_stored(key)
+            except _FAILURE_EXCEPTIONS:
+                self._note_failure(node)
+            else:
+                if node in self._suspects:
+                    self._note_success(node)
+                return answer
+        self.health.degraded_ops += 1
+        return False
 
     def evict_stale(self, oldest_useful_timestamp: int) -> int:
-        """Eagerly drop too-stale entries on every node."""
-        return sum(
-            transport.evict_stale(oldest_useful_timestamp)
-            for transport in self._transports.values()
-        )
+        """Eagerly drop too-stale entries on every reachable node."""
+        removed = 0
+        for node in list(self._transports):
+            transport = self._transports.get(node)
+            if transport is None:
+                continue
+            try:
+                removed += transport.evict_stale(oldest_useful_timestamp)
+            except _FAILURE_EXCEPTIONS:
+                self.health.degraded_ops += 1
+                self._note_failure(node)
+        return removed
 
     def clear(self) -> None:
-        """Empty every node."""
-        for transport in self._transports.values():
-            transport.clear()
+        """Empty every reachable node."""
+        for node in list(self._transports):
+            transport = self._transports.get(node)
+            if transport is None:
+                continue
+            try:
+                transport.clear()
+            except _FAILURE_EXCEPTIONS:
+                self.health.degraded_ops += 1
+                self._note_failure(node)
+
+    # ------------------------------------------------------------------
+    # Key migration plumbing (used by the membership coordinator)
+    # ------------------------------------------------------------------
+    def extract_entries(
+        self, node: str, cursor: Optional[str] = None, limit: int = 64
+    ) -> Tuple[List[EntryRecord], Optional[str]]:
+        """One page of ``node``'s entries (see the transport operation)."""
+        return self._transports[node].extract_entries(cursor, limit)
+
+    def install_entries(self, node: str, records: Sequence[EntryRecord]) -> int:
+        """Install migrated records on ``node``; returns the stored count."""
+        return self._transports[node].install_entries(records)
+
+    def discard_keys(self, node: str, keys: Sequence[str]) -> int:
+        """Drop migrated-away keys from ``node``; returns the removed count."""
+        return self._transports[node].discard_keys(keys)
+
+    def watermark(self, node: str) -> int:
+        """``node``'s highest processed invalidation timestamp."""
+        return self._transports[node].watermark()
 
     # ------------------------------------------------------------------
     # Statistics
@@ -242,14 +545,28 @@ class CacheCluster:
     def aggregate_stats(self) -> CacheServerStats:
         """Sum the per-node counters into one stats object."""
         total = CacheServerStats()
-        for transport in self._transports.values():
-            total += transport.stats()
+        for node in list(self._transports):
+            transport = self._transports.get(node)
+            if transport is None:
+                continue
+            try:
+                total += transport.stats()
+            except _FAILURE_EXCEPTIONS:
+                self.health.degraded_ops += 1
+                self._note_failure(node)
         return total
 
     def reset_stats(self) -> None:
-        """Reset the counters of every node."""
-        for transport in self._transports.values():
-            transport.reset_stats()
+        """Reset the counters of every reachable node."""
+        for node in list(self._transports):
+            transport = self._transports.get(node)
+            if transport is None:
+                continue
+            try:
+                transport.reset_stats()
+            except _FAILURE_EXCEPTIONS:
+                self.health.degraded_ops += 1
+                self._note_failure(node)
 
     @property
     def used_bytes(self) -> int:

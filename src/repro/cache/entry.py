@@ -3,13 +3,13 @@
 from __future__ import annotations
 
 import pickle
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, FrozenSet, Optional
 
 from repro.db.invalidation import InvalidationTag
 from repro.interval import Interval
 
-__all__ = ["CacheEntry", "LookupRequest", "LookupResult", "estimate_size"]
+__all__ = ["CacheEntry", "EntryRecord", "LookupRequest", "LookupResult", "estimate_size"]
 
 #: Fixed per-entry bookkeeping overhead charged against the byte budget, in
 #: addition to the serialized size of the key and value.
@@ -72,6 +72,23 @@ class CacheEntry:
 
 
 @dataclass(frozen=True)
+class EntryRecord:
+    """One cache-entry version in transit between nodes (key migration).
+
+    A record carries everything needed to reinstall the version on another
+    node with identical semantics: the value, its validity interval, and —
+    for still-valid entries — the invalidation tags that keep it truncatable.
+    Records are produced by ``extract_entries`` and consumed by
+    ``install_entries`` (see :class:`repro.comm.transport.CacheTransport`).
+    """
+
+    key: str
+    value: Any
+    interval: Interval
+    tags: FrozenSet[InvalidationTag] = frozenset()
+
+
+@dataclass(frozen=True)
 class LookupRequest:
     """One element of a batched (multi-key) cache lookup.
 
@@ -112,3 +129,7 @@ class LookupResult:
     #: intersects the transaction's staleness window even though it did not
     #: satisfy this lookup; used to classify consistency misses.
     fresh_version_exists: bool = False
+    #: True if this result is a synthetic miss produced because the
+    #: responsible cache node was unreachable (failure-aware routing degraded
+    #: the lookup instead of raising); such misses are classified separately.
+    degraded: bool = False

@@ -5,21 +5,68 @@ DHTs), but assumes the deployment is small enough that every application node
 knows the full server list and can map a key to its node directly.  This is
 that scheme: a hash ring with virtual nodes for balance, plus successor
 lookup for a key.
+
+Beyond plain key routing the ring answers *ownership-range* queries, which is
+what the membership subsystem (:mod:`repro.cache.membership`) needs to plan a
+live migration: :meth:`ConsistentHashRing.owned_ranges` lists the hash-space
+arcs a node is responsible for, and :func:`diff_ownership` computes exactly
+which arcs change hands between two ring configurations (e.g. before and
+after a node joins).  Nodes may carry a *weight*, scaling their virtual-node
+count and therefore the share of the key space they own.
 """
 
 from __future__ import annotations
 
 import bisect
 import hashlib
+from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-__all__ = ["ConsistentHashRing"]
+__all__ = [
+    "ConsistentHashRing",
+    "OwnershipChange",
+    "diff_ownership",
+    "range_contains",
+    "HASH_SPACE",
+]
+
+#: Size of the hash space: points are 64-bit unsigned integers.
+HASH_SPACE = 2**64
 
 
 def _hash(data: str) -> int:
     """Stable 64-bit hash of a string (first 8 bytes of its SHA-1)."""
     digest = hashlib.sha1(data.encode()).digest()
     return int.from_bytes(digest[:8], "big")
+
+
+@dataclass(frozen=True)
+class OwnershipChange:
+    """One hash-space arc whose owner differs between two rings.
+
+    The arc is the half-open interval ``[lo, hi)``; when ``lo >= hi`` it
+    wraps around the top of the hash space.  Keys hashing into the arc were
+    routed to ``old_owner`` by the old ring and to ``new_owner`` by the new
+    one.
+    """
+
+    lo: int
+    hi: int
+    old_owner: str
+    new_owner: str
+
+
+def range_contains(lo: int, hi: int, point: int) -> bool:
+    """True if ``point`` lies in the (possibly wrapping) arc ``[lo, hi)``.
+
+    ``lo == hi`` denotes the full circle (a single-point ring owns
+    everything).
+    """
+    if lo == hi:
+        return True
+    if lo < hi:
+        return lo <= point < hi
+    return point >= lo or point < hi
 
 
 class ConsistentHashRing:
@@ -31,49 +78,89 @@ class ConsistentHashRing:
         self._virtual_nodes = virtual_nodes
         self._ring: List[Tuple[int, str]] = []
         self._points: List[int] = []
-        self._nodes: Dict[str, bool] = {}
+        #: node name -> number of virtual points it placed on the ring.
+        self._nodes: Dict[str, int] = {}
         for node in nodes:
             self.add_node(node)
 
     # ------------------------------------------------------------------
     # Membership
     # ------------------------------------------------------------------
-    def add_node(self, node: str) -> None:
-        """Add a node and its virtual points to the ring."""
+    def add_node(self, node: str, weight: float = 1.0) -> None:
+        """Add a node and its virtual points to the ring.
+
+        ``weight`` scales the node's virtual-node count (and therefore its
+        expected share of the key space): a weight-2 node owns roughly twice
+        as many keys as a weight-1 node.
+        """
         if node in self._nodes:
             return
-        self._nodes[node] = True
-        for replica in range(self._virtual_nodes):
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        replicas = max(1, round(self._virtual_nodes * weight))
+        self._nodes[node] = replicas
+        for replica in range(replicas):
             point = _hash(f"{node}#{replica}")
             index = bisect.bisect(self._points, point)
             self._points.insert(index, point)
             self._ring.insert(index, (point, node))
 
     def remove_node(self, node: str) -> None:
-        """Remove a node; its keys fall to their ring successors."""
-        if node not in self._nodes:
+        """Remove a node; its keys fall to their ring successors.
+
+        Only the victim's virtual points are deleted (located by bisect),
+        rather than rebuilding the whole ring: O(vnodes * log points) instead
+        of O(nodes * vnodes).
+        """
+        replicas = self._nodes.pop(node, None)
+        if replicas is None:
             return
-        del self._nodes[node]
-        kept = [(point, owner) for point, owner in self._ring if owner != node]
-        self._ring = kept
-        self._points = [point for point, _owner in kept]
+        for replica in range(replicas):
+            point = _hash(f"{node}#{replica}")
+            index = bisect.bisect_left(self._points, point)
+            # Several nodes could collide on one point; scan the equal run
+            # for the entry that belongs to the victim.
+            while index < len(self._ring) and self._points[index] == point:
+                if self._ring[index][1] == node:
+                    del self._points[index]
+                    del self._ring[index]
+                    break
+                index += 1
+
+    def copy(self) -> "ConsistentHashRing":
+        """An independent copy (used to stage a membership change)."""
+        clone = ConsistentHashRing(virtual_nodes=self._virtual_nodes)
+        clone._ring = list(self._ring)
+        clone._points = list(self._points)
+        clone._nodes = dict(self._nodes)
+        return clone
 
     @property
     def nodes(self) -> List[str]:
         """Current member node names."""
         return list(self._nodes)
 
+    def weight_of(self, node: str) -> float:
+        """The node's weight, expressed as its virtual-node fraction."""
+        return self._nodes[node] / self._virtual_nodes
+
     def __len__(self) -> int:
         return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
 
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
     def node_for(self, key: str) -> str:
         """Return the node responsible for ``key``."""
+        return self.node_for_point(_hash(key))
+
+    def node_for_point(self, point: int) -> str:
+        """Return the node owning a raw hash-space ``point`` (its successor)."""
         if not self._ring:
             raise LookupError("hash ring has no nodes")
-        point = _hash(key)
         index = bisect.bisect(self._points, point)
         if index == len(self._points):
             index = 0
@@ -85,3 +172,50 @@ class ConsistentHashRing:
         for key in keys:
             counts[self.node_for(key)] += 1
         return counts
+
+    # ------------------------------------------------------------------
+    # Ownership ranges
+    # ------------------------------------------------------------------
+    def owned_ranges(self, node: str) -> List[Tuple[int, int]]:
+        """The hash-space arcs ``[lo, hi)`` that route to ``node``.
+
+        Each virtual point owns the arc from its predecessor point (inclusive,
+        since a key hashing exactly onto a point routes to the point's
+        successor) up to itself (exclusive).  Arcs may wrap; ``lo == hi``
+        denotes the full circle of a single-point ring.
+        """
+        if node not in self._nodes:
+            raise KeyError(node)
+        ranges: List[Tuple[int, int]] = []
+        count = len(self._ring)
+        for index, (point, owner) in enumerate(self._ring):
+            if owner == node:
+                predecessor = self._points[(index - 1) % count]
+                ranges.append((predecessor, point))
+        return ranges
+
+
+def diff_ownership(
+    old: ConsistentHashRing, new: ConsistentHashRing
+) -> List[OwnershipChange]:
+    """Every hash-space arc whose owner differs between ``old`` and ``new``.
+
+    Ownership is piecewise constant between ring points, so the combined
+    point set of both rings partitions the circle into arcs on which both
+    rings' routing is constant; comparing the owners at each arc's start
+    point yields the exact set of ranges a membership change moves.  This is
+    what makes migration *incremental*: only the returned arcs' keys need to
+    be touched.
+    """
+    points = sorted(set(old._points) | set(new._points))
+    if not points or not old._points or not new._points:
+        return []
+    changes: List[OwnershipChange] = []
+    count = len(points)
+    for index, lo in enumerate(points):
+        hi = points[(index + 1) % count]
+        old_owner = old.node_for_point(lo)
+        new_owner = new.node_for_point(lo)
+        if old_owner != new_owner:
+            changes.append(OwnershipChange(lo=lo, hi=hi, old_owner=old_owner, new_owner=new_owner))
+    return changes

@@ -1,0 +1,310 @@
+"""Cluster membership: epochs, live key migration, failure-driven eviction.
+
+The paper assumes a mostly static cache-server list; this module is what
+turns the reproduction's cache tier into an *elastic* one.  A
+:class:`ClusterMembership` coordinator sits next to a
+:class:`repro.cache.cluster.CacheCluster` and versions its node set into
+**epochs**: every join, leave, rejoin, or failure-driven eviction advances
+the epoch and is recorded in the membership history.
+
+**Live key migration.**  Consistent hashing already guarantees a membership
+change remaps only ~1/n of the key space, but without migration that slice
+cold-starts: every remapped key misses until traffic refills it.  A planned
+change instead *streams* the affected entries to their new owner before the
+ring is switched:
+
+1. stage the change on a copy of the ring and diff ownership
+   (:func:`repro.cache.hashring.diff_ownership`) to find the arcs — and
+   therefore the source nodes — that change hands;
+2. carry each source's invalidation watermark over to the target
+   (``note_timestamp``), so migrated still-valid entries remain usable at
+   current timestamps on arrival;
+3. page through each source with ``extract_entries`` (bounded chunks, all
+   versions of a key in one chunk), keep the records the new ring routes
+   elsewhere, and ``install_entries`` them on their new owner — the
+   install path reuses the server's put semantics, so the
+   insert/invalidate race protection applies to in-flight records too;
+4. atomically adopt the new ring, then ``discard_keys`` the moved keys from
+   the sources (join) or shut the drained node down (leave).
+
+Because every node subscribes to the same invalidation stream throughout,
+invalidations published during a migration reach both the old and the new
+owner; a record extracted before an invalidation and installed after it is
+truncated on insert by the target's tag history.
+
+**Failure handling.**  The cluster itself degrades operations against an
+unreachable node to misses/no-ops and evicts the node from the ring after
+``failure_threshold`` consecutive failures (see
+:class:`repro.cache.cluster.CacheCluster`); the coordinator observes those
+evictions through the cluster's ``on_node_evicted`` hook, records an epoch,
+and allows the node (or a replacement with the same name) to *rejoin* later
+via :meth:`join` — warmed by migration like any other joiner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+# _FAILURE_EXCEPTIONS: the cluster's definition of "node unreachable";
+# migration treats a vanished source/target the same way routing does.
+from repro.cache.cluster import _FAILURE_EXCEPTIONS, CacheCluster
+from repro.cache.entry import EntryRecord
+from repro.cache.hashring import ConsistentHashRing, diff_ownership
+from repro.cache.server import CacheServer
+
+__all__ = ["ClusterMembership", "MembershipStats", "EpochRecord"]
+
+
+@dataclass
+class MembershipStats:
+    """Counters kept by the membership coordinator."""
+
+    joins: int = 0
+    leaves: int = 0
+    rejoins: int = 0
+    #: Failure-driven ring evictions observed via the cluster hook.
+    failure_evictions: int = 0
+    #: Administrative :meth:`ClusterMembership.evict` calls (no migration).
+    manual_evictions: int = 0
+    #: Planned changes that ran with migration enabled.
+    migrations: int = 0
+    #: Hash-ring arcs that changed owner across all planned changes.
+    ranges_moved: int = 0
+    #: Entry versions shipped to a new owner.
+    entries_migrated: int = 0
+    #: Distinct keys shipped to a new owner.
+    keys_migrated: int = 0
+    #: extract_entries pages issued.
+    migration_chunks: int = 0
+    #: Entry versions dropped from sources after a successful handoff.
+    entries_discarded: int = 0
+    #: Sources that disappeared mid-migration (their slice cold-starts).
+    migration_sources_lost: int = 0
+    #: Install batches lost because the destination was unreachable.
+    migration_install_failures: int = 0
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """One entry of the membership history."""
+
+    epoch: int
+    change: str  # "genesis" | "join" | "rejoin" | "leave" | "evict"
+    node: Optional[str]
+    #: Node set after the change took effect.
+    members: Tuple[str, ...] = ()
+
+
+@dataclass
+class ClusterMembership:
+    """Epoch-versioned membership coordinator for one cache cluster."""
+
+    cluster: CacheCluster
+    #: Keys per extract_entries page during migration.
+    chunk_size: int = 128
+
+    epoch: int = field(init=False, default=0)
+    history: List[EpochRecord] = field(init=False, default_factory=list)
+    stats: MembershipStats = field(init=False, default_factory=MembershipStats)
+
+    def __post_init__(self) -> None:
+        if self.chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        #: Names that departed (leave or eviction); joining one again is a
+        #: rejoin rather than a first join.
+        self._departed: set = set()
+        self.history.append(
+            EpochRecord(epoch=0, change="genesis", node=None, members=self._members())
+        )
+        self.cluster.on_node_evicted = self._on_failure_eviction
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def members(self) -> List[str]:
+        """Current ring members."""
+        return self.cluster.ring.nodes
+
+    def _members(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.cluster.ring.nodes))
+
+    def _advance(self, change: str, node: Optional[str]) -> None:
+        self.epoch += 1
+        self.history.append(
+            EpochRecord(epoch=self.epoch, change=change, node=node, members=self._members())
+        )
+
+    # ------------------------------------------------------------------
+    # Planned membership changes
+    # ------------------------------------------------------------------
+    def join(
+        self,
+        name: str,
+        capacity_bytes: int = 64 * 1024 * 1024,
+        weight: float = 1.0,
+        migrate: bool = True,
+    ) -> CacheServer:
+        """Add a node, optionally warming it by live migration.
+
+        The node is provisioned outside the ring (it already receives the
+        invalidation stream), the entries its arcs will own are streamed
+        onto it from their current owners, and only then does the ring —
+        and with it live traffic — switch over.  With ``migrate=False``
+        this is a cold join: remapped keys start over.
+        """
+        if name in self.cluster.ring:
+            raise ValueError(f"cache node {name!r} is already a member")
+        rejoining = name in self._departed
+        server = self.cluster.provision_node(name, capacity_bytes)
+        new_ring = self.cluster.ring.copy()
+        new_ring.add_node(name, weight=weight)
+        if migrate and len(new_ring) > 1:
+            self._migrate_for_join(name, new_ring)
+        self.cluster.adopt_ring(new_ring)
+        if rejoining:
+            self._departed.discard(name)
+            self.stats.rejoins += 1
+            self._advance("rejoin", name)
+        else:
+            self.stats.joins += 1
+            self._advance("join", name)
+        return server
+
+    def leave(self, name: str, migrate: bool = True) -> None:
+        """Remove a node, optionally draining its entries to the survivors.
+
+        With migration, every entry the departing node holds is streamed to
+        the node that owns its key under the new ring before routing
+        switches and the node shuts down; the departing slice stays warm.
+        """
+        if name not in self.cluster.ring:
+            raise KeyError(name)
+        new_ring = self.cluster.ring.copy()
+        new_ring.remove_node(name)
+        if migrate and len(new_ring) > 0:
+            self._migrate_for_leave(name, new_ring)
+        self.cluster.adopt_ring(new_ring)
+        self.cluster.remove_node(name)  # ring removal already done; detaches node
+        self._departed.add(name)
+        self.stats.leaves += 1
+        self._advance("leave", name)
+
+    def evict(self, name: str) -> None:
+        """Forcibly drop a (presumed dead) node: no migration, epoch bump.
+
+        This is the manual form of what the cluster does automatically after
+        repeated transport failures; the node's slice of the key space
+        cold-starts on the survivors.
+        """
+        if name not in self.cluster.ring:
+            raise KeyError(name)
+        new_ring = self.cluster.ring.copy()
+        new_ring.remove_node(name)
+        self.cluster.adopt_ring(new_ring)
+        self.cluster.remove_node(name)
+        self.stats.manual_evictions += 1
+        self._record_eviction(name)
+
+    def _on_failure_eviction(self, name: str) -> None:
+        """Cluster hook: a node crossed the failure threshold and was evicted."""
+        self.stats.failure_evictions += 1
+        self._record_eviction(name)
+
+    def _record_eviction(self, name: str) -> None:
+        self._departed.add(name)
+        self._advance("evict", name)
+
+    # ------------------------------------------------------------------
+    # Migration internals
+    # ------------------------------------------------------------------
+    def _migrate_for_join(self, target: str, new_ring: ConsistentHashRing) -> None:
+        """Stream the arcs the joining ``target`` gains from their owners."""
+        changes = diff_ownership(self.cluster.ring, new_ring)
+        self.stats.ranges_moved += len(changes)
+        sources = sorted({change.old_owner for change in changes if change.new_owner == target})
+        self.stats.migrations += 1
+        for source in sources:
+            moved_keys = self._stream_entries(
+                source, keep=lambda key: new_ring.node_for(key) == target, target=target
+            )
+            if moved_keys is None:
+                continue  # source died; its slice cold-starts on the target
+            if moved_keys:
+                try:
+                    self.stats.entries_discarded += self.cluster.discard_keys(
+                        source, sorted(moved_keys)
+                    )
+                except _FAILURE_EXCEPTIONS:
+                    # Stale copies age out; routing never returns there.
+                    self.cluster.note_transport_failure(source)
+
+    def _migrate_for_leave(self, source: str, new_ring: ConsistentHashRing) -> None:
+        """Drain everything the departing ``source`` holds to the new owners."""
+        self.stats.migrations += 1
+        # diff_ownership would list the same arcs; for a leave every entry of
+        # the source moves, so the per-key route below is the whole story —
+        # but the ranges still feed the counters for observability.
+        self.stats.ranges_moved += len(diff_ownership(self.cluster.ring, new_ring))
+        self._stream_entries(source, keep=lambda key: True, target=None, route=new_ring)
+        # No discard: the node is shut down right after routing switches.
+
+    def _stream_entries(self, source, keep, target, route=None) -> Optional[set]:
+        """Page entries out of ``source`` and install the kept ones.
+
+        ``target`` fixes the destination (join); with ``route`` instead, each
+        record goes to the node owning its key under that ring (leave).
+        Returns the set of moved keys, or None if the source became
+        unreachable mid-stream.
+        """
+        try:
+            source_watermark = self.cluster.watermark(source)
+        except _FAILURE_EXCEPTIONS:
+            self.stats.migration_sources_lost += 1
+            self.cluster.note_transport_failure(source)
+            return None
+        watermarked: set = set()
+        moved_keys: set = set()
+        cursor: Optional[str] = None
+        while True:
+            try:
+                records, cursor = self.cluster.extract_entries(
+                    source, cursor, self.chunk_size
+                )
+            except _FAILURE_EXCEPTIONS:
+                self.stats.migration_sources_lost += 1
+                self.cluster.note_transport_failure(source)
+                return None
+            self.stats.migration_chunks += 1
+            by_target: Dict[str, List[EntryRecord]] = {}
+            for record in records:
+                if not keep(record.key):
+                    continue
+                destination = target if target is not None else route.node_for(record.key)
+                by_target.setdefault(destination, []).append(record)
+            for destination, batch in by_target.items():
+                try:
+                    if destination not in watermarked:
+                        # Advance the destination's invalidation watermark to
+                        # the source's before installing, so still-valid
+                        # records are usable at current timestamps on arrival.
+                        transport = self.cluster.transports[destination]
+                        if transport.watermark() < source_watermark:
+                            transport.note_timestamp(source_watermark)
+                        watermarked.add(destination)
+                    self.cluster.install_entries(destination, batch)
+                except _FAILURE_EXCEPTIONS:
+                    # Destination died mid-install: its slice cold-starts.
+                    # Record the failure (suspect marking) without evicting,
+                    # so the staged ring stays valid; the first routed
+                    # failure after the epoch switch completes the eviction.
+                    self.stats.migration_install_failures += 1
+                    self.cluster.note_transport_failure(destination)
+                    continue
+                self.stats.entries_migrated += len(batch)
+                moved_keys.update(record.key for record in batch)
+            if cursor is None:
+                break
+        self.stats.keys_migrated += len(moved_keys)
+        return moved_keys

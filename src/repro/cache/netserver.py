@@ -24,8 +24,9 @@ length-delimited framing used for streaming structured data over plain
 sockets.  A request payload decodes to ``(op, args)`` where ``op`` names a
 cache operation (``"lookup"``, ``"multi_lookup"``, ``"put"``, ``"probe"``,
 ``"was_ever_stored"``, ``"evict_stale"``, ``"clear"``, ``"stats"``,
-``"reset_stats"``, ``"invalidate"``, ``"note_timestamp"``, ``"ping"``) and
-``args`` is a tuple of its positional arguments.  A response payload decodes
+``"reset_stats"``, ``"extract_entries"``, ``"install_entries"``,
+``"discard_keys"``, ``"watermark"``, ``"invalidate"``, ``"note_timestamp"``,
+``"ping"``) and ``args`` is a tuple of its positional arguments.  A response payload decodes
 to ``("ok", value)`` or ``("err", message)``.  Payloads are encoded with
 :mod:`pickle` because cached values are arbitrary Python objects (query-result
 rows, tuples, frozensets of invalidation tags) that must round-trip exactly;
@@ -41,13 +42,18 @@ import struct
 import threading
 from typing import FrozenSet, List, Optional, Sequence, Tuple
 
-from repro.cache.entry import LookupRequest, LookupResult
+from repro.cache.entry import EntryRecord, LookupRequest, LookupResult
 from repro.cache.server import CacheServer, CacheServerStats
 from repro.comm.multicast import InvalidationMessage
 from repro.db.invalidation import InvalidationTag
 from repro.interval import Interval
 
-__all__ = ["CacheServerProcess", "SocketTransport", "CacheTransportError"]
+__all__ = [
+    "CacheServerProcess",
+    "SocketTransport",
+    "CacheTransportError",
+    "CacheNodeUnreachableError",
+]
 
 #: Frame header: payload length as a 4-byte big-endian unsigned integer.
 _HEADER = struct.Struct("!I")
@@ -58,6 +64,16 @@ MAX_FRAME_BYTES = 256 * 1024 * 1024
 
 class CacheTransportError(RuntimeError):
     """A cache RPC failed (connection lost or server-side error)."""
+
+
+class CacheNodeUnreachableError(CacheTransportError):
+    """The node could not be reached at all (connection-level I/O failure).
+
+    Distinguished from a server-side error response so failure-aware routing
+    (:class:`repro.cache.cluster.CacheCluster`) degrades only on genuine
+    connectivity loss, never on an application-level error that would
+    otherwise be masked.
+    """
 
 
 # ----------------------------------------------------------------------
@@ -198,6 +214,14 @@ class CacheServerProcess:
             return CacheServerStats().merge(server.stats)
         if op == "reset_stats":
             return server.stats.reset()
+        if op == "extract_entries":
+            return server.extract_entries(*args)
+        if op == "install_entries":
+            return server.install_entries(*args)
+        if op == "discard_keys":
+            return server.discard_keys(*args)
+        if op == "watermark":
+            return server.last_invalidation_timestamp
         if op == "invalidate":
             return server.process_invalidation(*args)
         if op == "note_timestamp":
@@ -261,7 +285,9 @@ class SocketTransport:
     def _call(self, op: str, *args: object) -> object:
         with self._lock:
             if self._sock is None:
-                raise CacheTransportError(f"transport to {self.address} is closed")
+                raise CacheNodeUnreachableError(
+                    f"transport to {self.address} is closed"
+                )
             try:
                 send_frame(self._sock, (op, args))
                 response = recv_frame(self._sock)
@@ -271,7 +297,7 @@ class SocketTransport:
                 # connection cannot be reused after any I/O failure.
                 _close_quietly(self._sock)
                 self._sock = None
-                raise CacheTransportError(
+                raise CacheNodeUnreachableError(
                     f"cache node at {self.address} unreachable: {exc}"
                 ) from exc
         status, value = response
@@ -312,6 +338,21 @@ class SocketTransport:
 
     def reset_stats(self) -> None:
         self._call("reset_stats")
+
+    # -- key migration --------------------------------------------------
+    def extract_entries(
+        self, cursor: Optional[str] = None, limit: int = 64
+    ) -> Tuple[List[EntryRecord], Optional[str]]:
+        return self._call("extract_entries", cursor, limit)
+
+    def install_entries(self, records: Sequence[EntryRecord]) -> int:
+        return self._call("install_entries", list(records))
+
+    def discard_keys(self, keys: Sequence[str]) -> int:
+        return self._call("discard_keys", list(keys))
+
+    def watermark(self) -> int:
+        return self._call("watermark")
 
     # -- invalidation stream -------------------------------------------
     def process_invalidation(self, message: InvalidationMessage) -> None:

@@ -21,11 +21,18 @@ removal of entries too stale to satisfy any transaction's staleness limit.
 
 from __future__ import annotations
 
+import heapq
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
-from repro.cache.entry import CacheEntry, LookupRequest, LookupResult, estimate_size
+from repro.cache.entry import (
+    CacheEntry,
+    EntryRecord,
+    LookupRequest,
+    LookupResult,
+    estimate_size,
+)
 from repro.clock import Clock, SystemClock
 from repro.comm.multicast import InvalidationMessage
 from repro.db.invalidation import InvalidationTag
@@ -47,6 +54,11 @@ class CacheServerStats:
     stale_evictions: int = 0
     invalidation_messages: int = 0
     entries_invalidated: int = 0
+    #: Key-migration traffic (cluster elasticity): entry versions shipped out
+    #: of this node, installed onto it, and discarded after a handoff.
+    entries_extracted: int = 0
+    entries_installed: int = 0
+    entries_discarded: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -269,6 +281,81 @@ class CacheServer:
         self.stats.insertions += 1
         self._enforce_capacity()
         return True
+
+    # ------------------------------------------------------------------
+    # Key migration (cluster elasticity)
+    # ------------------------------------------------------------------
+    def extract_entries(
+        self, cursor: Optional[str] = None, limit: int = 64
+    ) -> Tuple[List[EntryRecord], Optional[str]]:
+        """Page through this node's entries for migration.
+
+        Returns up to ``limit`` *keys'* worth of entry versions (all versions
+        of a key travel in the same chunk so a key is never half-migrated)
+        as :class:`EntryRecord` objects, plus a cursor: pass it back to
+        resume after the last returned key, or ``None`` when the scan is
+        complete.  Extraction is non-destructive — entries stay on this node
+        until the coordinator explicitly discards them — and does not touch
+        hit/miss statistics or LRU ordering.
+        """
+        if limit < 1:
+            raise ValueError("limit must be positive")
+        # One linear scan + a bounded heap per page instead of re-sorting the
+        # whole key set; paging stays stateless across calls (no server-side
+        # scan handle to leak or invalidate), which a migration coordinator
+        # retrying against a live node depends on.
+        candidates = (
+            key for key in self._entries if cursor is None or key > cursor
+        )
+        chunk = heapq.nsmallest(limit + 1, candidates)
+        more = len(chunk) > limit
+        chunk = chunk[:limit]
+        records = [
+            EntryRecord(key=key, value=entry.value, interval=entry.interval, tags=entry.tags)
+            for key in chunk
+            for entry in self._entries[key]
+        ]
+        self.stats.entries_extracted += len(records)
+        next_cursor = chunk[-1] if more else None
+        return records, next_cursor
+
+    def install_entries(self, records: Sequence[EntryRecord]) -> int:
+        """Install migrated entry versions; returns how many were stored.
+
+        Installation goes through :meth:`put`, so all of its semantics apply:
+        interval-covered duplicates are rejected, and a still-valid record
+        whose tags this node has already seen invalidated is truncated on
+        insert (the same mechanism that closes the insert/invalidate race
+        protects a record that crossed the wire during a migration).
+        """
+        installed = 0
+        for record in records:
+            if self.put(record.key, record.value, record.interval, record.tags):
+                installed += 1
+        self.stats.entries_installed += installed
+        return installed
+
+    def discard_keys(self, keys: Sequence[str]) -> int:
+        """Drop every version of the given keys (post-migration cleanup).
+
+        Used by the migration coordinator after the new owner confirmed the
+        install, so the old owner's capacity is not wasted on entries the
+        ring will never route to it again.  Returns the number of entry
+        versions removed.  The keys remain in the ever-stored set: the node
+        *did* store them, and routing never consults this node for them
+        again anyway.
+        """
+        removed = 0
+        for key in keys:
+            entries = self._entries.pop(key, None)
+            if entries is None:
+                continue
+            for entry in entries:
+                self._drop_entry(entry)
+            removed += len(entries)
+            self._lru.pop(key, None)
+        self.stats.entries_discarded += removed
+        return removed
 
     # ------------------------------------------------------------------
     # Invalidation stream

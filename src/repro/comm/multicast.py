@@ -99,7 +99,9 @@ class InvalidationBus:
         delivered = 0
         while self._pending:
             message = self._pending.popleft()
-            for subscriber in self._subscribers:
+            # Snapshot the subscriber list: delivering to a dead cache node
+            # can trigger its eviction, which unsubscribes it mid-delivery.
+            for subscriber in list(self._subscribers):
                 subscriber.process_invalidation(message)
             delivered += 1
             self._delivered_count += 1

@@ -22,18 +22,30 @@ the node is deployed.
 The operations mirror the cache server's public surface: ``lookup``,
 ``multi_lookup`` (a batch of lookups/probes answered in one round trip),
 ``put``, ``probe``, ``was_ever_stored``, ``evict_stale``, ``clear`` and
-``stats``, plus the invalidation-stream entry points (``process_invalidation``,
-``note_timestamp``) and lifecycle helpers (``reset_stats``, ``close``).
+``stats``, plus the key-migration operations used by the membership
+subsystem (``extract_entries``, ``install_entries``, ``discard_keys``,
+``watermark``), the invalidation-stream entry points
+(``process_invalidation``, ``note_timestamp``) and lifecycle helpers
+(``reset_stats``, ``close``).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, FrozenSet, List, Protocol, Sequence, runtime_checkable
+from typing import (
+    TYPE_CHECKING,
+    FrozenSet,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
 
 from repro.comm.multicast import InvalidationMessage
 
 if TYPE_CHECKING:  # cache modules import repro.comm; avoid the import cycle
-    from repro.cache.entry import LookupRequest, LookupResult
+    from repro.cache.entry import EntryRecord, LookupRequest, LookupResult
     from repro.cache.server import CacheServer, CacheServerStats
     from repro.db.invalidation import InvalidationTag
     from repro.interval import Interval
@@ -83,6 +95,23 @@ class CacheTransport(Protocol):
 
     def reset_stats(self) -> None:
         """Zero the node's counters."""
+
+    # ------------------------------------------------------------------
+    # Key migration (cluster elasticity)
+    # ------------------------------------------------------------------
+    def extract_entries(
+        self, cursor: Optional[str] = None, limit: int = 64
+    ) -> Tuple[List[EntryRecord], Optional[str]]:
+        """Page through the node's entries; returns (records, next_cursor)."""
+
+    def install_entries(self, records: Sequence[EntryRecord]) -> int:
+        """Install migrated entry versions; returns how many were stored."""
+
+    def discard_keys(self, keys: Sequence[str]) -> int:
+        """Drop every version of the given keys (post-migration cleanup)."""
+
+    def watermark(self) -> int:
+        """The node's highest processed invalidation timestamp."""
 
     # ------------------------------------------------------------------
     # Invalidation stream (InvalidationBus subscriber surface)
@@ -144,6 +173,21 @@ class InProcessTransport:
 
     def reset_stats(self) -> None:
         self.server.stats.reset()
+
+    # -- key migration --------------------------------------------------
+    def extract_entries(
+        self, cursor: Optional[str] = None, limit: int = 64
+    ) -> Tuple[List[EntryRecord], Optional[str]]:
+        return self.server.extract_entries(cursor, limit)
+
+    def install_entries(self, records: Sequence[EntryRecord]) -> int:
+        return self.server.install_entries(records)
+
+    def discard_keys(self, keys: Sequence[str]) -> int:
+        return self.server.discard_keys(keys)
+
+    def watermark(self) -> int:
+        return self.server.last_invalidation_timestamp
 
     # -- invalidation stream -------------------------------------------
     def process_invalidation(self, message: InvalidationMessage) -> None:

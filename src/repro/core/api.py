@@ -47,7 +47,6 @@ from repro.core.transaction import CacheableFrame, ReadOnlyState, ReadWriteState
 from repro.db.database import Database
 from repro.db.executor import QueryResult
 from repro.db.query import Predicate, Query
-from repro.interval import Interval
 from repro.pincushion.pincushion import Pincushion
 
 __all__ = ["ConsistencyMode", "TxCacheClient"]
@@ -383,7 +382,14 @@ class TxCacheClient:
 
     @staticmethod
     def _classify_miss(result, probe_hit: bool) -> MissType:
-        """Classify a miss as compulsory, stale/capacity, or consistency."""
+        """Classify a miss as compulsory, stale/capacity, or consistency.
+
+        A degraded result (the responsible cache node was unreachable and
+        failure-aware routing synthesized a miss) is its own category: it
+        says nothing about whether the key was ever cached.
+        """
+        if result.degraded:
+            return MissType.DEGRADED
         if not result.key_ever_stored:
             return MissType.COMPULSORY
         if probe_hit:

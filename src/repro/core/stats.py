@@ -26,11 +26,19 @@ __all__ = ["MissType", "ClientStats"]
 
 
 class MissType(Enum):
-    """Classification of one cache miss (paper section 8.3)."""
+    """Classification of one cache miss (paper section 8.3).
+
+    ``DEGRADED`` extends the paper's taxonomy for the elastic deployment:
+    the responsible cache node was unreachable, so the library treated the
+    lookup as a miss rather than failing the transaction.  Keeping these out
+    of the other buckets stops a dead node from polluting the compulsory
+    counts of Figure 8.
+    """
 
     COMPULSORY = "compulsory"
     STALE_OR_CAPACITY = "stale_or_capacity"
     CONSISTENCY = "consistency"
+    DEGRADED = "degraded"
 
 
 @dataclass

@@ -16,11 +16,11 @@ same point in time as previously observed cached values.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Set, Tuple
 
 from repro.db.errors import SerializationError, TransactionStateError
 from repro.db.invalidation import InvalidationTag, collapse_tags, tags_for_modified_tuple
-from repro.db.query import Predicate, Query, TruePredicate
+from repro.db.query import Predicate, Query
 from repro.db.executor import QueryResult
 from repro.db.tuples import TupleVersion, UncommittedMark, visible_at
 

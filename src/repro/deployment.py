@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.cache.cluster import CacheCluster
+from repro.cache.membership import ClusterMembership
+from repro.cache.server import CacheServer
 from repro.clock import Clock, ManualClock
 from repro.comm.multicast import InvalidationBus
 from repro.core.api import ConsistencyMode, TxCacheClient
@@ -44,6 +46,11 @@ class TxCacheDeployment:
     new_pin_threshold: float = 5.0
     pincushion_expiry_seconds: float = 60.0
     track_validity: bool = True
+    #: Consecutive transport failures before a cache node is evicted from
+    #: the ring (failure-aware routing degrades to misses until then).
+    failure_threshold: int = 3
+    #: Keys per chunk when live-migrating entries on a membership change.
+    migration_chunk_size: int = 128
 
     def __post_init__(self) -> None:
         self.invalidation_bus = InvalidationBus()
@@ -58,7 +65,9 @@ class TxCacheDeployment:
             clock=self.clock,
             invalidation_bus=self.invalidation_bus,
             transport=self.transport,
+            failure_threshold=self.failure_threshold,
         )
+        self.membership = ClusterMembership(self.cache, chunk_size=self.migration_chunk_size)
         self.pincushion = Pincushion(
             clock=self.clock,
             unpin_callback=self.database.unpin,
@@ -113,6 +122,38 @@ class TxCacheDeployment:
         """Advance a manual clock (no-op guard for system clocks)."""
         if isinstance(self.clock, ManualClock):
             self.clock.advance(seconds)
+
+    # ------------------------------------------------------------------
+    # Elasticity
+    # ------------------------------------------------------------------
+    def add_cache_node(
+        self,
+        name: Optional[str] = None,
+        capacity_bytes: Optional[int] = None,
+        weight: float = 1.0,
+        migrate: bool = True,
+    ) -> CacheServer:
+        """Grow the cache tier by one node (warm join via live migration).
+
+        ``name`` defaults to the next free ``cacheN``; ``capacity_bytes``
+        defaults to the deployment's per-node capacity.  With
+        ``migrate=False`` the join is cold: remapped keys start over.
+        """
+        if name is None:
+            index = self.cache.node_count
+            while f"cache{index}" in self.cache.transports:
+                index += 1
+            name = f"cache{index}"
+        return self.membership.join(
+            name,
+            capacity_bytes=capacity_bytes or self.cache_capacity_bytes_per_node,
+            weight=weight,
+            migrate=migrate,
+        )
+
+    def remove_cache_node(self, name: str, migrate: bool = True) -> None:
+        """Shrink the cache tier by one node (drained via live migration)."""
+        self.membership.leave(name, migrate=migrate)
 
     # ------------------------------------------------------------------
     # Lifecycle

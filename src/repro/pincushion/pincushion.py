@@ -15,7 +15,7 @@ COMMIT/ABORT; a periodic sweep unpins snapshots that are old and unused.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.clock import Clock, SystemClock

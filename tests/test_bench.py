@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.apps.rubis.datagen import IN_MEMORY_CONFIG
-from repro.bench.costmodel import BufferCache, ClusterSpec, CostModel, CostParameters
+from repro.bench.costmodel import BufferCache, ClusterSpec, CostModel
 from repro.bench.driver import BenchmarkConfig, run_benchmark
 from repro.bench.experiments import ExperimentSettings, validity_tracking_overhead
 from repro.bench.report import format_series, format_table
@@ -186,3 +186,21 @@ class TestReport:
     def test_format_series(self):
         text = format_series("hit rate", [1, 2], [0.5, 1.0])
         assert "hit rate" in text and "1:" in text
+
+
+def test_churn_event_outside_measurement_phase_is_rejected():
+    """Regression: a churn event that would never fire must be an error,
+    not a silent no-op producing a baseline run in disguise."""
+    import pytest
+
+    from repro.apps.rubis.datagen import IN_MEMORY_CONFIG
+    from repro.bench.driver import BenchmarkConfig, ChurnEvent, run_benchmark
+
+    config = BenchmarkConfig(
+        database_config=IN_MEMORY_CONFIG,
+        cache_size_bytes=64 * 1024,
+        measure_interactions=100,
+        churn=(ChurnEvent(100, "join"),),
+    )
+    with pytest.raises(ValueError, match="outside"):
+        run_benchmark(config)

@@ -49,6 +49,13 @@ class TestRouting:
         cluster.remove_node("extra")
         assert cluster.node_count == 3
 
+    def test_remove_unknown_node_raises(self, cluster):
+        """Regression: remove_node used to pop-with-default and silently
+        succeed on a typo'd name."""
+        with pytest.raises(KeyError):
+            cluster.remove_node("no-such-node")
+        assert cluster.node_count == 3
+
 
 class TestInvalidationFanout:
     def test_all_nodes_receive_invalidations(self):

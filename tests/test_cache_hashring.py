@@ -80,6 +80,101 @@ class TestDistribution:
         assert moved_to_existing == 0
 
 
+class TestMinimalDisruption:
+    """The consistent-hashing selling point: changing one of n nodes remaps
+    only ~1/n of the keys (vs. ~all of them under modulo hashing)."""
+
+    KEYS = [f"key-{i}" for i in range(4000)]
+
+    def test_adding_one_of_n_nodes_remaps_about_one_nth(self):
+        for n in (3, 5, 8):
+            ring = ConsistentHashRing([f"n{i}" for i in range(n)], virtual_nodes=150)
+            before = {key: ring.node_for(key) for key in self.KEYS}
+            ring.add_node("newcomer")
+            moved = sum(1 for key in self.KEYS if ring.node_for(key) != before[key])
+            expected = len(self.KEYS) / (n + 1)
+            assert 0.4 * expected < moved < 1.8 * expected, f"n={n}: moved {moved}"
+
+    def test_removing_one_of_n_nodes_remaps_about_one_nth(self):
+        for n in (3, 5, 8):
+            ring = ConsistentHashRing([f"n{i}" for i in range(n)], virtual_nodes=150)
+            before = {key: ring.node_for(key) for key in self.KEYS}
+            ring.remove_node("n0")
+            moved = sum(1 for key in self.KEYS if ring.node_for(key) != before[key])
+            expected = len(self.KEYS) / n
+            assert 0.4 * expected < moved < 1.8 * expected, f"n={n}: moved {moved}"
+            # And the moved keys are exactly the victim's.
+            assert all(
+                before[key] == "n0" for key in self.KEYS if ring.node_for(key) != before[key]
+            )
+
+    def test_remove_restores_the_exact_prior_ring(self):
+        """Regression for the bisect-based removal: adding then removing a
+        node must leave the ring bit-identical to never having added it."""
+        reference = ConsistentHashRing(["a", "b", "c"])
+        ring = ConsistentHashRing(["a", "b", "c"])
+        ring.add_node("d")
+        ring.remove_node("d")
+        assert ring._points == reference._points
+        assert ring._ring == reference._ring
+        assert ring.nodes == reference.nodes
+
+
+class TestWeights:
+    def test_weighted_node_owns_a_proportional_share(self):
+        ring = ConsistentHashRing(virtual_nodes=150)
+        ring.add_node("light")
+        ring.add_node("heavy", weight=3.0)
+        keys = [f"key-{i}" for i in range(4000)]
+        share = ring.distribution(keys)["heavy"] / len(keys)
+        assert 0.6 < share < 0.9  # expectation 0.75
+
+    def test_weight_of_and_validation(self):
+        ring = ConsistentHashRing(virtual_nodes=100)
+        ring.add_node("a", weight=0.5)
+        assert ring.weight_of("a") == 0.5
+        with pytest.raises(ValueError):
+            ring.add_node("b", weight=0)
+
+    def test_weighted_remove_deletes_all_points(self):
+        ring = ConsistentHashRing(["a"], virtual_nodes=100)
+        ring.add_node("heavy", weight=2.5)
+        ring.remove_node("heavy")
+        assert all(owner == "a" for _point, owner in ring._ring)
+        assert len(ring._points) == 100
+
+
+class TestOwnershipRanges:
+    def test_owned_ranges_cover_exactly_the_nodes_keys(self):
+        from repro.cache.hashring import _hash, range_contains
+
+        ring = ConsistentHashRing(["a", "b", "c"], virtual_nodes=50)
+        ranges = {node: ring.owned_ranges(node) for node in ring.nodes}
+        for i in range(500):
+            key = f"key-{i}"
+            owner = ring.node_for(key)
+            point = _hash(key)
+            for node, arcs in ranges.items():
+                contained = any(range_contains(lo, hi, point) for lo, hi in arcs)
+                assert contained == (node == owner)
+
+    def test_owned_ranges_unknown_node_raises(self):
+        with pytest.raises(KeyError):
+            ConsistentHashRing(["a"]).owned_ranges("zzz")
+
+    def test_diff_ownership_empty_for_identical_rings(self):
+        from repro.cache.hashring import diff_ownership
+
+        ring = ConsistentHashRing(["a", "b"])
+        assert diff_ownership(ring, ring.copy()) == []
+
+    def test_copy_is_independent(self):
+        ring = ConsistentHashRing(["a", "b"])
+        clone = ring.copy()
+        clone.add_node("c")
+        assert "c" in clone and "c" not in ring
+
+
 class TestProperties:
     @given(st.text(min_size=1, max_size=30))
     @settings(max_examples=100)
