@@ -31,7 +31,13 @@ from repro.core.api import ConsistencyMode
 from repro.core.stats import MissType
 from repro.deployment import TxCacheDeployment
 
-__all__ = ["BenchmarkConfig", "BenchmarkResult", "ChurnEvent", "run_benchmark"]
+__all__ = [
+    "BenchmarkConfig",
+    "BenchmarkResult",
+    "ChurnEvent",
+    "rolling_restart_events",
+    "run_benchmark",
+]
 
 #: Smallest clock advance per interaction; keeps time moving even for
 #: interactions fully absorbed by idle capacity.
@@ -45,7 +51,11 @@ class ChurnEvent:
     ``action`` is ``"join"`` (a node is added; ``migrate`` selects a warm
     join via live key migration or a cold one), ``"leave"`` (a planned
     removal, drained when ``migrate``), or ``"crash"`` (the node dies
-    without warning; failure-aware routing detects and evicts it).
+    without warning; failure-aware routing detects and evicts it).  A
+    *rolling restart* is expressed as interleaved crash/join pairs per node
+    (see :func:`rolling_restart_events`): joining a node whose crash has not
+    crossed the failure-detection threshold yet completes the eviction
+    first, exactly as an operator restarting a wedged process would.
     """
 
     at_interaction: int
@@ -53,6 +63,25 @@ class ChurnEvent:
     node: Optional[str] = None
     migrate: bool = True
     weight: float = 1.0
+
+
+def rolling_restart_events(
+    nodes: Sequence[str], start: int, downtime: int, gap: int, migrate: bool = True
+) -> List[ChurnEvent]:
+    """A rolling-restart schedule: crash then rejoin each node in turn.
+
+    Node ``i`` crashes at ``start + i * gap`` and rejoins (a warm join when
+    ``migrate``) ``downtime`` interactions later; ``gap`` must exceed
+    ``downtime`` for at most one node to be down at a time.
+    """
+    if downtime < 1 or gap <= downtime:
+        raise ValueError("need gap > downtime >= 1 for a one-at-a-time rolling restart")
+    events: List[ChurnEvent] = []
+    for index, node in enumerate(nodes):
+        offset = start + index * gap
+        events.append(ChurnEvent(offset, "crash", node=node))
+        events.append(ChurnEvent(offset + downtime, "join", node=node, migrate=migrate))
+    return events
 
 
 @dataclass
@@ -70,6 +99,9 @@ class BenchmarkConfig:
     #: How application servers reach the cache nodes: "inprocess" (direct
     #: calls, the original wiring) or "socket" (real TCP cache servers).
     transport: str = "inprocess"
+    #: Copies of each key across the cache tier (1 = the paper's
+    #: unreplicated deployment; 2+ makes node crashes lose no cached state).
+    replication_factor: int = 1
     sessions: int = 24
     warmup_interactions: int = 2000
     measure_interactions: int = 4000
@@ -119,6 +151,12 @@ class BenchmarkResult:
     entries_migrated: int = 0
     degraded_lookups: int = 0
     nodes_evicted: int = 0
+    #: Replication counters: reads a non-primary replica answered after the
+    #: primary failed (and how many of those were hits), plus the entries
+    #: anti-entropy repair re-stored after crash evictions.
+    replica_served_lookups: int = 0
+    replica_hits: int = 0
+    entries_re_replicated: int = 0
 
     def summary(self) -> str:
         """One-line human-readable summary."""
@@ -148,6 +186,7 @@ def run_benchmark(config: BenchmarkConfig) -> BenchmarkResult:
         mode=config.mode,
         default_staleness=config.staleness,
         transport=config.transport,
+        replication_factor=config.replication_factor,
     )
     try:
         return _run_on_deployment(config, cluster, scaled_db_config, clock, deployment)
@@ -193,6 +232,19 @@ def _run_on_deployment(
     def apply_churn(event: ChurnEvent) -> None:
         """Apply one membership change to the running deployment."""
         if event.action == "join":
+            name = event.node
+            if name is not None and name in deployment.cache.ring:
+                # A restart of a crashed node whose failure has not crossed
+                # the detection threshold yet (socket transport keeps dead
+                # endpoints in the ring until enough traffic fails):
+                # complete the eviction first, then rejoin warm.
+                process = deployment.cache.processes.get(name)
+                dead = name in deployment.cache.suspect_nodes or (
+                    process is not None and not process.running
+                )
+                if not dead:
+                    raise ValueError(f"churn join of live member {name!r}")
+                deployment.membership.evict(name)
             deployment.add_cache_node(
                 name=event.node, weight=event.weight, migrate=event.migrate
             )
@@ -304,4 +356,7 @@ def _run_on_deployment(
         entries_migrated=deployment.membership.stats.entries_migrated,
         degraded_lookups=deployment.cache.health.degraded_lookups,
         nodes_evicted=deployment.cache.health.nodes_evicted,
+        replica_served_lookups=deployment.cache.health.replica_served_lookups,
+        replica_hits=deployment.cache.health.replica_hits,
+        entries_re_replicated=deployment.membership.stats.entries_re_replicated,
     )

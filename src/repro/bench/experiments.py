@@ -34,7 +34,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.apps.rubis.datagen import DISK_BOUND_CONFIG, IN_MEMORY_CONFIG, RubisConfig
 from repro.apps.rubis.schema import create_rubis_schema
 from repro.apps.rubis.datagen import populate_database
-from repro.bench.driver import BenchmarkConfig, BenchmarkResult, ChurnEvent, run_benchmark
+from repro.bench.driver import (
+    BenchmarkConfig,
+    BenchmarkResult,
+    ChurnEvent,
+    rolling_restart_events,
+    run_benchmark,
+)
 from repro.bench.report import format_table
 from repro.clock import ManualClock
 from repro.core.stats import MissType
@@ -48,11 +54,15 @@ __all__ = [
     "Figure8Result",
     "OverheadResult",
     "ChurnResult",
+    "CrashChurnResult",
+    "RollingRestartResult",
     "figure5",
     "figure6",
     "figure7",
     "figure8",
     "node_churn",
+    "crash_churn",
+    "rolling_restart",
     "validity_tracking_overhead",
     "PAPER_IN_MEMORY_CACHE_MB",
     "PAPER_DISK_BOUND_CACHE_GB",
@@ -463,6 +473,34 @@ def figure8(settings: Optional[ExperimentSettings] = None) -> Figure8Result:
 # ----------------------------------------------------------------------
 # Node churn: cache-tier elasticity (beyond the paper's static deployment)
 # ----------------------------------------------------------------------
+def _churn_config(
+    settings: ExperimentSettings,
+    label: str,
+    churn,
+    window: int,
+    transport: str,
+    cache_mb: float,
+    replication: int = 1,
+) -> BenchmarkConfig:
+    """One churn-scenario benchmark config (shared by the churn experiments).
+
+    Capacity is held constant *per copy*: a deployment enabling R-way
+    replication provisions R× memory, so replicated-vs-not comparisons
+    isolate the availability effect of replication, not its capacity cost.
+    """
+    cfg = settings.config(
+        IN_MEMORY_CONFIG,
+        cache_size_bytes=_cache_bytes(cache_mb) * replication,
+        label=label,
+    )
+    cfg.transport = transport
+    cfg.replication_factor = replication
+    cfg.churn = churn
+    cfg.hit_rate_window = window
+    return cfg
+
+
+
 @dataclass
 class ChurnResult:
     """Hit-rate recovery after a cache node joins mid-measurement.
@@ -542,13 +580,7 @@ def node_churn(
     join_at = max(1, int(settings.measure_interactions * join_fraction))
 
     def config(label: str, churn) -> BenchmarkConfig:
-        cfg = settings.config(
-            IN_MEMORY_CONFIG, cache_size_bytes=_cache_bytes(cache_mb), label=label
-        )
-        cfg.transport = transport
-        cfg.churn = churn
-        cfg.hit_rate_window = window
-        return cfg
+        return _churn_config(settings, label, churn, window, transport, cache_mb)
 
     baseline = run_benchmark(config("churn-baseline", ()))
     with_migration = run_benchmark(
@@ -563,6 +595,211 @@ def node_churn(
         baseline=baseline,
         with_migration=with_migration,
         without_migration=without_migration,
+        elapsed_seconds=time.time() - started,
+    )
+
+
+# ----------------------------------------------------------------------
+# Crash churn: unplanned node death, with and without replication
+# ----------------------------------------------------------------------
+@dataclass
+class CrashChurnResult:
+    """Hit-rate impact of an unplanned node crash, by replication factor.
+
+    Three runs of the same workload: an undisturbed replicated baseline, a
+    mid-measurement crash with replication, and the same crash without it.
+    A planned leave can migrate; a crash cannot — so this is the scenario
+    replication exists for: with R >= 2 the surviving replicas keep serving
+    the dead node's slice (no cold-miss trough), while the unreplicated run
+    loses it outright and shows the trough until traffic refills it.
+    """
+
+    window: int
+    crash_at: int
+    replication_factor: int
+    baseline: BenchmarkResult
+    replicated: BenchmarkResult
+    unreplicated: BenchmarkResult
+    elapsed_seconds: float = 0.0
+
+    def _post_crash_windows(self, result: BenchmarkResult) -> List[float]:
+        start = self.crash_at // self.window
+        return result.hit_rate_timeline[start:]
+
+    def trough(self, result: BenchmarkResult) -> float:
+        """Worst post-crash window hit rate (the cold-miss dip, if any)."""
+        windows = self._post_crash_windows(result)
+        return min(windows) if windows else 0.0
+
+    def recovered(self, result: BenchmarkResult) -> float:
+        """Mean hit rate over the second half of the post-crash windows."""
+        windows = self._post_crash_windows(result)
+        tail = windows[len(windows) // 2 :]
+        return sum(tail) / len(tail) if tail else 0.0
+
+    def format_table(self) -> str:
+        rows = []
+        for label, result in (
+            (f"no crash (R={self.replication_factor})", self.baseline),
+            (f"crash, R={self.replication_factor}", self.replicated),
+            ("crash, unreplicated", self.unreplicated),
+        ):
+            rows.append(
+                [
+                    label,
+                    f"{result.hit_rate:.1%}",
+                    f"{self.trough(result):.1%}",
+                    f"{self.recovered(result):.1%}",
+                    f"{result.replica_hits}",
+                    f"{result.degraded_lookups}",
+                    f"{result.nodes_evicted}",
+                ]
+            )
+        return format_table(
+            [
+                "scenario",
+                "overall hit rate",
+                "post-crash trough",
+                "recovered",
+                "replica hits",
+                "degraded lookups",
+                "evicted",
+            ],
+            rows,
+            title=(
+                f"Crash churn: one node dies at interaction {self.crash_at} "
+                f"(hit rate per {self.window}-interaction window)"
+            ),
+        )
+
+
+def crash_churn(
+    settings: Optional[ExperimentSettings] = None,
+    cache_mb: float = 768,
+    crash_fraction: float = 0.35,
+    window: int = 150,
+    transport: str = "inprocess",
+    replication_factor: int = 2,
+) -> CrashChurnResult:
+    """Measure hit-rate survival of an unplanned cache-node crash.
+
+    A node crashes ``crash_fraction`` of the way through the measurement
+    phase.  With ``replication_factor >= 2`` every key has a live copy on a
+    ring successor, reads fail over, and anti-entropy repair restores the
+    replication factor — the hit-rate timeline stays within a few points of
+    the no-crash baseline.  Unreplicated, the dead node's slice is simply
+    gone and the timeline shows the cold-miss trough.
+    """
+    settings = settings or ExperimentSettings.quick()
+    started = time.time()
+    crash_at = max(1, int(settings.measure_interactions * crash_fraction))
+
+    def config(label: str, churn, replication: int) -> BenchmarkConfig:
+        return _churn_config(
+            settings, label, churn, window, transport, cache_mb, replication
+        )
+
+    crash = (ChurnEvent(crash_at, "crash"),)
+    baseline = run_benchmark(config("crash-baseline", (), replication_factor))
+    replicated = run_benchmark(config("crash-replicated", crash, replication_factor))
+    unreplicated = run_benchmark(config("crash-unreplicated", crash, 1))
+    return CrashChurnResult(
+        window=window,
+        crash_at=crash_at,
+        replication_factor=replication_factor,
+        baseline=baseline,
+        replicated=replicated,
+        unreplicated=unreplicated,
+        elapsed_seconds=time.time() - started,
+    )
+
+
+# ----------------------------------------------------------------------
+# Rolling restart: crash + warm rejoin across the whole tier
+# ----------------------------------------------------------------------
+@dataclass
+class RollingRestartResult:
+    """Hit-rate impact of restarting every cache node, one at a time."""
+
+    window: int
+    events: List[ChurnEvent]
+    baseline: BenchmarkResult
+    replicated: BenchmarkResult
+    unreplicated: BenchmarkResult
+    elapsed_seconds: float = 0.0
+
+    def trough(self, result: BenchmarkResult) -> float:
+        """Worst window hit rate across the whole restart schedule."""
+        start = min(event.at_interaction for event in self.events) // self.window
+        windows = result.hit_rate_timeline[start:]
+        return min(windows) if windows else 0.0
+
+    def format_table(self) -> str:
+        rows = []
+        for label, result in (
+            ("no restarts", self.baseline),
+            ("rolling restart, replicated", self.replicated),
+            ("rolling restart, unreplicated", self.unreplicated),
+        ):
+            rows.append(
+                [
+                    label,
+                    f"{result.hit_rate:.1%}",
+                    f"{self.trough(result):.1%}",
+                    f"{result.membership_epochs}",
+                    f"{result.entries_migrated}",
+                    f"{result.replica_hits}",
+                ]
+            )
+        return format_table(
+            ["scenario", "overall hit rate", "worst window", "epochs", "migrated", "replica hits"],
+            rows,
+            title="Rolling restart: every cache node crashes and warm-rejoins in turn",
+        )
+
+
+def rolling_restart(
+    settings: Optional[ExperimentSettings] = None,
+    cache_mb: float = 768,
+    window: int = 100,
+    transport: str = "inprocess",
+    replication_factor: int = 2,
+) -> RollingRestartResult:
+    """Crash-and-rejoin every cache node in sequence (ops-style restart).
+
+    Each node dies without warning and rejoins warm ``downtime``
+    interactions later; the next node follows after a gap.  Replication
+    covers the downtime window (reads fail over to the survivor's copies);
+    the warm rejoin re-migrates the node's slice on the way back in.
+    """
+    settings = settings or ExperimentSettings.quick()
+    started = time.time()
+    measure = settings.measure_interactions
+    start = max(1, measure // 4)
+    gap = max(2, measure // 4)
+    downtime = max(1, gap // 3)
+
+    def config(label: str, churn, replication: int) -> BenchmarkConfig:
+        return _churn_config(
+            settings, label, churn, window, transport, cache_mb, replication
+        )
+
+    # Derive the node names from the same cluster spec the driver resolves
+    # for these configs (the initial ring is always cache0..cacheN-1).
+    node_count = config("restart-probe", (), replication_factor).resolved_cluster().cache_nodes
+    events = rolling_restart_events(
+        [f"cache{i}" for i in range(node_count)], start=start, downtime=downtime, gap=gap
+    )
+
+    baseline = run_benchmark(config("restart-baseline", (), replication_factor))
+    replicated = run_benchmark(config("restart-replicated", tuple(events), replication_factor))
+    unreplicated = run_benchmark(config("restart-unreplicated", tuple(events), 1))
+    return RollingRestartResult(
+        window=window,
+        events=events,
+        baseline=baseline,
+        replicated=replicated,
+        unreplicated=unreplicated,
         elapsed_seconds=time.time() - started,
     )
 

@@ -30,6 +30,20 @@ successors — and the :class:`repro.cache.membership.ClusterMembership`
 coordinator (when attached via :attr:`on_node_evicted`) records a new
 membership epoch.  Counters for all of this live in
 :class:`ClusterHealthStats`.
+
+**R-way replication.**  With ``replication_factor=R > 1`` every key lives on
+the first R distinct nodes of its ring successor list
+(:meth:`repro.cache.hashring.ConsistentHashRing.successors`).  Reads go to
+the primary and *fail over* along the replica set when a node is suspect or
+unreachable, so a crash degrades nothing as long as one replica survives;
+``put`` fans the write to the whole replica set.  Invalidation-tag writes
+and watermark advances already reach every replica because every node —
+replica or not — subscribes to the same invalidation stream, which keeps
+all copies truncating identically (the paper's timestamp-ordering argument
+applies per node).  A hit served by a non-primary replica is classified in
+:class:`ClusterHealthStats` (``replica_served_lookups`` / ``replica_hits``).
+With ``replication_factor=1`` every code path is exactly the unreplicated
+behaviour.
 """
 
 from __future__ import annotations
@@ -72,12 +86,19 @@ class ClusterHealthStats:
     recoveries: int = 0
     #: Nodes evicted from the ring after repeated failures.
     nodes_evicted: int = 0
-    #: Lookups answered with a synthetic miss because the node was down.
+    #: Lookups answered with a synthetic miss because the node was down
+    #: (with replication: because *every* replica was down).
     degraded_lookups: int = 0
-    #: Puts silently dropped because the node was down.
+    #: Puts silently dropped because the node was down (with replication:
+    #: because no replica accepted the write).
     degraded_puts: int = 0
     #: Other operations (probes, eviction sweeps, invalidations…) skipped.
     degraded_ops: int = 0
+    #: Reads answered by a non-primary replica after the primary failed.
+    replica_served_lookups: int = 0
+    #: The subset of ``replica_served_lookups`` that were cache hits — the
+    #: entries replication saved from becoming degraded misses.
+    replica_hits: int = 0
 
 
 class _NodeStreamGuard:
@@ -123,6 +144,7 @@ class CacheCluster:
         node_names: Optional[Sequence[str]] = None,
         transport: str = "inprocess",
         failure_threshold: int = 3,
+        replication_factor: int = 1,
     ) -> None:
         if transport not in TRANSPORT_KINDS:
             raise ValueError(
@@ -130,8 +152,11 @@ class CacheCluster:
             )
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be positive")
+        if replication_factor < 1:
+            raise ValueError("replication_factor must be positive")
         self.transport_kind = transport
         self.failure_threshold = failure_threshold
+        self.replication_factor = replication_factor
         self.health = ClusterHealthStats()
         #: Called with the node name after a failure-driven ring eviction
         #: (the membership coordinator hooks this to record an epoch).
@@ -334,6 +359,13 @@ class CacheCluster:
         return server
 
     def _subscribe_node(self, name: str, transport: CacheTransport) -> None:
+        # Idempotent per node: re-attaching the bus (or re-warming an
+        # evicted-then-rejoined node) must replace the node's guard, not add
+        # a second one — two live guards for the same node would deliver
+        # every invalidation tag twice.
+        stale = self._stream_guards.pop(name, None)
+        if stale is not None:
+            self._bus.unsubscribe(stale)
         guard = _NodeStreamGuard(self, name, transport)
         self._stream_guards[name] = guard
         self._bus.subscribe(guard)
@@ -379,11 +411,54 @@ class CacheCluster:
             self.on_node_evicted(node)
 
     def _node_for(self, key: str) -> Optional[str]:
-        """The responsible node, or None when the ring is empty."""
+        """The responsible (primary) node, or None when the ring is empty."""
         try:
             return self.ring.node_for(key)
         except LookupError:
             return None
+
+    def replicas_for(self, key: str) -> List[str]:
+        """The key's replica set: primary first, then the ring successors.
+
+        Empty when the ring is empty; shorter than ``replication_factor``
+        when the ring is.
+        """
+        try:
+            return self.ring.successors(key, self.replication_factor)
+        except LookupError:
+            return []
+
+    def _record_failover_read(self, failed_over: bool, hit: bool) -> None:
+        """Account a read that a non-primary replica answered."""
+        if failed_over:
+            self.health.replica_served_lookups += 1
+            if hit:
+                self.health.replica_hits += 1
+
+    def _read_from_replicas(self, key: str, operation):
+        """Run a read on the first reachable replica of ``key``.
+
+        The shared failover walk behind ``lookup``/``probe``/
+        ``was_ever_stored``: unreachable replicas are noted (suspect
+        marking, threshold eviction) and the next one is asked.  Returns
+        ``(answered, failed_over, result)``; ``answered`` is False only
+        when every replica was unreachable (the caller degrades).
+        """
+        failed_over = False
+        for node in self.replicas_for(key):
+            transport = self._transports.get(node)
+            if transport is None:
+                continue
+            try:
+                result = operation(transport)
+            except _FAILURE_EXCEPTIONS:
+                self._note_failure(node)
+                failed_over = True
+                continue
+            if node in self._suspects:
+                self._note_success(node)
+            return True, failed_over, result
+        return False, failed_over, None
 
     # ------------------------------------------------------------------
     # Cache operations (routed, degrading on node failure)
@@ -391,20 +466,19 @@ class CacheCluster:
     def lookup(self, key: str, lo: int, hi: int) -> LookupResult:
         """Route a versioned lookup to the responsible node.
 
-        An unreachable node yields a synthetic (degraded) miss instead of an
-        exception: to the application a dead cache node looks like an empty
-        one.
+        With replication the lookup fails over along the key's replica set:
+        an unreachable primary is noted (suspect marking, threshold
+        eviction) and the next replica is asked.  Only when *every* replica
+        is unreachable does the cluster yield a synthetic (degraded) miss —
+        to the application a fully dead replica set looks like an empty
+        cache, never an exception.
         """
-        node = self._node_for(key)
-        if node is not None:
-            try:
-                result = self._transports[node].lookup(key, lo, hi)
-            except _FAILURE_EXCEPTIONS:
-                self._note_failure(node)
-            else:
-                if node in self._suspects:
-                    self._note_success(node)
-                return result
+        answered, failed_over, result = self._read_from_replicas(
+            key, lambda transport: transport.lookup(key, lo, hi)
+        )
+        if answered:
+            self._record_failover_read(failed_over, result.hit)
+            return result
         self.health.degraded_lookups += 1
         return LookupResult(hit=False, key=key, degraded=True)
 
@@ -413,32 +487,53 @@ class CacheCluster:
 
         Requests are grouped by responsible node, each group is sent as one
         batched operation, and the answers are reassembled in request order.
-        Results are identical to issuing the requests one at a time; a group
-        whose node is unreachable is answered with degraded misses.
+        Results are identical to issuing the requests one at a time; when a
+        group's node is unreachable, its requests fail over to their next
+        untried replica (re-batched per replica node), and only requests
+        with no reachable replica left are answered with degraded misses.
         """
-        by_node: Dict[Optional[str], List[int]] = {}
-        for index, request in enumerate(requests):
-            by_node.setdefault(self._node_for(request.key), []).append(index)
         results: List[Optional[LookupResult]] = [None] * len(requests)
-        for node, indices in by_node.items():
+        tried: List[Set[str]] = [set() for _ in requests]
+        pending: Dict[str, List[int]] = {}
+
+        def enqueue(index: int) -> None:
+            """Queue the request on its first untried live replica."""
+            for node in self.replicas_for(requests[index].key):
+                if node not in tried[index] and node in self._transports:
+                    pending.setdefault(node, []).append(index)
+                    return
+            self.health.degraded_lookups += 1
+            results[index] = LookupResult(
+                hit=False, key=requests[index].key, degraded=True
+            )
+
+        for index in range(len(requests)):
+            enqueue(index)
+        while pending:
+            node, indices = pending.popitem()
             batch = [requests[i] for i in indices]
+            transport = self._transports.get(node)
             answers: Optional[List[LookupResult]] = None
-            if node is not None:
+            if transport is not None:
                 try:
-                    answers = self._transports[node].multi_lookup(batch)
+                    answers = transport.multi_lookup(batch)
                 except _FAILURE_EXCEPTIONS:
                     self._note_failure(node)
-                else:
-                    if node in self._suspects:
-                        self._note_success(node)
             if answers is None:
-                self.health.degraded_lookups += len(batch)
-                answers = [
-                    LookupResult(hit=False, key=request.key, degraded=True)
-                    for request in batch
-                ]
-            for i, result in zip(indices, answers):
-                results[i] = result
+                # The node (or its whole batch) failed: each request retries
+                # on its next replica, or degrades when none remain.
+                for index in indices:
+                    tried[index].add(node)
+                    enqueue(index)
+                continue
+            if node in self._suspects:
+                self._note_success(node)
+            for index, answer in zip(indices, answers):
+                results[index] = answer
+                # Probe companions are statistics-free by design; counting
+                # them would double the replica counters per batched read.
+                if not requests[index].probe:
+                    self._record_failover_read(bool(tried[index]), answer.hit)
         return results  # type: ignore[return-value]  # every slot is filled
 
     def put(
@@ -448,47 +543,49 @@ class CacheCluster:
         interval: Interval,
         tags: FrozenSet[InvalidationTag] = frozenset(),
     ) -> bool:
-        """Route an insertion to the responsible node (no-op if it is down)."""
-        node = self._node_for(key)
-        if node is not None:
+        """Insert one version of ``key`` on its full replica set.
+
+        The write fans out to every replica (one node with
+        ``replication_factor=1``); unreachable replicas are skipped after
+        noting the failure.  Returns True if any replica stored the entry;
+        only a write that reached *no* replica counts as degraded.
+        """
+        stored = False
+        delivered = False
+        for node in self.replicas_for(key):
+            transport = self._transports.get(node)
+            if transport is None:
+                continue
             try:
-                stored = self._transports[node].put(key, value, interval, tags)
+                accepted = transport.put(key, value, interval, tags)
             except _FAILURE_EXCEPTIONS:
                 self._note_failure(node)
-            else:
-                if node in self._suspects:
-                    self._note_success(node)
-                return stored
-        self.health.degraded_puts += 1
-        return False
+                continue
+            if node in self._suspects:
+                self._note_success(node)
+            delivered = True
+            stored = stored or accepted
+        if not delivered:
+            self.health.degraded_puts += 1
+        return stored
 
     def probe(self, key: str, lo: int, hi: int) -> bool:
-        """Statistics-free hit check on the responsible node (see server)."""
-        node = self._node_for(key)
-        if node is not None:
-            try:
-                answer = self._transports[node].probe(key, lo, hi)
-            except _FAILURE_EXCEPTIONS:
-                self._note_failure(node)
-            else:
-                if node in self._suspects:
-                    self._note_success(node)
-                return answer
+        """Statistics-free hit check (first reachable replica answers)."""
+        answered, _failed_over, answer = self._read_from_replicas(
+            key, lambda transport: transport.probe(key, lo, hi)
+        )
+        if answered:
+            return answer
         self.health.degraded_ops += 1
         return False
 
     def was_ever_stored(self, key: str) -> bool:
-        """True if the responsible node has ever stored ``key``."""
-        node = self._node_for(key)
-        if node is not None:
-            try:
-                answer = self._transports[node].was_ever_stored(key)
-            except _FAILURE_EXCEPTIONS:
-                self._note_failure(node)
-            else:
-                if node in self._suspects:
-                    self._note_success(node)
-                return answer
+        """True if a reachable replica of ``key`` has ever stored it."""
+        answered, _failed_over, answer = self._read_from_replicas(
+            key, lambda transport: transport.was_ever_stored(key)
+        )
+        if answered:
+            return answer
         self.health.degraded_ops += 1
         return False
 
@@ -534,6 +631,10 @@ class CacheCluster:
     def discard_keys(self, node: str, keys: Sequence[str]) -> int:
         """Drop migrated-away keys from ``node``; returns the removed count."""
         return self._transports[node].discard_keys(keys)
+
+    def node_keys(self, node: str) -> List[str]:
+        """The keys currently stored on ``node`` (replica-placement checks)."""
+        return self._transports[node].keys()
 
     def watermark(self, node: str) -> int:
         """``node``'s highest processed invalidation timestamp."""

@@ -13,6 +13,19 @@ arcs a node is responsible for, and :func:`diff_ownership` computes exactly
 which arcs change hands between two ring configurations (e.g. before and
 after a node joins).  Nodes may carry a *weight*, scaling their virtual-node
 count and therefore the share of the key space they own.
+
+**Replication.**  For R-way replication the ring also answers *successor
+list* queries, the classic DHT construction: the replica set of a key is the
+first R **distinct physical nodes** encountered walking the ring clockwise
+from the key's hash point (virtual points of a node already in the list are
+skipped).  :meth:`ConsistentHashRing.successors` returns that list (the
+primary first), :meth:`ConsistentHashRing.replica_ranges` inverts it into
+the arcs a node replicates, and :func:`diff_replica_ownership` generalizes
+:func:`diff_ownership` to whole replica sets, which is what lets the
+migration planner stream only the arcs whose replica set actually changed.
+Successor lists are minimally disruptive by construction: adding a node
+inserts it at one position of each key's distinct-owner walk (displacing at
+most the last replica), and removing one promotes the next distinct owner.
 """
 
 from __future__ import annotations
@@ -25,7 +38,9 @@ from typing import Dict, List, Sequence, Tuple
 __all__ = [
     "ConsistentHashRing",
     "OwnershipChange",
+    "ReplicaOwnershipChange",
     "diff_ownership",
+    "diff_replica_ownership",
     "range_contains",
     "HASH_SPACE",
 ]
@@ -54,6 +69,21 @@ class OwnershipChange:
     hi: int
     old_owner: str
     new_owner: str
+
+
+@dataclass(frozen=True)
+class ReplicaOwnershipChange:
+    """One hash-space arc whose *replica set* differs between two rings.
+
+    Generalizes :class:`OwnershipChange` from a single owner to the ordered
+    R-node successor list (primary first).  ``lo``/``hi`` follow the same
+    wrapping ``[lo, hi)`` convention.
+    """
+
+    lo: int
+    hi: int
+    old_owners: Tuple[str, ...]
+    new_owners: Tuple[str, ...]
 
 
 def range_contains(lo: int, hi: int, point: int) -> bool:
@@ -166,6 +196,37 @@ class ConsistentHashRing:
             index = 0
         return self._ring[index][1]
 
+    def successors(self, key: str, r: int) -> List[str]:
+        """The first ``r`` distinct nodes clockwise from ``key``'s point.
+
+        This is the key's replica set under R-way replication: the primary
+        (``node_for``) first, then the next distinct physical nodes on the
+        ring.  Fewer than ``r`` nodes are returned when the ring is smaller
+        than ``r``.
+        """
+        return self.successors_for_point(_hash(key), r)
+
+    def successors_for_point(self, point: int, r: int) -> List[str]:
+        """Successor list of a raw hash-space point (see :meth:`successors`)."""
+        if r < 1:
+            raise ValueError("replication factor must be positive")
+        if not self._ring:
+            raise LookupError("hash ring has no nodes")
+        index = bisect.bisect(self._points, point) % len(self._ring)
+        return self._successors_at(index, r)
+
+    def _successors_at(self, index: int, r: int) -> List[str]:
+        """Distinct owners walking the ring from virtual point ``index``."""
+        owners: List[str] = []
+        count = len(self._ring)
+        for step in range(count):
+            owner = self._ring[(index + step) % count][1]
+            if owner not in owners:
+                owners.append(owner)
+                if len(owners) == r:
+                    break
+        return owners
+
     def distribution(self, keys: Sequence[str]) -> Dict[str, int]:
         """Count how many of ``keys`` map to each node (for balance tests)."""
         counts: Dict[str, int] = {node: 0 for node in self._nodes}
@@ -194,6 +255,26 @@ class ConsistentHashRing:
                 ranges.append((predecessor, point))
         return ranges
 
+    def replica_ranges(self, node: str, r: int) -> List[Tuple[int, int]]:
+        """The arcs ``[lo, hi)`` for which ``node`` is one of the ``r`` replicas.
+
+        With ``r == 1`` this equals :meth:`owned_ranges`.  Across all member
+        nodes the returned arcs cover every point of the hash space exactly
+        ``min(r, len(ring))`` times — each arc belongs to precisely the nodes
+        of its successor list — which is what makes them usable as a
+        replica-placement *partition* of the ring.
+        """
+        if node not in self._nodes:
+            raise KeyError(node)
+        if r < 1:
+            raise ValueError("replication factor must be positive")
+        ranges: List[Tuple[int, int]] = []
+        count = len(self._ring)
+        for index, (point, _owner) in enumerate(self._ring):
+            if node in self._successors_at(index, r):
+                ranges.append((self._points[(index - 1) % count], point))
+        return ranges
+
 
 def diff_ownership(
     old: ConsistentHashRing, new: ConsistentHashRing
@@ -218,4 +299,34 @@ def diff_ownership(
         new_owner = new.node_for_point(lo)
         if old_owner != new_owner:
             changes.append(OwnershipChange(lo=lo, hi=hi, old_owner=old_owner, new_owner=new_owner))
+    return changes
+
+
+def diff_replica_ownership(
+    old: ConsistentHashRing, new: ConsistentHashRing, r: int
+) -> List[ReplicaOwnershipChange]:
+    """Every arc whose R-node replica set differs between ``old`` and ``new``.
+
+    The replica-set generalization of :func:`diff_ownership` (to which it
+    reduces for ``r == 1``): successor lists are piecewise constant between
+    ring points, so comparing them at each combined-point arc yields exactly
+    the ranges a membership change under R-way replication needs to touch —
+    an arc whose successor list is unchanged needs no migration traffic even
+    if other arcs moved.
+    """
+    if r < 1:
+        raise ValueError("replication factor must be positive")
+    points = sorted(set(old._points) | set(new._points))
+    if not points or not old._points or not new._points:
+        return []
+    changes: List[ReplicaOwnershipChange] = []
+    count = len(points)
+    for index, lo in enumerate(points):
+        hi = points[(index + 1) % count]
+        old_owners = tuple(old.successors_for_point(lo, r))
+        new_owners = tuple(new.successors_for_point(lo, r))
+        if old_owners != new_owners:
+            changes.append(
+                ReplicaOwnershipChange(lo=lo, hi=hi, old_owners=old_owners, new_owners=new_owners)
+            )
     return changes

@@ -39,6 +39,26 @@ unreachable node to misses/no-ops and evicts the node from the ring after
 evictions through the cluster's ``on_node_evicted`` hook, records an epoch,
 and allows the node (or a replacement with the same name) to *rejoin* later
 via :meth:`join` — warmed by migration like any other joiner.
+
+**Replication.**  When the cluster runs with ``replication_factor=R > 1``
+the planner works on *replica sets* rather than single owners
+(:func:`repro.cache.hashring.diff_replica_ownership`): a join streams to the
+newcomer exactly the arcs whose successor list it enters, sources discard
+only keys they no longer replicate, and a leave drains the departing node's
+entries to every member of each key's new replica set (installs on nodes
+that already hold a copy are rejected as duplicates, so this is idempotent).
+After a *failure* eviction the crashed node's arcs are under-replicated —
+the surviving copies serve reads, but a second crash would lose them — so
+the coordinator runs an **anti-entropy repair** (:meth:`repair`): every node
+streams its entries (the same ``extract_entries``/``install_entries`` ops as
+migration) to the replicas of each key that lack a copy.  Repair never
+advances a destination's invalidation watermark: established members are
+already current, and force-advancing a node that *missed* messages (a healed
+partition) would let its un-truncated still-valid entries claim validity
+through timestamps whose invalidations it never processed — a stale read.
+The watermark carry-over is therefore reserved for join targets, which are
+freshly provisioned (empty, subscribed to the stream from birth) and safe to
+advance per the paper's staleness rules.
 """
 
 from __future__ import annotations
@@ -50,7 +70,7 @@ from typing import Dict, List, Optional, Tuple
 # migration treats a vanished source/target the same way routing does.
 from repro.cache.cluster import _FAILURE_EXCEPTIONS, CacheCluster
 from repro.cache.entry import EntryRecord
-from repro.cache.hashring import ConsistentHashRing, diff_ownership
+from repro.cache.hashring import ConsistentHashRing, diff_replica_ownership
 from repro.cache.server import CacheServer
 
 __all__ = ["ClusterMembership", "MembershipStats", "EpochRecord"]
@@ -83,6 +103,11 @@ class MembershipStats:
     migration_sources_lost: int = 0
     #: Install batches lost because the destination was unreachable.
     migration_install_failures: int = 0
+    #: Anti-entropy repair sweeps run (after failure evictions, or manual).
+    repairs: int = 0
+    #: Entry versions actually (re-)stored on an under-replicated node by
+    #: repair sweeps (duplicate installs on up-to-date replicas don't count).
+    entries_re_replicated: int = 0
 
 
 @dataclass(frozen=True)
@@ -103,6 +128,9 @@ class ClusterMembership:
     cluster: CacheCluster
     #: Keys per extract_entries page during migration.
     chunk_size: int = 128
+    #: Run an anti-entropy repair sweep automatically after a failure-driven
+    #: eviction leaves key ranges under-replicated (replicated clusters only).
+    auto_repair: bool = True
 
     epoch: int = field(init=False, default=0)
     history: List[EpochRecord] = field(init=False, default_factory=list)
@@ -195,8 +223,11 @@ class ClusterMembership:
         """Forcibly drop a (presumed dead) node: no migration, epoch bump.
 
         This is the manual form of what the cluster does automatically after
-        repeated transport failures; the node's slice of the key space
-        cold-starts on the survivors.
+        repeated transport failures, including the follow-up: on a
+        replicated cluster the eviction leaves the victim's arcs one copy
+        short, so the same anti-entropy repair runs afterwards.  Without
+        replication the node's slice of the key space cold-starts on the
+        survivors.
         """
         if name not in self.cluster.ring:
             raise KeyError(name)
@@ -206,56 +237,221 @@ class ClusterMembership:
         self.cluster.remove_node(name)
         self.stats.manual_evictions += 1
         self._record_eviction(name)
+        if self.auto_repair and self.cluster.replication_factor > 1:
+            self.repair()
 
     def _on_failure_eviction(self, name: str) -> None:
-        """Cluster hook: a node crossed the failure threshold and was evicted."""
+        """Cluster hook: a node crossed the failure threshold and was evicted.
+
+        A crash (unlike a drained leave) leaves every range the victim
+        replicated one copy short, so a replicated cluster follows the epoch
+        bump with an anti-entropy repair that restores the replication
+        factor from the surviving copies.
+        """
         self.stats.failure_evictions += 1
         self._record_eviction(name)
+        if self.auto_repair and self.cluster.replication_factor > 1:
+            self.repair()
 
     def _record_eviction(self, name: str) -> None:
         self._departed.add(name)
         self._advance("evict", name)
 
     # ------------------------------------------------------------------
+    # Anti-entropy repair (re-replication after a crash)
+    # ------------------------------------------------------------------
+    def repair(self) -> int:
+        """Restore the replication factor from the surviving copies.
+
+        Two passes.  An *inventory* pass fetches every member's key list
+        (one ``keys`` round trip per node) and plans, per key, which
+        replicas lack a copy and which live holder should supply it — so the
+        steady-state sweep costs N round trips and ships nothing.  A
+        *shipping* pass then streams only the missing copies (bounded
+        chunks, the same migration ops); installs go through the server's
+        put semantics, so anything invalidated meanwhile is truncated on
+        insert.  Reconciliation is key-granular: a replica that holds *any*
+        version of a key is considered current (finer, per-version
+        divergence ages out or is refilled by traffic).  Returns the number
+        of entry versions actually re-stored.  A no-op for unreplicated
+        clusters and rings too small to replicate.
+        """
+        factor = self.cluster.replication_factor
+        ring = self.cluster.ring
+        if factor <= 1 or len(ring) <= 1:
+            return 0
+        self.stats.repairs += 1
+        held = self._key_inventory(ring.nodes)
+        # source -> destination -> the keys the destination is missing.
+        plan: Dict[str, Dict[str, set]] = {}
+        key_sets = [keys for keys in held.values() if keys]
+        for key in set().union(*key_sets) if key_sets else ():
+            replicas = ring.successors(key, factor)
+            holders = [node for node in replicas if held.get(node) and key in held[node]]
+            if not holders:
+                continue  # no reachable replica holds it; nothing to copy
+            source = holders[0]
+            for destination in replicas:
+                if held.get(destination) is not None and key not in held[destination]:
+                    plan.setdefault(source, {}).setdefault(destination, set()).add(key)
+        installed = 0
+        for source in sorted(plan):
+            installed += self._ship_missing(source, plan[source], held[source] or set())
+        self.stats.entries_re_replicated += installed
+        return installed
+
+    def _key_inventory(self, nodes) -> Dict[str, Optional[set]]:
+        """Each node's stored key set; None for unreachable nodes."""
+        held: Dict[str, Optional[set]] = {}
+        for node in sorted(nodes):
+            try:
+                held[node] = set(self.cluster.node_keys(node))
+            except _FAILURE_EXCEPTIONS:
+                self.cluster.note_transport_failure(node)
+                held[node] = None  # neither a repair source nor a target
+        return held
+
+    def _ship_missing(
+        self, source: str, missing_by_dest: Dict[str, set], held_keys: set
+    ) -> int:
+        """Stream exactly the planned missing copies out of ``source``."""
+        wanted = set().union(*missing_by_dest.values())
+        installed = 0
+        # Pages arrive in ascending key order, so seed the cursor with the
+        # largest held key below the first wanted one: the head pages —
+        # which by construction contain nothing to ship — are never paged.
+        first = min(wanted)
+        cursor: Optional[str] = max(
+            (key for key in held_keys if key < first), default=None
+        )
+        while True:
+            try:
+                records, cursor = self.cluster.extract_entries(
+                    source, cursor, self.chunk_size
+                )
+            except _FAILURE_EXCEPTIONS:
+                self.stats.migration_sources_lost += 1
+                self.cluster.note_transport_failure(source)
+                return installed
+            self.stats.migration_chunks += 1
+            by_target: Dict[str, List[EntryRecord]] = {}
+            for record in records:
+                if record.key not in wanted:
+                    continue
+                for destination, keys in missing_by_dest.items():
+                    if record.key in keys:
+                        by_target.setdefault(destination, []).append(record)
+            for destination, batch in by_target.items():
+                # Deliberately no watermark carry-over here (see the module
+                # docstring): repair peers are live stream subscribers, and
+                # force-advancing one that missed messages would fabricate
+                # validity its entries never earned.
+                try:
+                    installed += self.cluster.install_entries(destination, batch)
+                except _FAILURE_EXCEPTIONS:
+                    self.stats.migration_install_failures += 1
+                    self.cluster.note_transport_failure(destination)
+            # Pages arrive in ascending key order, so once the cursor passes
+            # the last wanted key the remaining pages ship nothing.
+            if cursor is None or cursor >= max(wanted):
+                break
+        return installed
+
+    # ------------------------------------------------------------------
     # Migration internals
     # ------------------------------------------------------------------
     def _migrate_for_join(self, target: str, new_ring: ConsistentHashRing) -> None:
-        """Stream the arcs the joining ``target`` gains from their owners."""
-        changes = diff_ownership(self.cluster.ring, new_ring)
-        self.stats.ranges_moved += len(changes)
-        sources = sorted({change.old_owner for change in changes if change.new_owner == target})
+        """Stream the arcs whose replica set ``target`` enters, from their owners.
+
+        With ``replication_factor=1`` the replica diff degenerates to the
+        plain ownership diff and this is exactly the unreplicated plan: the
+        arcs the newcomer takes over, streamed from their previous owners
+        and discarded there afterwards.  With replication every moved key is
+        held by up to R old replicas, so each key is streamed once, by its
+        *designated* source — the first member of its old replica set that
+        actually holds a copy (per a key-list inventory), not R times by
+        every holder; ranking by the replica order rather than just "the
+        primary" also warms keys the primary happens to lack (e.g. a put
+        that landed while it was partitioned).  Afterwards each source
+        discards exactly the keys the newcomer displaced it from, but only
+        those whose arrival on the target was confirmed: a key whose
+        install failed keeps its old copies, the same conservatism as the
+        unreplicated path.
+        """
+        factor = self.cluster.replication_factor
+        old_ring = self.cluster.ring
+        changes = diff_replica_ownership(old_ring, new_ring, factor)
+        relevant = [change for change in changes if target in change.new_owners]
+        self.stats.ranges_moved += len(relevant)
+        sources = sorted({owner for change in relevant for owner in change.old_owners})
         self.stats.migrations += 1
+        held = self._key_inventory(sources)
+
+        def designated(key: str) -> Optional[str]:
+            for node in old_ring.successors(key, factor):
+                if held.get(node) and key in held[node]:
+                    return node
+            return None
+
+        confirmed: set = set()
         for source in sources:
             moved_keys = self._stream_entries(
-                source, keep=lambda key: new_ring.node_for(key) == target, target=target
+                source,
+                keep=lambda key, source=source: (
+                    target in new_ring.successors(key, factor)
+                    and designated(key) == source
+                ),
+                target=target,
+                carry_watermark=True,
             )
-            if moved_keys is None:
-                continue  # source died; its slice cold-starts on the target
-            if moved_keys:
-                try:
+            if moved_keys is not None:
+                confirmed.update(moved_keys)
+            # A None (source died mid-stream) cold-starts that slice on the
+            # target, exactly as before; other replicas keep their copies.
+        for source in sources:
+            try:
+                dropped = [
+                    key
+                    for key in self.cluster.node_keys(source)
+                    if key in confirmed
+                    and source not in new_ring.successors(key, factor)
+                ]
+                if dropped:
                     self.stats.entries_discarded += self.cluster.discard_keys(
-                        source, sorted(moved_keys)
+                        source, dropped
                     )
-                except _FAILURE_EXCEPTIONS:
-                    # Stale copies age out; routing never returns there.
-                    self.cluster.note_transport_failure(source)
+            except _FAILURE_EXCEPTIONS:
+                # Stale copies age out; routing never returns there.
+                self.cluster.note_transport_failure(source)
 
     def _migrate_for_leave(self, source: str, new_ring: ConsistentHashRing) -> None:
         """Drain everything the departing ``source`` holds to the new owners."""
+        factor = self.cluster.replication_factor
         self.stats.migrations += 1
-        # diff_ownership would list the same arcs; for a leave every entry of
+        # The replica diff lists the same arcs; for a leave every entry of
         # the source moves, so the per-key route below is the whole story —
         # but the ranges still feed the counters for observability.
-        self.stats.ranges_moved += len(diff_ownership(self.cluster.ring, new_ring))
+        self.stats.ranges_moved += len(
+            diff_replica_ownership(self.cluster.ring, new_ring, factor)
+        )
         self._stream_entries(source, keep=lambda key: True, target=None, route=new_ring)
         # No discard: the node is shut down right after routing switches.
 
-    def _stream_entries(self, source, keep, target, route=None) -> Optional[set]:
+    def _stream_entries(
+        self, source, keep, target, route=None, carry_watermark=False
+    ) -> Optional[set]:
         """Page entries out of ``source`` and install the kept ones.
 
         ``target`` fixes the destination (join); with ``route`` instead, each
-        record goes to the node owning its key under that ring (leave).
-        Returns the set of moved keys, or None if the source became
+        record goes to every member of its key's replica set under that ring
+        (leave; one node when unreplicated).  ``carry_watermark`` advances
+        each destination's invalidation watermark to the source's before
+        installing, so still-valid records are usable at current timestamps
+        on arrival — safe only for freshly provisioned join targets, which
+        hold no entries predating their stream subscription (an established
+        node whose watermark trails the source's has *missed* invalidations,
+        and advancing it would let its own still-valid entries serve stale
+        data).  Returns the set of moved keys, or None if the source became
         unreachable mid-stream.
         """
         try:
@@ -264,6 +460,7 @@ class ClusterMembership:
             self.stats.migration_sources_lost += 1
             self.cluster.note_transport_failure(source)
             return None
+        factor = self.cluster.replication_factor
         watermarked: set = set()
         moved_keys: set = set()
         cursor: Optional[str] = None
@@ -281,14 +478,19 @@ class ClusterMembership:
             for record in records:
                 if not keep(record.key):
                     continue
-                destination = target if target is not None else route.node_for(record.key)
-                by_target.setdefault(destination, []).append(record)
+                if target is not None:
+                    destinations = [target]
+                else:
+                    destinations = [
+                        node
+                        for node in route.successors(record.key, factor)
+                        if node != source
+                    ]
+                for destination in destinations:
+                    by_target.setdefault(destination, []).append(record)
             for destination, batch in by_target.items():
                 try:
-                    if destination not in watermarked:
-                        # Advance the destination's invalidation watermark to
-                        # the source's before installing, so still-valid
-                        # records are usable at current timestamps on arrival.
+                    if carry_watermark and destination not in watermarked:
                         transport = self.cluster.transports[destination]
                         if transport.watermark() < source_watermark:
                             transport.note_timestamp(source_watermark)

@@ -25,7 +25,7 @@ sockets.  A request payload decodes to ``(op, args)`` where ``op`` names a
 cache operation (``"lookup"``, ``"multi_lookup"``, ``"put"``, ``"probe"``,
 ``"was_ever_stored"``, ``"evict_stale"``, ``"clear"``, ``"stats"``,
 ``"reset_stats"``, ``"extract_entries"``, ``"install_entries"``,
-``"discard_keys"``, ``"watermark"``, ``"invalidate"``, ``"note_timestamp"``,
+``"discard_keys"``, ``"keys"``, ``"watermark"``, ``"invalidate"``, ``"note_timestamp"``,
 ``"ping"``) and ``args`` is a tuple of its positional arguments.  A response payload decodes
 to ``("ok", value)`` or ``("err", message)``.  Payloads are encoded with
 :mod:`pickle` because cached values are arbitrary Python objects (query-result
@@ -220,6 +220,8 @@ class CacheServerProcess:
             return server.install_entries(*args)
         if op == "discard_keys":
             return server.discard_keys(*args)
+        if op == "keys":
+            return server.keys()
         if op == "watermark":
             return server.last_invalidation_timestamp
         if op == "invalidate":
@@ -350,6 +352,9 @@ class SocketTransport:
 
     def discard_keys(self, keys: Sequence[str]) -> int:
         return self._call("discard_keys", list(keys))
+
+    def keys(self) -> List[str]:
+        return self._call("keys")
 
     def watermark(self) -> int:
         return self._call("watermark")

@@ -140,6 +140,15 @@ class CacheServer:
         """All stored versions of ``key`` (oldest validity first)."""
         return list(self._entries.get(key, ()))
 
+    def keys(self) -> List[str]:
+        """The keys with at least one stored version, sorted.
+
+        Used by replica-placement checks (does every replica of a key hold a
+        copy?) and the anti-entropy repair tests; like :meth:`probe` it
+        touches neither statistics nor LRU ordering.
+        """
+        return sorted(self._entries)
+
     def was_ever_stored(self, key: str) -> bool:
         """True if ``key`` has ever been inserted on this server."""
         return key in self._keys_ever_stored

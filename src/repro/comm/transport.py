@@ -24,7 +24,7 @@ The operations mirror the cache server's public surface: ``lookup``,
 ``put``, ``probe``, ``was_ever_stored``, ``evict_stale``, ``clear`` and
 ``stats``, plus the key-migration operations used by the membership
 subsystem (``extract_entries``, ``install_entries``, ``discard_keys``,
-``watermark``), the invalidation-stream entry points
+``keys``, ``watermark``), the invalidation-stream entry points
 (``process_invalidation``, ``note_timestamp``) and lifecycle helpers
 (``reset_stats``, ``close``).
 """
@@ -110,6 +110,9 @@ class CacheTransport(Protocol):
     def discard_keys(self, keys: Sequence[str]) -> int:
         """Drop every version of the given keys (post-migration cleanup)."""
 
+    def keys(self) -> List[str]:
+        """The keys currently stored on the node (sorted, stats-free)."""
+
     def watermark(self) -> int:
         """The node's highest processed invalidation timestamp."""
 
@@ -185,6 +188,9 @@ class InProcessTransport:
 
     def discard_keys(self, keys: Sequence[str]) -> int:
         return self.server.discard_keys(keys)
+
+    def keys(self) -> List[str]:
+        return self.server.keys()
 
     def watermark(self) -> int:
         return self.server.last_invalidation_timestamp

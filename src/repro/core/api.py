@@ -352,7 +352,11 @@ class TxCacheClient:
         interval = frame.validity
         tags = frozenset(frame.tags) if interval.unbounded else frozenset()
         self.cache.put(key, value, interval, tags)
-        self.stats.cache_rpcs += 1
+        # A replicated put fans out to the key's replica set, so it costs one
+        # round trip per replica actually in the ring (one with
+        # replication_factor=1, the paper's deployment; fewer than R after a
+        # crash shrinks the ring below the factor).
+        self.stats.cache_rpcs += max(1, len(self.cache.replicas_for(key)))
         # The enclosing functions (if any) already accumulated everything the
         # inner function observed, because database/cache observations are
         # folded into every frame on the stack as they happen.

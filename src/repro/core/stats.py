@@ -32,7 +32,9 @@ class MissType(Enum):
     the responsible cache node was unreachable, so the library treated the
     lookup as a miss rather than failing the transaction.  Keeping these out
     of the other buckets stops a dead node from polluting the compulsory
-    counts of Figure 8.
+    counts of Figure 8.  With R-way replication a lookup degrades only when
+    *every* replica of the key is unreachable — a single node crash in a
+    replicated tier produces no DEGRADED misses at all (reads fail over).
     """
 
     COMPULSORY = "compulsory"
@@ -116,8 +118,12 @@ class ClientStats:
         self.cache_bypassed_calls = 0
         self.cache_rpcs = 0
 
-    def merge(self, other: "ClientStats") -> None:
-        """Add another stats object into this one (multi-client aggregation)."""
+    def merge(self, other: "ClientStats") -> "ClientStats":
+        """Add another client's counters into this one; returns ``self``.
+
+        Mirrors :meth:`repro.cache.server.CacheServerStats.merge` so
+        multi-client aggregation composes the same way (``total += stats``).
+        """
         self.ro_transactions += other.ro_transactions
         self.rw_transactions += other.rw_transactions
         self.commits += other.commits
@@ -131,3 +137,7 @@ class ClientStats:
         self.pins_created += other.pins_created
         self.cache_bypassed_calls += other.cache_bypassed_calls
         self.cache_rpcs += other.cache_rpcs
+        return self
+
+    def __iadd__(self, other: "ClientStats") -> "ClientStats":
+        return self.merge(other)

@@ -51,6 +51,13 @@ class TxCacheDeployment:
     failure_threshold: int = 3
     #: Keys per chunk when live-migrating entries on a membership change.
     migration_chunk_size: int = 128
+    #: Copies of each key across the cache tier (ring successor lists).
+    #: With R > 1 reads fail over to replicas and a node crash loses no
+    #: cached state; 1 reproduces the paper's unreplicated deployment.
+    replication_factor: int = 1
+    #: Re-replicate under-replicated ranges automatically after a crash
+    #: eviction (anti-entropy repair; only meaningful with replication).
+    auto_repair: bool = True
 
     def __post_init__(self) -> None:
         self.invalidation_bus = InvalidationBus()
@@ -66,8 +73,11 @@ class TxCacheDeployment:
             invalidation_bus=self.invalidation_bus,
             transport=self.transport,
             failure_threshold=self.failure_threshold,
+            replication_factor=self.replication_factor,
         )
-        self.membership = ClusterMembership(self.cache, chunk_size=self.migration_chunk_size)
+        self.membership = ClusterMembership(
+            self.cache, chunk_size=self.migration_chunk_size, auto_repair=self.auto_repair
+        )
         self.pincushion = Pincushion(
             clock=self.clock,
             unpin_callback=self.database.unpin,

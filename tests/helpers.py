@@ -1,13 +1,55 @@
-"""Shared builders used across the test suite."""
+"""Shared builders and the fault-injection harness used across the test suite.
+
+Beyond the plain deployment builders, this module provides the pieces the
+consistency/fault-injection suites (``test_replication.py``,
+``test_consistency_properties.py``-style invariants under failure) are built
+from:
+
+* :func:`transports_under_test` — the transport parametrization, overridable
+  with ``REPRO_TRANSPORT=inprocess|socket`` (the CI matrix uses this to run
+  the parity suites against one transport at a time);
+* :class:`FaultInjector` — kill or partition cache nodes mid-workload,
+  transport-agnostically (partitions wrap the node's transport so *every*
+  path to it, invalidation stream included, fails like a dead network);
+* :class:`ConsistencyHarness` — a randomized writes/reads workload over a
+  single-version table that asserts the paper's core invariant (every
+  read-only transaction observes exactly one database state) after every
+  transaction, usable while faults are being injected.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, Tuple
+import os
+import random
+from typing import Iterable, List, Optional, Tuple
 
+from repro.cache.cluster import CacheCluster
+from repro.cache.netserver import CacheNodeUnreachableError
 from repro.core.api import ConsistencyMode
 from repro.db.database import Database
+from repro.db.query import Eq, Select
 from repro.db.schema import IndexSpec, TableSchema
 from repro.deployment import TxCacheDeployment
+
+#: Both cache transports; the parity suites parametrize over this.
+TRANSPORTS = ["inprocess", "socket"]
+
+
+def transports_under_test() -> List[str]:
+    """Transports the parametrized suites should run against.
+
+    Defaults to both; set ``REPRO_TRANSPORT=inprocess`` or ``socket`` to
+    restrict the run (used by the CI matrix to exercise the socket transport
+    in a dedicated entry without doubling every job's runtime).
+    """
+    forced = os.environ.get("REPRO_TRANSPORT")
+    if not forced:
+        return list(TRANSPORTS)
+    if forced not in TRANSPORTS:
+        raise ValueError(
+            f"REPRO_TRANSPORT={forced!r}; expected one of {TRANSPORTS}"
+        )
+    return [forced]
 
 
 def simple_schema(name: str = "users") -> TableSchema:
@@ -85,3 +127,173 @@ def insert_users(deployment: TxCacheDeployment, rows: Iterable[dict]) -> int:
     timestamp = transaction.commit()
     deployment.advance(0.1)
     return timestamp
+
+
+# ----------------------------------------------------------------------
+# Fault injection
+# ----------------------------------------------------------------------
+class PartitionableTransport:
+    """A transport wrapper that can simulate a network partition.
+
+    While :attr:`partitioned` is set, every operation raises
+    :class:`CacheNodeUnreachableError` — the exact failure class a dead TCP
+    connection produces — so failure-aware routing, replica failover, and
+    the guarded invalidation path all exercise their real code paths under
+    *both* transports.  The wrapped node keeps its state, so healing the
+    partition restores it as-is (watermark frozen at the last message it
+    received, exactly like a rejoining network peer).
+    """
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+        self.name = inner.name
+        self.partitioned = False
+
+    def close(self) -> None:
+        # Teardown must always work, partitioned or not.
+        self.inner.close()
+
+    def __getattr__(self, attr):
+        target = getattr(self.inner, attr)
+        if not callable(target):
+            return target
+
+        def guarded(*args, **kwargs):
+            if self.partitioned:
+                raise CacheNodeUnreachableError(
+                    f"cache node {self.name!r} is partitioned (fault injection)"
+                )
+            return target(*args, **kwargs)
+
+        return guarded
+
+
+class FaultInjector:
+    """Kill or partition cache nodes of a live cluster, mid-workload."""
+
+    def __init__(self, cluster: CacheCluster) -> None:
+        self.cluster = cluster
+        self._wrappers: dict = {}
+
+    def _wrapper_for(self, name: str) -> PartitionableTransport:
+        wrapper = self._wrappers.get(name)
+        current = self.cluster._transports.get(name)
+        if wrapper is None or current is not wrapper:
+            if current is None:
+                raise KeyError(name)
+            wrapper = PartitionableTransport(current)
+            # Swap the wrapper into the routed path *and* the invalidation
+            # guard, so a partition severs the stream like a real one would.
+            self.cluster._transports[name] = wrapper
+            guard = self.cluster._stream_guards.get(name)
+            if guard is not None:
+                guard.transport = wrapper
+            self._wrappers[name] = wrapper
+        return wrapper
+
+    def partition(self, name: str) -> None:
+        """Cut the node off: all traffic to it fails, state is preserved."""
+        self._wrapper_for(name).partitioned = True
+
+    def heal(self, name: str) -> None:
+        """Restore connectivity to a partitioned node."""
+        self._wrapper_for(name).partitioned = False
+
+    def crash(self, name: str) -> None:
+        """Kill the node outright (see :meth:`CacheCluster.fail_node`)."""
+        self.cluster.fail_node(name)
+
+
+# ----------------------------------------------------------------------
+# Consistency invariant workload
+# ----------------------------------------------------------------------
+class ConsistencyViolation(AssertionError):
+    """A read-only transaction observed a mix of database states."""
+
+
+class ConsistencyHarness:
+    """Drives a deployment while checking the paper's core invariant.
+
+    Every write transaction bumps one global version and rewrites every row
+    of a small table, so all rows always carry the same version number; any
+    read-only transaction that observes two different versions — whether the
+    values came from the cache, a replica after failover, or the database —
+    has seen an inconsistent mix of states and raises
+    :class:`ConsistencyViolation`.  Faults may be injected between (or
+    during) steps; the invariant must hold regardless.
+    """
+
+    ROWS = 6
+
+    def __init__(self, deployment: TxCacheDeployment, seed: int = 1) -> None:
+        self.deployment = deployment
+        self.client = deployment.client()
+        self.rng = random.Random(seed)
+        self.version = 0
+        self.reads = 0
+        self.writes = 0
+        deployment.database.create_table(
+            TableSchema.build("state", ["id", "version", "payload"], primary_key="id")
+        )
+        deployment.database.bulk_load(
+            "state",
+            [{"id": i, "version": 0, "payload": "x" * 64} for i in range(self.ROWS)],
+        )
+
+        client = self.client
+
+        @client.cacheable(name="get_row")
+        def get_row(row_id):
+            return client.query(Select("state", Eq("id", row_id))).rows[0]
+
+        self._get_row = get_row
+
+    def write(self) -> None:
+        """One update transaction: move every row to the next version."""
+        self.version += 1
+        transaction = self.deployment.database.begin_rw()
+        for row_id in range(self.ROWS):
+            transaction.update("state", Eq("id", row_id), {"version": self.version})
+        transaction.commit()
+        self.deployment.advance(self.rng.uniform(0.01, 0.5))
+        self.writes += 1
+
+    def read(self, staleness: Optional[float] = None) -> int:
+        """One read-only transaction over a random row subset; checks the
+        invariant and returns the (single) version it observed."""
+        if staleness is None:
+            staleness = self.rng.choice([0, 1, 5, 30, 60])
+        observed = set()
+        with self.client.read_only(staleness=staleness):
+            for _ in range(self.rng.randint(2, self.ROWS)):
+                row_id = self.rng.randrange(self.ROWS)
+                if self.rng.random() < 0.6:
+                    observed.add(self._get_row(row_id)["version"])
+                else:
+                    observed.add(
+                        self.client.query(
+                            Select("state", Eq("id", row_id))
+                        ).rows[0]["version"]
+                    )
+        self.reads += 1
+        if len(observed) != 1:
+            raise ConsistencyViolation(
+                f"read {self.reads} observed mixed versions {sorted(observed)}"
+            )
+        return observed.pop()
+
+    def step(self) -> None:
+        """One random workload step (write, clock advance, housekeeping, read)."""
+        action = self.rng.random()
+        if action < 0.30:
+            self.write()
+        elif action < 0.40:
+            self.deployment.advance(self.rng.uniform(0.1, 20.0))
+        elif action < 0.45:
+            self.deployment.housekeeping(max_staleness=60.0)
+        else:
+            self.read()
+
+    def run(self, steps: int) -> None:
+        for _ in range(steps):
+            self.step()

@@ -190,3 +190,138 @@ class TestProperties:
         for i in range(50):
             key = f"key-{i}"
             assert forward.node_for(key) == backward.node_for(key)
+
+
+# ----------------------------------------------------------------------
+# Replication: successor lists and replica ranges
+# ----------------------------------------------------------------------
+#: Random weighted node sets: name -> weight.  Small virtual-node counts
+#: keep the O(points^2) replica_ranges checks fast without changing the
+#: properties under test.
+weighted_nodes = st.dictionaries(
+    st.sampled_from([f"n{i}" for i in range(10)]),
+    st.sampled_from([0.5, 1.0, 1.5, 2.0]),
+    min_size=1,
+    max_size=7,
+)
+
+KEYS = [f"key-{i}" for i in range(40)]
+
+
+def build_weighted(nodes, virtual_nodes=8):
+    ring = ConsistentHashRing(virtual_nodes=virtual_nodes)
+    for name in sorted(nodes):
+        ring.add_node(name, weight=nodes[name])
+    return ring
+
+
+class TestSuccessorProperties:
+    @given(weighted_nodes, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=60, deadline=None)
+    def test_successors_are_distinct_members_primary_first(self, nodes, r):
+        ring = build_weighted(nodes)
+        for key in KEYS:
+            replicas = ring.successors(key, r)
+            assert len(replicas) == min(r, len(ring))
+            assert len(set(replicas)) == len(replicas)
+            assert all(node in ring for node in replicas)
+            assert replicas[0] == ring.node_for(key)
+
+    @given(weighted_nodes, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_join_changes_replica_sets_minimally(self, nodes, r):
+        """Adding a node inserts it at one position of each key's
+        distinct-owner walk: the new replica set is a subset of the old one
+        plus the newcomer, and at most one old replica is displaced."""
+        ring = build_weighted(nodes)
+        before = {key: ring.successors(key, r) for key in KEYS}
+        ring.add_node("newcomer")
+        for key in KEYS:
+            old, new = before[key], ring.successors(key, r)
+            assert set(new) <= set(old) | {"newcomer"}
+            assert len(set(old) - set(new)) <= 1
+            # Surviving replicas keep their relative order.
+            survivors = [node for node in new if node != "newcomer"]
+            assert survivors == [node for node in old if node in set(survivors)]
+
+    @given(weighted_nodes, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_leave_promotes_the_next_successor_only(self, nodes, r):
+        ring = build_weighted(nodes)
+        victim = sorted(nodes)[0]
+        before = {key: ring.successors(key, r) for key in KEYS}
+        ring.remove_node(victim)
+        if not len(ring):
+            with pytest.raises(LookupError):
+                ring.successors(KEYS[0], r)
+            return
+        for key in KEYS:
+            old, new = before[key], ring.successors(key, r)
+            expected_len = min(r, len(ring))
+            assert len(new) == expected_len
+            # Everyone but the victim keeps replica status; at most one node
+            # (the next distinct successor) is promoted in.
+            kept = [node for node in old if node != victim]
+            assert kept == new[: len(kept)]
+            assert len(set(new) - set(kept)) <= 1
+
+    @given(weighted_nodes, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_replica_ranges_partition_the_ring_exactly(self, nodes, r):
+        """Every hash-space point lies in exactly min(r, n) nodes'
+        replica ranges — the nodes of its successor list — and each node's
+        own arcs never overlap."""
+        from repro.cache.hashring import _hash, range_contains
+
+        ring = build_weighted(nodes)
+        ranges = {node: ring.replica_ranges(node, r) for node in ring.nodes}
+        for key in KEYS:
+            point = _hash(key)
+            owners = set(ring.successors(key, r))
+            for node, arcs in ranges.items():
+                contained = any(range_contains(lo, hi, point) for lo, hi in arcs)
+                assert contained == (node in owners), (key, node)
+        if len(ring) > 1:
+            for node, arcs in ranges.items():
+                # Arcs of one node are disjoint: each ring point starts at
+                # most one arc, and arcs span distinct inter-point gaps.
+                assert len({hi for _lo, hi in arcs}) == len(arcs)
+
+    def test_replica_ranges_r1_equals_owned_ranges(self):
+        ring = ConsistentHashRing(["a", "b", "c"], virtual_nodes=50)
+        for node in ring.nodes:
+            assert ring.replica_ranges(node, 1) == ring.owned_ranges(node)
+
+    def test_successors_validation(self):
+        ring = ConsistentHashRing(["a"])
+        with pytest.raises(ValueError):
+            ring.successors("k", 0)
+        with pytest.raises(LookupError):
+            ConsistentHashRing().successors("k", 2)
+        with pytest.raises(KeyError):
+            ring.replica_ranges("zzz", 2)
+
+    def test_diff_replica_ownership_reduces_to_diff_ownership_for_r1(self):
+        from repro.cache.hashring import diff_ownership, diff_replica_ownership
+
+        old = ConsistentHashRing(["a", "b", "c"], virtual_nodes=30)
+        new = old.copy()
+        new.add_node("d")
+        plain = diff_ownership(old, new)
+        replicated = diff_replica_ownership(old, new, 1)
+        assert [(c.lo, c.hi, (c.old_owner,), (c.new_owner,)) for c in plain] == [
+            (c.lo, c.hi, c.old_owners, c.new_owners) for c in replicated
+        ]
+
+    def test_diff_replica_ownership_marks_only_changed_successor_lists(self):
+        from repro.cache.hashring import _hash, diff_replica_ownership, range_contains
+
+        old = ConsistentHashRing(["a", "b", "c"], virtual_nodes=30)
+        new = old.copy()
+        new.add_node("d")
+        changes = diff_replica_ownership(old, new, 2)
+        for i in range(300):
+            key = f"key-{i}"
+            point = _hash(key)
+            in_changed = any(range_contains(c.lo, c.hi, point) for c in changes)
+            assert in_changed == (old.successors(key, 2) != new.successors(key, 2)), key

@@ -31,8 +31,10 @@ from repro.db.query import Eq, Select
 from repro.db.invalidation import InvalidationTag
 from repro.deployment import TxCacheDeployment
 from repro.interval import Interval
+from tests.helpers import transports_under_test
 
-TRANSPORTS = ["inprocess", "socket"]
+# Overridable with REPRO_TRANSPORT=inprocess|socket (CI transport matrix).
+TRANSPORTS = transports_under_test()
 
 
 @pytest.fixture(params=TRANSPORTS)
@@ -233,8 +235,12 @@ class TestMembershipTransportParity:
     def test_join_leave_sequence_matches_across_transports(self):
         """The same membership trace routes and serves identically whether
         the nodes are in-process objects or real TCP servers."""
+        from tests.helpers import TRANSPORTS as ALL_TRANSPORTS
+
         outcomes = {}
-        for kind in TRANSPORTS:
+        # Always compares both transports (the point of the test), even when
+        # REPRO_TRANSPORT restricts the parametrized suites.
+        for kind in ALL_TRANSPORTS:
             bus = InvalidationBus()
             cluster, membership = build_membership(kind, bus=bus)
             try:

@@ -30,9 +30,10 @@ from repro.db.invalidation import InvalidationTag
 from repro.deployment import TxCacheDeployment
 from repro.interval import Interval
 from tests.test_integration import build_bank_deployment, transfer
-from tests.helpers import simple_schema
+from tests.helpers import simple_schema, transports_under_test
 
-TRANSPORTS = ["inprocess", "socket"]
+# Overridable with REPRO_TRANSPORT=inprocess|socket (CI transport matrix).
+TRANSPORTS = transports_under_test()
 
 
 @pytest.fixture(params=TRANSPORTS)
@@ -289,8 +290,12 @@ class TestIntegrationOverTcp:
 
     def test_deployment_modes_match_across_transports(self):
         """Same workload, same hit/miss pattern, whichever transport serves it."""
+        from tests.helpers import TRANSPORTS as ALL_TRANSPORTS
+
         patterns = {}
-        for kind in TRANSPORTS:
+        # Always compares both transports (the point of the test), even when
+        # REPRO_TRANSPORT restricts the parametrized suites.
+        for kind in ALL_TRANSPORTS:
             deployment = TxCacheDeployment(transport=kind, mode=ConsistencyMode.CONSISTENT)
             try:
                 deployment.database.create_table(simple_schema())
