@@ -24,6 +24,8 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.bench.experiments import (
     ExperimentSettings,
+    concurrent_churn,
+    concurrent_clients,
     figure5,
     figure6,
     figure7,
@@ -31,7 +33,10 @@ from repro.bench.experiments import (
     validity_tracking_overhead,
 )
 
-EXPERIMENTS = ("fig5a", "fig5b", "fig6a", "fig6b", "fig7", "fig8", "overhead")
+EXPERIMENTS = (
+    "fig5a", "fig5b", "fig6a", "fig6b", "fig7", "fig8", "overhead",
+    "concurrency", "concurrent-churn",
+)
 
 
 def run_experiment(name: str, settings: ExperimentSettings) -> None:
@@ -50,6 +55,13 @@ def run_experiment(name: str, settings: ExperimentSettings) -> None:
         print(figure8(settings=settings).format_table())
     elif name == "overhead":
         print(validity_tracking_overhead().format_table())
+    elif name == "concurrency":
+        # Wall-clock throughput vs worker threads (beyond the paper's
+        # figures): the socket series should scale, the in-process series
+        # documents the GIL bound.
+        print(concurrent_clients().format_table())
+    elif name == "concurrent-churn":
+        print(concurrent_churn().format_table())
     else:
         raise SystemExit(f"unknown experiment {name!r}")
     print(f"[{name} finished in {time.time() - started:.1f}s]\n")

@@ -1,4 +1,17 @@
-"""The benchmark driver: run a RUBiS workload and derive peak throughput.
+"""The benchmark drivers: simulated saturation and wall-clock concurrency.
+
+Two drivers live here.  :func:`run_benchmark` reproduces the paper's
+figures: it runs the RUBiS workload single-threaded and derives *simulated*
+peak throughput from the cost model, so its results are exact, deterministic
+and transport-invariant.  :func:`run_concurrent_benchmark` measures the
+system as a system: K worker threads, each owning its own
+:class:`TxCacheClient` (one per emulated application server, exactly the
+paper's topology), drive transactions against one shared deployment and the
+driver reports *wall-clock* operations per second — the number that shows
+whether the request path (pooled socket transport, thread-safe cache tier,
+locked pincushion/bus) actually admits concurrent traffic.
+
+The benchmark driver below: run a RUBiS workload and derive peak throughput.
 
 One :func:`run_benchmark` call corresponds to one point of one of the paper's
 figures: a database configuration (in-memory or disk-bound), a total cache
@@ -18,6 +31,9 @@ size, a staleness limit, and a consistency mode.  The driver
 
 from __future__ import annotations
 
+import random
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -26,17 +42,24 @@ from repro.apps.rubis.datagen import RubisConfig, populate_database
 from repro.apps.rubis.schema import create_rubis_schema
 from repro.apps.rubis.workload import BIDDING_MIX, RubisClientSession, WorkloadMix
 from repro.bench.costmodel import ClusterSpec, CostModel, CostParameters, InteractionCost
-from repro.clock import ManualClock
+from repro.clock import ManualClock, SystemClock
 from repro.core.api import ConsistencyMode
-from repro.core.stats import MissType
+from repro.core.stats import ClientStats, MissType
+from repro.db.errors import SerializationError
+from repro.db.query import Eq, Select
+from repro.db.schema import TableSchema
 from repro.deployment import TxCacheDeployment
 
 __all__ = [
     "BenchmarkConfig",
     "BenchmarkResult",
     "ChurnEvent",
+    "ConcurrencyConfig",
+    "ConcurrencyResult",
+    "TimedChurnEvent",
     "rolling_restart_events",
     "run_benchmark",
+    "run_concurrent_benchmark",
 ]
 
 #: Smallest clock advance per interaction; keeps time moving even for
@@ -360,3 +383,277 @@ def _run_on_deployment(
         replica_hits=deployment.cache.health.replica_hits,
         entries_re_replicated=deployment.membership.stats.entries_re_replicated,
     )
+
+
+# ----------------------------------------------------------------------
+# Wall-clock concurrency driver
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TimedChurnEvent:
+    """One membership change applied while worker threads drive traffic.
+
+    Fires once the fleet has completed ``at_done_fraction`` of the run's
+    total interactions: ``"crash"`` kills the node without warning,
+    ``"join"`` (re)joins it — a crash/join pair is the concurrent analogue
+    of :func:`rolling_restart_events`, exercising failure detection,
+    threshold eviction, and warm rejoin *under* live multi-threaded load.
+    """
+
+    at_done_fraction: float
+    action: str  # "crash" | "join"
+    node: Optional[str] = None
+    migrate: bool = True
+
+
+@dataclass
+class ConcurrencyConfig:
+    """Parameters of one wall-clock concurrency measurement."""
+
+    #: Worker threads; each owns one TxCacheClient (one emulated app server).
+    threads: int = 4
+    transport: str = "socket"
+    cache_nodes: int = 2
+    cache_capacity_bytes_per_node: int = 8 * 1024 * 1024
+    #: Rows in the hot table the workload reads and updates.
+    rows: int = 256
+    #: Measured interactions each worker performs.
+    interactions_per_thread: int = 400
+    #: Fraction of interactions that are update transactions (they bypass
+    #: the cache, take the database commit lock, and publish invalidations —
+    #: i.e. they exercise every lock the read path can contend on).
+    write_fraction: float = 0.05
+    staleness: float = 30.0
+    replication_factor: int = 1
+    #: Pooled connections per node; None sizes the pool to ``threads`` so
+    #: every worker can have an RPC in flight.
+    socket_pool_size: Optional[int] = None
+    #: Modelled LAN round trip per cache RPC (see CacheServerProcess).  On a
+    #: loopback interface an RPC is pure CPU and the GIL serializes it, so
+    #: the default models the ~0.4 ms round trip of the paper's gigabit
+    #: testbed; set to 0 to measure raw loopback.
+    simulated_rpc_latency_seconds: float = 4e-4
+    #: Membership changes applied mid-run by the coordinator thread.
+    churn: Sequence[TimedChurnEvent] = ()
+    seed: int = 1
+    label: str = ""
+
+
+@dataclass
+class ConcurrencyResult:
+    """Outcome of one wall-clock concurrency measurement."""
+
+    label: str
+    threads: int
+    transport: str
+    #: Total measured interactions completed across all workers.
+    interactions: int
+    wall_seconds: float
+    ops_per_second: float
+    hit_rate: float
+    #: Per-thread client counters merged into one (ClientStats.merge).
+    client_stats: ClientStats
+    per_thread_interactions: List[int]
+    #: Update transactions aborted by a first-committer-wins race with
+    #: another worker.  The write is *dropped* (the interaction still counts
+    #: toward throughput); a real application server would retry it.
+    write_conflicts: int
+    degraded_lookups: int
+    nodes_evicted: int
+    replica_served_lookups: int
+    #: Exceptions escaped from workers (always 0 on a healthy run).
+    errors: int
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.label or 'run'}: {self.threads} thread(s) x {self.transport}: "
+            f"{self.ops_per_second:8.1f} ops/s  hit rate {self.hit_rate:5.1%}"
+        )
+
+
+class _ConcurrentWorker:
+    """One emulated application server: a thread, a client, its own RNG."""
+
+    def __init__(self, config: ConcurrencyConfig, deployment, index: int, barrier):
+        self.config = config
+        self.deployment = deployment
+        self.index = index
+        self.barrier = barrier
+        #: Per-thread RNG: the op sequence each worker issues is a pure
+        #: function of (seed, thread index), so runs are reproducible even
+        #: though the cross-thread interleaving is not.
+        self.rng = random.Random(config.seed * 1000 + index)
+        self.client = deployment.client(default_staleness=config.staleness)
+        self.completed = 0
+        self.write_conflicts = 0
+        self.errors = 0
+        client = self.client
+
+        @client.cacheable(name="bench_get_row")
+        def get_row(row_id):
+            return client.query(Select("pages", Eq("id", row_id))).rows[0]
+
+        self._get_row = get_row
+        self.thread = threading.Thread(
+            target=self._run, name=f"bench-client-{index}", daemon=True
+        )
+
+    def _interaction(self) -> None:
+        if self.rng.random() < self.config.write_fraction:
+            row_id = self.rng.randrange(self.config.rows)
+            try:
+                with self.client.read_write():
+                    self.client.update(
+                        "pages", Eq("id", row_id), {"hits": self.rng.randrange(1 << 30)}
+                    )
+            except SerializationError:
+                # First-committer-wins: another worker updated the same row
+                # concurrently.  Real app servers retry; we count and go on.
+                self.write_conflicts += 1
+            return
+        with self.client.read_only(staleness=self.config.staleness):
+            for _ in range(self.rng.randint(1, 3)):
+                self._get_row(self.rng.randrange(self.config.rows))
+
+    def _run(self) -> None:
+        self.barrier.wait()
+        for _ in range(self.config.interactions_per_thread):
+            try:
+                self._interaction()
+            except Exception:
+                # A worker must never die silently: the run reports errors
+                # and the stress tests assert the count is zero.
+                self.errors += 1
+            self.completed += 1
+
+
+def run_concurrent_benchmark(config: ConcurrencyConfig) -> ConcurrencyResult:
+    """Measure wall-clock throughput of K client threads on one deployment.
+
+    Builds a deployment, loads a hot table, warms the cache with one
+    sequential pass, then releases all workers at a barrier and times the
+    measured phase end to end.  ``config.churn`` events fire from the
+    coordinator thread while the workers run.
+    """
+    if config.threads < 1:
+        raise ValueError("threads must be positive")
+    pool = config.socket_pool_size or max(1, config.threads)
+    deployment = TxCacheDeployment(
+        clock=SystemClock(),
+        cache_nodes=config.cache_nodes,
+        cache_capacity_bytes_per_node=config.cache_capacity_bytes_per_node,
+        transport=config.transport,
+        default_staleness=config.staleness,
+        replication_factor=config.replication_factor,
+        socket_pool_size=pool,
+        simulated_rpc_latency_seconds=config.simulated_rpc_latency_seconds,
+    )
+    try:
+        deployment.database.create_table(
+            TableSchema.build("pages", ["id", "payload", "hits"], primary_key="id")
+        )
+        deployment.database.bulk_load(
+            "pages",
+            [
+                {"id": i, "payload": "x" * 128, "hits": 0}
+                for i in range(config.rows)
+            ],
+        )
+
+        # Warm sequentially so the measured phase starts from a hot cache
+        # (the paper restores a cache snapshot; this plays the same role).
+        warm_worker = _ConcurrentWorker(config, deployment, index=9999, barrier=_NoBarrier())
+        for row_id in range(config.rows):
+            with warm_worker.client.read_only(staleness=config.staleness):
+                warm_worker._get_row(row_id)
+
+        barrier = threading.Barrier(config.threads + 1)
+        workers = [
+            _ConcurrentWorker(config, deployment, index, barrier)
+            for index in range(config.threads)
+        ]
+        for worker in workers:
+            worker.thread.start()
+
+        total_target = config.threads * config.interactions_per_thread
+        pending_churn = sorted(config.churn, key=lambda event: event.at_done_fraction)
+
+        barrier.wait()
+        started = time.perf_counter()
+        while any(worker.thread.is_alive() for worker in workers):
+            done = sum(worker.completed for worker in workers)
+            while pending_churn and done >= pending_churn[0].at_done_fraction * total_target:
+                _apply_timed_churn(deployment, pending_churn.pop(0))
+            time.sleep(0.001)
+        wall = time.perf_counter() - started
+        for worker in workers:
+            worker.thread.join()
+        # Drain events whose threshold was crossed inside the final polling
+        # window (fast runs can finish between two 1 ms checks, and an event
+        # at fraction 1.0 only fires here).  Firing them late keeps the
+        # result's counters honest — a run configured with churn must never
+        # silently report a churn-free baseline.
+        while pending_churn:
+            _apply_timed_churn(deployment, pending_churn.pop(0))
+
+        merged = ClientStats()
+        for worker in workers:
+            merged += worker.client.stats
+        interactions = sum(worker.completed for worker in workers)
+        health = deployment.cache.health
+        return ConcurrencyResult(
+            label=config.label,
+            threads=config.threads,
+            transport=config.transport,
+            interactions=interactions,
+            wall_seconds=wall,
+            ops_per_second=interactions / wall if wall > 0 else 0.0,
+            hit_rate=merged.hit_rate,
+            client_stats=merged,
+            per_thread_interactions=[worker.completed for worker in workers],
+            write_conflicts=sum(worker.write_conflicts for worker in workers),
+            degraded_lookups=health.degraded_lookups,
+            nodes_evicted=health.nodes_evicted,
+            replica_served_lookups=health.replica_served_lookups,
+            errors=sum(worker.errors for worker in workers),
+        )
+    finally:
+        deployment.shutdown()
+
+
+class _NoBarrier:
+    """Stand-in barrier for the sequential warmup worker."""
+
+    def wait(self) -> None:
+        return None
+
+
+def _apply_timed_churn(deployment: TxCacheDeployment, event: TimedChurnEvent) -> None:
+    """Apply one membership change to a deployment under live traffic.
+
+    Unlike the simulated driver's churn, this runs concurrently with worker
+    threads whose failed RPCs drive threshold eviction, so every check-then-
+    act here can lose a race: the node observed in the ring may be evicted
+    by a worker before the coordinator acts on it.  Losing that race means
+    the failure detector already did the job — swallow the KeyError and
+    proceed.
+    """
+    if event.action == "crash":
+        name = event.node or deployment.cache.ring.nodes[-1]
+        try:
+            deployment.cache.fail_node(name)
+        except KeyError:
+            pass  # a worker's failed RPCs already evicted it
+    elif event.action == "join":
+        name = event.node
+        if name is not None and name in deployment.cache.ring:
+            # Rejoin of a crashed node that has not crossed the failure
+            # threshold yet: complete the eviction, then rejoin warm (same
+            # policy as the simulated driver's churn).
+            try:
+                deployment.membership.evict(name)
+            except KeyError:
+                pass  # threshold eviction won the race mid-check
+        deployment.add_cache_node(name=name, migrate=event.migrate)
+    else:
+        raise ValueError(f"unknown timed churn action {event.action!r}")

@@ -38,8 +38,12 @@ from repro.bench.driver import (
     BenchmarkConfig,
     BenchmarkResult,
     ChurnEvent,
+    ConcurrencyConfig,
+    ConcurrencyResult,
+    TimedChurnEvent,
     rolling_restart_events,
     run_benchmark,
+    run_concurrent_benchmark,
 )
 from repro.bench.report import format_table
 from repro.clock import ManualClock
@@ -56,6 +60,8 @@ __all__ = [
     "ChurnResult",
     "CrashChurnResult",
     "RollingRestartResult",
+    "ConcurrentClientsResult",
+    "ConcurrentChurnResult",
     "figure5",
     "figure6",
     "figure7",
@@ -63,6 +69,8 @@ __all__ = [
     "node_churn",
     "crash_churn",
     "rolling_restart",
+    "concurrent_clients",
+    "concurrent_churn",
     "validity_tracking_overhead",
     "PAPER_IN_MEMORY_CACHE_MB",
     "PAPER_DISK_BOUND_CACHE_GB",
@@ -800,6 +808,175 @@ def rolling_restart(
         baseline=baseline,
         replicated=replicated,
         unreplicated=unreplicated,
+        elapsed_seconds=time.time() - started,
+    )
+
+
+# ----------------------------------------------------------------------
+# Concurrent clients: throughput-vs-threads scaling (wall clock)
+# ----------------------------------------------------------------------
+@dataclass
+class ConcurrentClientsResult:
+    """Wall-clock throughput as worker threads are added, per transport.
+
+    ``results[transport]`` holds one :class:`ConcurrencyResult` per entry of
+    ``thread_counts``.  The socket transport should scale: each worker keeps
+    an RPC in flight on its own pooled connection, so modelled network time
+    overlaps.  The in-process transport stays flat on CPython — every cache
+    call is pure Python under the GIL, which is itself a finding this
+    experiment documents (the scaling lives in the transport, not the GIL).
+    """
+
+    thread_counts: List[int]
+    results: Dict[str, List[ConcurrencyResult]]
+    elapsed_seconds: float = 0.0
+
+    def scaling(self, transport: str) -> List[float]:
+        """Throughput relative to the 1-thread run of the same transport."""
+        series = self.results[transport]
+        base = series[0].ops_per_second or 1.0
+        return [result.ops_per_second / base for result in series]
+
+    def format_table(self) -> str:
+        rows = []
+        for transport, series in self.results.items():
+            scaling = self.scaling(transport)
+            for index, result in enumerate(series):
+                rows.append(
+                    [
+                        transport,
+                        f"{result.threads}",
+                        f"{result.ops_per_second:,.0f}",
+                        f"{scaling[index]:.2f}x",
+                        f"{result.hit_rate:.1%}",
+                        f"{result.write_conflicts}",
+                    ]
+                )
+        return format_table(
+            ["transport", "threads", "ops/sec", "scaling", "hit rate", "write conflicts"],
+            rows,
+            title="Concurrent clients: wall-clock throughput vs worker threads",
+        )
+
+
+def concurrent_clients(
+    thread_counts: Sequence[int] = (1, 2, 4, 8),
+    transports: Sequence[str] = ("inprocess", "socket"),
+    interactions_per_thread: int = 400,
+    simulated_rpc_latency_seconds: float = 4e-4,
+    write_fraction: float = 0.05,
+    seed: int = 1,
+) -> ConcurrentClientsResult:
+    """Measure the throughput-vs-threads scaling curve under both transports.
+
+    Each point builds a fresh deployment and drives it with K worker
+    threads, each owning a :class:`repro.core.api.TxCacheClient`.  The
+    socket points model the paper's LAN round trip
+    (``simulated_rpc_latency_seconds``) so there is network time for
+    concurrent requests to overlap — on a bare loopback a single Python
+    thread already saturates one core and no transport could scale.
+    """
+    started = time.time()
+    results: Dict[str, List[ConcurrencyResult]] = {}
+    for transport in transports:
+        series: List[ConcurrencyResult] = []
+        for threads in thread_counts:
+            series.append(
+                run_concurrent_benchmark(
+                    ConcurrencyConfig(
+                        threads=threads,
+                        transport=transport,
+                        interactions_per_thread=interactions_per_thread,
+                        write_fraction=write_fraction,
+                        simulated_rpc_latency_seconds=simulated_rpc_latency_seconds,
+                        seed=seed,
+                        label=f"concurrent-{transport}-{threads}t",
+                    )
+                )
+            )
+        results[transport] = series
+    return ConcurrentClientsResult(
+        thread_counts=list(thread_counts),
+        results=results,
+        elapsed_seconds=time.time() - started,
+    )
+
+
+@dataclass
+class ConcurrentChurnResult:
+    """A crash/rejoin cycle applied while K threads drive traffic."""
+
+    baseline: ConcurrencyResult
+    churned: ConcurrencyResult
+    elapsed_seconds: float = 0.0
+
+    def format_table(self) -> str:
+        rows = []
+        for label, result in (("steady state", self.baseline), ("crash + rejoin", self.churned)):
+            rows.append(
+                [
+                    label,
+                    f"{result.ops_per_second:,.0f}",
+                    f"{result.hit_rate:.1%}",
+                    f"{result.degraded_lookups}",
+                    f"{result.nodes_evicted}",
+                    f"{result.errors}",
+                ]
+            )
+        return format_table(
+            ["scenario", "ops/sec", "hit rate", "degraded lookups", "evicted", "errors"],
+            rows,
+            title=(
+                f"Concurrent churn: {self.churned.threads} threads on "
+                f"{self.churned.transport}, one node crashes and warm-rejoins mid-run"
+            ),
+        )
+
+
+def concurrent_churn(
+    threads: int = 4,
+    transport: str = "socket",
+    interactions_per_thread: int = 400,
+    simulated_rpc_latency_seconds: float = 4e-4,
+    replication_factor: int = 2,
+    seed: int = 1,
+) -> ConcurrentChurnResult:
+    """Crash and warm-rejoin a cache node while K worker threads run.
+
+    The concurrent analogue of :func:`crash_churn`: failure detection,
+    threshold eviction, and the warm rejoin's live migration all execute
+    *while* worker threads issue transactions, which is exactly the window
+    where an unsynchronized cache tier would corrupt state or deadlock.
+    With ``replication_factor >= 2`` the surviving replicas keep serving the
+    dead node's keys, so reads never observe the crash as an error.
+    """
+    started = time.time()
+
+    def config(label: str, churn) -> ConcurrencyConfig:
+        return ConcurrencyConfig(
+            threads=threads,
+            transport=transport,
+            interactions_per_thread=interactions_per_thread,
+            simulated_rpc_latency_seconds=simulated_rpc_latency_seconds,
+            replication_factor=replication_factor,
+            churn=churn,
+            seed=seed,
+            label=label,
+        )
+
+    baseline = run_concurrent_benchmark(config("concurrent-steady", ()))
+    churned = run_concurrent_benchmark(
+        config(
+            "concurrent-crash-rejoin",
+            (
+                TimedChurnEvent(0.3, "crash", node="cache0"),
+                TimedChurnEvent(0.6, "join", node="cache0"),
+            ),
+        )
+    )
+    return ConcurrentChurnResult(
+        baseline=baseline,
+        churned=churned,
         elapsed_seconds=time.time() - started,
     )
 

@@ -44,10 +44,26 @@ applies per node).  A hit served by a non-primary replica is classified in
 :class:`ClusterHealthStats` (``replica_served_lookups`` / ``replica_hits``).
 With ``replication_factor=1`` every code path is exactly the unreplicated
 behaviour.
+
+**Thread safety.**  The routed operations (``lookup``, ``multi_lookup``,
+``put``, ``probe``, …) are fully thread-safe: any number of application
+threads may share one cluster.  A single internal lock guards the ring, the
+transport registry, and the failure-accounting state (failure counts,
+suspect set, health counters); it is held only for those in-memory updates,
+never across a transport call, so it cannot serialize actual RPCs.  Node
+teardown (bus unsubscription, closing transports, stopping a socket server)
+always happens *outside* that lock — the invalidation bus holds its own lock
+while delivering, and its delivery path re-enters the cluster on failures,
+so cluster-lock -> bus-lock would deadlock against bus-lock -> cluster-lock.
+Topology changes (``add_node``/``remove_node``/``adopt_ring``/``close``) are
+safe to run while traffic flows; per-node thread safety is provided by
+:class:`CacheServer`'s own lock, and per-connection concurrency by
+:class:`SocketTransport`'s pool.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
@@ -120,14 +136,14 @@ class _NodeStreamGuard:
         try:
             self.transport.process_invalidation(message)
         except _FAILURE_EXCEPTIONS:
-            self._cluster.health.degraded_ops += 1
+            self._cluster._bump_health("degraded_ops")
             self._cluster._note_failure(self.name)
 
     def note_timestamp(self, timestamp: int) -> None:
         try:
             self.transport.note_timestamp(timestamp)
         except _FAILURE_EXCEPTIONS:
-            self._cluster.health.degraded_ops += 1
+            self._cluster._bump_health("degraded_ops")
             self._cluster._note_failure(self.name)
 
 
@@ -145,6 +161,9 @@ class CacheCluster:
         transport: str = "inprocess",
         failure_threshold: int = 3,
         replication_factor: int = 1,
+        socket_pool_size: int = 4,
+        rpc_timeout_seconds: float = 30.0,
+        simulated_rpc_latency_seconds: float = 0.0,
     ) -> None:
         if transport not in TRANSPORT_KINDS:
             raise ValueError(
@@ -154,10 +173,24 @@ class CacheCluster:
             raise ValueError("failure_threshold must be positive")
         if replication_factor < 1:
             raise ValueError("replication_factor must be positive")
+        if socket_pool_size < 1:
+            raise ValueError("socket_pool_size must be positive")
         self.transport_kind = transport
         self.failure_threshold = failure_threshold
         self.replication_factor = replication_factor
+        #: Connections each SocketTransport keeps per node (= concurrent
+        #: in-flight RPCs per node per application server); ignored by the
+        #: in-process transport.
+        self.socket_pool_size = socket_pool_size
+        #: Connect/read timeout applied to every pooled connection.
+        self.rpc_timeout_seconds = rpc_timeout_seconds
+        #: Modelled LAN round trip served by each networked node (see
+        #: :class:`repro.cache.netserver.CacheServerProcess`).
+        self.simulated_rpc_latency_seconds = simulated_rpc_latency_seconds
         self.health = ClusterHealthStats()
+        #: Guards ring, transport registry, and failure accounting (held for
+        #: in-memory updates only; see "Thread safety" in the module doc).
+        self._state_lock = threading.RLock()
         #: Called with the node name after a failure-driven ring eviction
         #: (the membership coordinator hooks this to record an epoch).
         self.on_node_evicted: Optional[Callable[[str], None]] = None
@@ -246,7 +279,8 @@ class CacheCluster:
         :meth:`repro.cache.membership.ClusterMembership.join`.
         """
         server = self.provision_node(name, capacity_bytes, clock)
-        self.ring.add_node(name)
+        with self._state_lock:
+            self.ring.add_node(name)
         return server
 
     def provision_node(
@@ -258,9 +292,10 @@ class CacheCluster:
         migrated entries before any traffic routes to it; plain
         :meth:`add_node` is ``provision_node`` plus immediate ring insertion.
         """
-        if name in self._transports:
-            raise ValueError(f"cache node {name!r} already exists")
-        server = self._start_node(name, capacity_bytes, clock or self._clock)
+        with self._state_lock:
+            if name in self._transports:
+                raise ValueError(f"cache node {name!r} already exists")
+            server = self._start_node(name, capacity_bytes, clock or self._clock)
         if self._bus is not None:
             self._subscribe_node(name, self._transports[name])
         return server
@@ -272,10 +307,11 @@ class CacheCluster:
         absent from the ring simply receive no traffic (e.g. a node that is
         being drained before removal).
         """
-        missing = [node for node in ring.nodes if node not in self._transports]
-        if missing:
-            raise ValueError(f"ring references unknown cache nodes: {missing}")
-        self.ring = ring
+        with self._state_lock:
+            missing = [node for node in ring.nodes if node not in self._transports]
+            if missing:
+                raise ValueError(f"ring references unknown cache nodes: {missing}")
+            self.ring = ring
 
     def remove_node(self, name: str) -> None:
         """Remove a cache node; its contents are lost (cache semantics).
@@ -286,10 +322,12 @@ class CacheCluster:
         migrates the node's entries to their new owners first, use
         :meth:`repro.cache.membership.ClusterMembership.leave`.
         """
-        if name not in self._transports:
-            raise KeyError(name)
-        self.ring.remove_node(name)
-        self._detach_node(name)
+        with self._state_lock:
+            if name not in self._transports:
+                raise KeyError(name)
+            self.ring.remove_node(name)
+            detached = self._pop_node_state(name)
+        self._teardown_detached(detached)
 
     def fail_node(self, name: str) -> None:
         """Simulate a node crash (tests and the churn benchmark).
@@ -310,24 +348,53 @@ class CacheCluster:
             self._evict_node(name)
 
     def close(self) -> None:
-        """Shut down every node (connections, socket servers, subscriptions)."""
-        for name in list(self._transports):
-            self.ring.remove_node(name)
-            self._detach_node(name)
+        """Shut down every node (connections, socket servers, subscriptions).
 
-    def _detach_node(self, name: str) -> None:
-        """Tear down one node's transport/process/bus state (no ring update)."""
+        Idempotent, and safe to call while client threads are mid-operation:
+        in-flight RPCs either finish or degrade through the normal
+        failure-aware routing path.
+        """
+        while True:
+            with self._state_lock:
+                names = list(self._transports)
+                if not names:
+                    return
+                name = names[0]
+                self.ring.remove_node(name)
+                detached = self._pop_node_state(name)
+            self._teardown_detached(detached)
+
+    def _pop_node_state(self, name: str):
+        """Drop one node from every registry (caller holds the state lock).
+
+        Returns what :meth:`_teardown_detached` needs to finish the job
+        outside the lock: closing transports and unsubscribing from the bus
+        can block (and the bus takes its own lock during delivery, whose
+        failure path re-enters this cluster), so neither may run under the
+        state lock.
+        """
         transport = self._transports.pop(name)
         self._servers.pop(name, None)
         self._failures.pop(name, None)
         self._suspects.discard(name)
         guard = self._stream_guards.pop(name, None)
+        process = self._processes.pop(name, None)
+        return transport, guard, process
+
+    def _teardown_detached(self, detached) -> None:
+        """Finish a node's teardown outside the state lock."""
+        transport, guard, process = detached
         if self._bus is not None and guard is not None:
             self._bus.unsubscribe(guard)
         transport.close()
-        process = self._processes.pop(name, None)
         if process is not None:
             process.shutdown()
+
+    def _detach_node(self, name: str) -> None:
+        """Tear down one node's transport/process/bus state (no ring update)."""
+        with self._state_lock:
+            detached = self._pop_node_state(name)
+        self._teardown_detached(detached)
 
     def _teardown_nodes(self) -> None:
         """Close every transport and stop every node (no ring/bus updates)."""
@@ -344,10 +411,18 @@ class CacheCluster:
         server = CacheServer(name=name, capacity_bytes=capacity_bytes, clock=clock)
         self._servers[name] = server
         if self.transport_kind == "socket":
-            process = CacheServerProcess(server)
+            process = CacheServerProcess(
+                server,
+                simulated_latency_seconds=self.simulated_rpc_latency_seconds,
+            )
             self._processes[name] = process
             try:
-                self._transports[name] = SocketTransport(process.address, name=name)
+                self._transports[name] = SocketTransport(
+                    process.address,
+                    name=name,
+                    pool_size=self.socket_pool_size,
+                    timeout_seconds=self.rpc_timeout_seconds,
+                )
             except BaseException:
                 # Connecting failed: stop the just-started node instead of
                 # leaving its listener thread orphaned.
@@ -363,16 +438,28 @@ class CacheCluster:
         # evicted-then-rejoined node) must replace the node's guard, not add
         # a second one — two live guards for the same node would deliver
         # every invalidation tag twice.
-        stale = self._stream_guards.pop(name, None)
+        with self._state_lock:
+            stale = self._stream_guards.pop(name, None)
+            guard = _NodeStreamGuard(self, name, transport)
+            self._stream_guards[name] = guard
+        # Bus calls happen outside the state lock (see "Thread safety").
         if stale is not None:
             self._bus.unsubscribe(stale)
-        guard = _NodeStreamGuard(self, name, transport)
-        self._stream_guards[name] = guard
         self._bus.subscribe(guard)
 
     # ------------------------------------------------------------------
     # Failure accounting
     # ------------------------------------------------------------------
+    def _bump_health(self, counter: str, amount: int = 1) -> None:
+        """Atomically increment one ClusterHealthStats counter.
+
+        A bare ``+=`` is a read-modify-write that concurrent client threads
+        can interleave; every degraded-path counter goes through here so the
+        health numbers stay exact under load.
+        """
+        with self._state_lock:
+            setattr(self.health, counter, getattr(self.health, counter) + amount)
+
     def note_transport_failure(self, node: str) -> None:
         """Record a transport failure observed outside routed operations.
 
@@ -385,55 +472,67 @@ class CacheCluster:
 
     def _note_failure(self, node: str, evict: bool = True) -> None:
         """Record one transport failure; evict the node at the threshold."""
-        if node not in self._transports:
-            return
-        self.health.transport_failures += 1
-        count = self._failures.get(node, 0) + 1
-        self._failures[node] = count
-        if node not in self._suspects:
-            self._suspects.add(node)
-            self.health.suspect_marks += 1
+        with self._state_lock:
+            if node not in self._transports:
+                return
+            self.health.transport_failures += 1
+            count = self._failures.get(node, 0) + 1
+            self._failures[node] = count
+            if node not in self._suspects:
+                self._suspects.add(node)
+                self.health.suspect_marks += 1
         if evict and count >= self.failure_threshold:
             self._evict_node(node)
 
     def _note_success(self, node: str) -> None:
         """A suspect node answered: clear its failure count."""
-        self._suspects.discard(node)
-        self._failures.pop(node, None)
-        self.health.recoveries += 1
+        with self._state_lock:
+            if node not in self._suspects:
+                return  # another thread already recorded the recovery
+            self._suspects.discard(node)
+            self._failures.pop(node, None)
+            self.health.recoveries += 1
 
     def _evict_node(self, node: str) -> None:
         """Drop a failed node from the ring; successors take over its keys."""
-        self.ring.remove_node(node)
-        self._detach_node(node)
-        self.health.nodes_evicted += 1
+        with self._state_lock:
+            if node not in self._transports:
+                return  # lost a race with another thread's eviction/removal
+            self.ring.remove_node(node)
+            detached = self._pop_node_state(node)
+            self.health.nodes_evicted += 1
+        self._teardown_detached(detached)
         if self.on_node_evicted is not None:
             self.on_node_evicted(node)
 
     def _node_for(self, key: str) -> Optional[str]:
         """The responsible (primary) node, or None when the ring is empty."""
-        try:
-            return self.ring.node_for(key)
-        except LookupError:
-            return None
+        with self._state_lock:
+            try:
+                return self.ring.node_for(key)
+            except LookupError:
+                return None
 
     def replicas_for(self, key: str) -> List[str]:
         """The key's replica set: primary first, then the ring successors.
 
         Empty when the ring is empty; shorter than ``replication_factor``
-        when the ring is.
+        when the ring is.  Taken under the state lock so a concurrent
+        eviction can never expose a half-updated ring.
         """
-        try:
-            return self.ring.successors(key, self.replication_factor)
-        except LookupError:
-            return []
+        with self._state_lock:
+            try:
+                return self.ring.successors(key, self.replication_factor)
+            except LookupError:
+                return []
 
     def _record_failover_read(self, failed_over: bool, hit: bool) -> None:
         """Account a read that a non-primary replica answered."""
         if failed_over:
-            self.health.replica_served_lookups += 1
-            if hit:
-                self.health.replica_hits += 1
+            with self._state_lock:
+                self.health.replica_served_lookups += 1
+                if hit:
+                    self.health.replica_hits += 1
 
     def _read_from_replicas(self, key: str, operation):
         """Run a read on the first reachable replica of ``key``.
@@ -479,7 +578,7 @@ class CacheCluster:
         if answered:
             self._record_failover_read(failed_over, result.hit)
             return result
-        self.health.degraded_lookups += 1
+        self._bump_health("degraded_lookups")
         return LookupResult(hit=False, key=key, degraded=True)
 
     def multi_lookup(self, requests: Sequence[LookupRequest]) -> List[LookupResult]:
@@ -502,7 +601,7 @@ class CacheCluster:
                 if node not in tried[index] and node in self._transports:
                     pending.setdefault(node, []).append(index)
                     return
-            self.health.degraded_lookups += 1
+            self._bump_health("degraded_lookups")
             results[index] = LookupResult(
                 hit=False, key=requests[index].key, degraded=True
             )
@@ -566,7 +665,7 @@ class CacheCluster:
             delivered = True
             stored = stored or accepted
         if not delivered:
-            self.health.degraded_puts += 1
+            self._bump_health("degraded_puts")
         return stored
 
     def probe(self, key: str, lo: int, hi: int) -> bool:
@@ -576,7 +675,7 @@ class CacheCluster:
         )
         if answered:
             return answer
-        self.health.degraded_ops += 1
+        self._bump_health("degraded_ops")
         return False
 
     def was_ever_stored(self, key: str) -> bool:
@@ -586,7 +685,7 @@ class CacheCluster:
         )
         if answered:
             return answer
-        self.health.degraded_ops += 1
+        self._bump_health("degraded_ops")
         return False
 
     def evict_stale(self, oldest_useful_timestamp: int) -> int:
@@ -599,7 +698,7 @@ class CacheCluster:
             try:
                 removed += transport.evict_stale(oldest_useful_timestamp)
             except _FAILURE_EXCEPTIONS:
-                self.health.degraded_ops += 1
+                self._bump_health("degraded_ops")
                 self._note_failure(node)
         return removed
 
@@ -612,7 +711,7 @@ class CacheCluster:
             try:
                 transport.clear()
             except _FAILURE_EXCEPTIONS:
-                self.health.degraded_ops += 1
+                self._bump_health("degraded_ops")
                 self._note_failure(node)
 
     # ------------------------------------------------------------------
@@ -653,7 +752,7 @@ class CacheCluster:
             try:
                 total += transport.stats()
             except _FAILURE_EXCEPTIONS:
-                self.health.degraded_ops += 1
+                self._bump_health("degraded_ops")
                 self._note_failure(node)
         return total
 
@@ -666,23 +765,29 @@ class CacheCluster:
             try:
                 transport.reset_stats()
             except _FAILURE_EXCEPTIONS:
-                self.health.degraded_ops += 1
+                self._bump_health("degraded_ops")
                 self._note_failure(node)
 
     @property
     def used_bytes(self) -> int:
         """Total bytes in use across the cluster."""
-        return sum(server.used_bytes for server in self._servers.values())
+        with self._state_lock:  # a concurrent eviction mutates _servers
+            servers = list(self._servers.values())
+        return sum(server.used_bytes for server in servers)
 
     @property
     def capacity_bytes(self) -> int:
         """Total capacity across the cluster."""
-        return sum(server.capacity_bytes for server in self._servers.values())
+        with self._state_lock:
+            servers = list(self._servers.values())
+        return sum(server.capacity_bytes for server in servers)
 
     @property
     def entry_count(self) -> int:
         """Total entries across the cluster."""
-        return sum(server.entry_count for server in self._servers.values())
+        with self._state_lock:
+            servers = list(self._servers.values())
+        return sum(server.entry_count for server in servers)
 
     def key_distribution(self, keys: Sequence[str]) -> Dict[str, int]:
         """How a set of keys spreads over nodes (for balance diagnostics)."""

@@ -12,9 +12,33 @@ reproduction:
   finish, then every socket is closed and the threads are joined.
 * :class:`SocketTransport` is the client side: a
   :class:`repro.comm.transport.CacheTransport` that speaks the framed
-  protocol over one persistent connection.  It is what a
+  protocol over a small pool of persistent connections.  It is what a
   :class:`repro.cache.cluster.CacheCluster` built with ``transport="socket"``
   routes operations (and the invalidation stream) through.
+
+Concurrency
+-----------
+The request path is concurrent end to end.  Server side, each accepted
+connection gets its own handler thread and dispatch takes **no**
+process-level lock: thread safety lives inside :class:`CacheServer` (one
+reentrant lock per server), so two connections' requests interleave at
+operation granularity instead of queueing behind a connection-level mutex.
+Client side, :class:`SocketTransport` keeps up to ``pool_size`` connections
+per node: each RPC checks a connection out (dialling lazily on first use),
+so ``pool_size`` client threads have ``pool_size`` RPCs genuinely in flight
+where the previous design serialized them all behind one socket.  Every
+socket — both ends — sets ``TCP_NODELAY`` (the frames are far smaller than
+a segment, so Nagle would add a delayed-ACK round trip to every RPC) and the
+client applies a configurable connect/read timeout, so a hung node surfaces
+as :class:`CacheNodeUnreachableError` instead of blocking a worker forever.
+
+``CacheServerProcess(simulated_latency_seconds=...)`` optionally sleeps that
+long before serving each request, modelling the LAN round trip of the
+paper's gigabit testbed.  On a loopback interface an RPC completes in tens
+of microseconds and a single client thread already saturates one core, so
+without a modelled network there is nothing for concurrency to overlap; with
+it, the throughput-vs-threads benchmark measures exactly what the pool
+provides — K overlapping in-flight requests per node.
 
 Wire protocol
 -------------
@@ -40,6 +64,7 @@ import pickle
 import socket
 import struct
 import threading
+import time
 from typing import FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.cache.entry import EntryRecord, LookupRequest, LookupResult
@@ -53,6 +78,7 @@ __all__ = [
     "SocketTransport",
     "CacheTransportError",
     "CacheNodeUnreachableError",
+    "DEFAULT_POOL_SIZE",
 ]
 
 #: Frame header: payload length as a 4-byte big-endian unsigned integer.
@@ -60,6 +86,18 @@ _HEADER = struct.Struct("!I")
 
 #: Upper bound on a single frame, as a sanity check against corrupt headers.
 MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+#: Default size of a :class:`SocketTransport` connection pool: how many RPCs
+#: one application server keeps in flight to one cache node.
+DEFAULT_POOL_SIZE = 4
+
+
+def _set_nodelay(sock: socket.socket) -> None:
+    """Disable Nagle's algorithm (frames are tiny; latency matters)."""
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    except OSError:  # pragma: no cover - non-TCP sockets in exotic setups
+        pass
 
 
 class CacheTransportError(RuntimeError):
@@ -115,11 +153,20 @@ def _recv_exactly(sock: socket.socket, count: int) -> bytes:
 class CacheServerProcess:
     """One cache node served over TCP in its own thread.
 
-    Wraps a :class:`CacheServer` and exposes it at a TCP endpoint.  All
-    operations on the underlying server are serialized by a lock, so several
-    client connections (application servers) may be open at once.  The
-    wrapped server object remains reachable in-process via :attr:`server`
+    Wraps a :class:`CacheServer` and exposes it at a TCP endpoint.  Several
+    client connections (application servers, or several pooled connections
+    of one server) may be open at once, each served by its own handler
+    thread; dispatch takes no process-level lock — concurrent requests are
+    synchronized by the :class:`CacheServer`'s own reentrant lock, so the
+    socket path has exactly the same thread-safety contract as in-process
+    callers.  The wrapped server object remains reachable via :attr:`server`
     for tests and introspection, but live traffic goes through the socket.
+
+    ``simulated_latency_seconds`` models the network round trip of a real
+    deployment (the paper's cache nodes sit across a gigabit LAN): each
+    request sleeps that long before being served, without holding any lock,
+    so concurrent in-flight requests overlap their latency exactly as they
+    would on a real network.  The default of 0 keeps unit tests fast.
     """
 
     def __init__(
@@ -127,12 +174,16 @@ class CacheServerProcess:
         server: CacheServer,
         host: str = "127.0.0.1",
         port: int = 0,
+        simulated_latency_seconds: float = 0.0,
     ) -> None:
         self.server = server
-        self._lock = threading.Lock()
+        self.simulated_latency_seconds = simulated_latency_seconds
         self._listener = socket.create_server((host, port))
         self.address: Tuple[str, int] = self._listener.getsockname()[:2]
         self._running = True
+        #: Guards the connection/handler registries (mutated by the accept
+        #: loop, read by shutdown).
+        self._registry_lock = threading.Lock()
         self._connections: List[socket.socket] = []
         self._handler_threads: List[threading.Thread] = []
         self._accept_thread = threading.Thread(
@@ -152,14 +203,21 @@ class CacheServerProcess:
                 connection, _peer = self._listener.accept()
             except OSError:
                 return  # listener closed: shutting down
-            self._connections.append(connection)
+            _set_nodelay(connection)
             handler = threading.Thread(
                 target=self._serve_connection,
                 args=(connection,),
                 name=f"cache-conn-{self.server.name}",
                 daemon=True,
             )
-            self._handler_threads.append(handler)
+            with self._registry_lock:
+                if not self._running:
+                    # shutdown() ran between accept() and registration; it
+                    # will not see this socket, so close it here.
+                    _close_quietly(connection)
+                    continue
+                self._connections.append(connection)
+                self._handler_threads.append(handler)
             handler.start()
 
     def _serve_connection(self, connection: socket.socket) -> None:
@@ -179,10 +237,13 @@ class CacheServerProcess:
                     except OSError:
                         return
                     continue
+                if self.simulated_latency_seconds > 0.0:
+                    # Lock-free by construction: concurrent requests overlap
+                    # their modelled network time like real round trips.
+                    time.sleep(self.simulated_latency_seconds)
                 try:
                     op, args = request
-                    with self._lock:
-                        result = self._dispatch(op, args)
+                    result = self._dispatch(op, args)
                     response = ("ok", result)
                 except Exception as exc:  # server must survive bad requests
                     response = ("err", f"{type(exc).__name__}: {exc}")
@@ -192,6 +253,15 @@ class CacheServerProcess:
                     return
         finally:
             _close_quietly(connection)
+            # Drop this connection from the registries so a client pool
+            # dropping and re-dialling connections (timeouts, failures)
+            # cannot grow them without bound over the process lifetime.
+            with self._registry_lock:
+                if connection in self._connections:
+                    self._connections.remove(connection)
+                current = threading.current_thread()
+                if current in self._handler_threads:
+                    self._handler_threads.remove(current)
 
     def _dispatch(self, op: str, args: tuple) -> object:
         server = self.server
@@ -210,10 +280,11 @@ class CacheServerProcess:
         if op == "clear":
             return server.clear()
         if op == "stats":
-            # A snapshot, so the client sees a stable copy of the counters.
-            return CacheServerStats().merge(server.stats)
+            # A locked snapshot, so the client sees a stable copy of the
+            # counters even while other handler threads mutate them.
+            return server.stats_snapshot()
         if op == "reset_stats":
-            return server.stats.reset()
+            return server.reset_stats()
         if op == "extract_entries":
             return server.extract_entries(*args)
         if op == "install_entries":
@@ -234,14 +305,21 @@ class CacheServerProcess:
 
     # ------------------------------------------------------------------
     def shutdown(self) -> None:
-        """Stop serving: close the listener and every connection, join threads."""
-        if not self._running:
-            return
-        self._running = False
+        """Stop serving: close the listener and every connection, join threads.
+
+        Idempotent, and safe to call while handler threads are mid-request:
+        closing a connection wakes its handler out of ``recv``.
+        """
+        with self._registry_lock:
+            if not self._running:
+                return
+            self._running = False
+            connections = list(self._connections)
+            handlers = list(self._handler_threads)
         _close_quietly(self._listener)
-        for connection in self._connections:
+        for connection in connections:
             _close_quietly(connection)
-        for handler in self._handler_threads:
+        for handler in handlers:
             handler.join(timeout=2.0)
         self._accept_thread.join(timeout=2.0)
 
@@ -262,11 +340,23 @@ class CacheServerProcess:
 class SocketTransport:
     """Framed-protocol client to one networked cache node.
 
-    Implements :class:`repro.comm.transport.CacheTransport` over a single
-    persistent TCP connection.  Calls are serialized by a lock, matching the
-    one-outstanding-request-per-connection discipline of the framed protocol;
-    a deployment wanting more parallelism opens one transport per application
-    server, exactly as it would open one memcached connection per worker.
+    Implements :class:`repro.comm.transport.CacheTransport` over a pool of
+    up to ``pool_size`` persistent TCP connections.  Each connection carries
+    one outstanding request at a time (the framed protocol's discipline), so
+    the pool bounds the number of concurrent in-flight RPCs to this node:
+    ``pool_size`` client threads proceed in parallel, further threads wait
+    for a connection to come free.  Connections are dialled lazily — the
+    constructor opens exactly one (to verify the endpoint and learn the
+    node's name) and the rest appear on demand under concurrent load.
+
+    Thread safety: fully thread-safe; any number of threads may issue RPCs
+    on one transport.  A connection that suffers any I/O failure is
+    discarded, never reused (the request may already be on the wire; a later
+    reply would desynchronize the stream), and the failure surfaces as
+    :class:`CacheNodeUnreachableError`.  ``connect_timeout_seconds`` bounds
+    dialling and ``timeout_seconds`` bounds each send/receive, so a hung
+    node cannot strand a worker thread.  :meth:`close` is idempotent and
+    closes every pooled connection.
     """
 
     def __init__(
@@ -274,34 +364,80 @@ class SocketTransport:
         address: Tuple[str, int],
         name: Optional[str] = None,
         timeout_seconds: float = 30.0,
+        connect_timeout_seconds: float = 5.0,
+        pool_size: int = DEFAULT_POOL_SIZE,
     ) -> None:
+        if pool_size < 1:
+            raise ValueError("pool_size must be positive")
         self.address = address
+        self.pool_size = pool_size
+        self.timeout_seconds = timeout_seconds
+        self.connect_timeout_seconds = connect_timeout_seconds
+        #: Guards the idle list and the closed flag (never held during I/O).
         self._lock = threading.Lock()
-        self._sock: Optional[socket.socket] = socket.create_connection(
-            address, timeout=timeout_seconds
-        )
-        # Learn (or verify) the node's name from the server itself.
+        #: Bounds in-flight RPCs: one permit per pooled connection.
+        self._slots = threading.BoundedSemaphore(pool_size)
+        self._idle: List[socket.socket] = []
+        self._closed = False
+        # Eager first dial: verify the endpoint now (the cluster relies on
+        # construction failing fast for an unreachable node) and learn (or
+        # verify) the node's name from the server itself.
+        self._checkin(self._dial())
         self.name = name or self._call("ping")
 
     # ------------------------------------------------------------------
-    def _call(self, op: str, *args: object) -> object:
+    def _dial(self) -> socket.socket:
+        try:
+            sock = socket.create_connection(
+                self.address, timeout=self.connect_timeout_seconds
+            )
+        except OSError as exc:
+            raise CacheNodeUnreachableError(
+                f"cache node at {self.address} unreachable: {exc}"
+            ) from exc
+        _set_nodelay(sock)
+        sock.settimeout(self.timeout_seconds)
+        return sock
+
+    def _checkout(self) -> socket.socket:
+        """An idle pooled connection, or a freshly dialled one."""
         with self._lock:
-            if self._sock is None:
+            if self._closed:
                 raise CacheNodeUnreachableError(
                     f"transport to {self.address} is closed"
                 )
+            if self._idle:
+                return self._idle.pop()
+        return self._dial()
+
+    def _checkin(self, sock: socket.socket) -> None:
+        with self._lock:
+            if not self._closed:
+                self._idle.append(sock)
+                return
+        _close_quietly(sock)  # closed while this call was in flight
+
+    def _call(self, op: str, *args: object) -> object:
+        with self._slots:
+            sock = self._checkout()
             try:
-                send_frame(self._sock, (op, args))
-                response = recv_frame(self._sock)
+                send_frame(sock, (op, args))
+                response = recv_frame(sock)
             except (ConnectionError, OSError) as exc:
-                # The request may already be on the wire; a later reply would
-                # desynchronize the request/response stream, so the
-                # connection cannot be reused after any I/O failure.
-                _close_quietly(self._sock)
-                self._sock = None
+                # Includes read timeouts: the connection's request/response
+                # stream can no longer be trusted, so drop it; the pool
+                # re-dials on the next call.
+                _close_quietly(sock)
                 raise CacheNodeUnreachableError(
                     f"cache node at {self.address} unreachable: {exc}"
                 ) from exc
+            except BaseException:
+                # Anything else (oversized frame, undecodable payload): the
+                # stream may be desynchronized and the fd must not leak —
+                # close rather than pool it, then let the error propagate.
+                _close_quietly(sock)
+                raise
+            self._checkin(sock)
         status, value = response
         if status != "ok":
             raise CacheTransportError(f"cache node {self.name or self.address}: {value}")
@@ -368,10 +504,17 @@ class SocketTransport:
 
     # -- lifecycle ------------------------------------------------------
     def close(self) -> None:
+        """Close every pooled connection; idempotent.
+
+        Calls already in flight finish their round trip (their connection is
+        closed when they check it back in); new calls fail immediately with
+        :class:`CacheNodeUnreachableError`.
+        """
         with self._lock:
-            if self._sock is not None:
-                _close_quietly(self._sock)
-                self._sock = None
+            self._closed = True
+            idle, self._idle = self._idle, []
+        for sock in idle:
+            _close_quietly(sock)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         host, port = self.address

@@ -17,11 +17,29 @@ insert.
 
 Eviction uses least-recently-used ordering over a byte budget, plus eager
 removal of entries too stale to satisfy any transaction's staleness limit.
+
+Thread safety
+-------------
+:class:`CacheServer` is fully thread-safe: one reentrant lock per server
+serializes every public operation, so the in-process transport (many client
+threads calling directly) and the netserver's thread-per-connection handlers
+may hit the same server concurrently.  A single per-server lock was chosen
+over per-key lock striping after measuring both: the LRU ordering, the byte
+budget, and the statistics are whole-server state that every operation
+touches, so striping still needs a server-wide lock around exactly the
+contended part, and under CPython's GIL the striped variant measured within
+noise of the single lock while adding a second acquire per operation (see
+README "Concurrency").  Batched operations (:meth:`multi_lookup`,
+:meth:`install_entries`) hold the lock for the whole batch, so a batch is
+atomic with respect to concurrent invalidations.
 """
 
 from __future__ import annotations
 
+import bisect
+import functools
 import heapq
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
@@ -39,6 +57,17 @@ from repro.db.invalidation import InvalidationTag
 from repro.interval import Interval
 
 __all__ = ["CacheServer", "CacheServerStats"]
+
+
+def _locked(method):
+    """Run ``method`` under the server's reentrant lock (thread safety)."""
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self._lock:
+            return method(self, *args, **kwargs)
+
+    return wrapper
 
 
 @dataclass
@@ -99,6 +128,9 @@ class CacheServer:
         self.capacity_bytes = capacity_bytes
         self.clock = clock or SystemClock()
         self.stats = CacheServerStats()
+        #: Serializes every public operation (see "Thread safety" above).
+        #: Reentrant so composite operations (install_entries -> put) nest.
+        self._lock = threading.RLock()
         #: key -> versions of that key, kept sorted by interval lower bound.
         self._entries: Dict[str, List[CacheEntry]] = {}
         #: LRU ordering over keys (most recently used last).
@@ -112,10 +144,17 @@ class CacheServer:
         self._keys_ever_stored: Set[str] = set()
         #: highest invalidation timestamp processed so far.
         self.last_invalidation_timestamp = 0
-        #: latest invalidation timestamp seen per precise tag / table, used to
-        #: truncate entries inserted after their invalidation already arrived.
-        self._tag_last_invalidation: Dict[InvalidationTag, int] = {}
-        self._table_last_invalidation: Dict[str, int] = {}
+        #: ascending invalidation timestamps seen per precise tag / table,
+        #: used to truncate entries inserted after an invalidation that
+        #: affects them already arrived.  A *history* rather than just the
+        #: latest timestamp: with concurrent writers, several invalidations
+        #: of the same tag can land between a transaction's query and its
+        #: cache insert, and the truncation point must be the *first* one
+        #: after the entry's birth (the latest would overclaim validity for
+        #: every intermediate version).  ``evict_stale`` prunes the prefixes
+        #: no lookup can reach.
+        self._tag_invalidations: Dict[InvalidationTag, List[int]] = {}
+        self._table_invalidations: Dict[str, List[int]] = {}
         self._used_bytes = 0
 
     # ------------------------------------------------------------------
@@ -129,7 +168,8 @@ class CacheServer:
     @property
     def entry_count(self) -> int:
         """Total number of stored entry versions."""
-        return sum(len(versions) for versions in self._entries.values())
+        with self._lock:
+            return sum(len(versions) for versions in self._entries.values())
 
     @property
     def key_count(self) -> int:
@@ -138,7 +178,8 @@ class CacheServer:
 
     def versions_of(self, key: str) -> List[CacheEntry]:
         """All stored versions of ``key`` (oldest validity first)."""
-        return list(self._entries.get(key, ()))
+        with self._lock:
+            return list(self._entries.get(key, ()))
 
     def keys(self) -> List[str]:
         """The keys with at least one stored version, sorted.
@@ -147,15 +188,34 @@ class CacheServer:
         copy?) and the anti-entropy repair tests; like :meth:`probe` it
         touches neither statistics nor LRU ordering.
         """
-        return sorted(self._entries)
+        with self._lock:
+            return sorted(self._entries)
 
+    @_locked
     def was_ever_stored(self, key: str) -> bool:
         """True if ``key`` has ever been inserted on this server."""
         return key in self._keys_ever_stored
 
+    @_locked
+    def stats_snapshot(self) -> CacheServerStats:
+        """A consistent copy of the counters, taken under the server lock.
+
+        Reading the live :attr:`stats` object field-by-field while another
+        thread is inside a locked operation can observe a torn update (e.g.
+        a lookup counted but its hit not yet); transports serve this
+        snapshot instead.
+        """
+        return CacheServerStats().merge(self.stats)
+
+    @_locked
+    def reset_stats(self) -> None:
+        """Zero the counters without racing in-flight operations."""
+        self.stats.reset()
+
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
+    @_locked
     def lookup(self, key: str, lo: int, hi: int) -> LookupResult:
         """Find a version of ``key`` valid somewhere in ``[lo, hi]``.
 
@@ -197,6 +257,7 @@ class CacheServer:
             fresh_version_exists=bool(versions),
         )
 
+    @_locked
     def multi_lookup(self, requests: Sequence[LookupRequest]) -> List[LookupResult]:
         """Answer a batch of lookups/probes in one call, in request order.
 
@@ -219,6 +280,7 @@ class CacheServer:
                 results.append(self.lookup(request.key, request.lo, request.hi))
         return results
 
+    @_locked
     def probe(self, key: str, lo: int, hi: int) -> bool:
         """Check whether a lookup over ``[lo, hi]`` would hit.
 
@@ -238,6 +300,7 @@ class CacheServer:
     # ------------------------------------------------------------------
     # Insertion
     # ------------------------------------------------------------------
+    @_locked
     def put(
         self,
         key: str,
@@ -258,11 +321,16 @@ class CacheServer:
             return False
 
         if interval.unbounded and tags:
-            already = self._latest_invalidation_for(tags)
-            if already is not None and already >= interval.lo:
-                interval = interval.truncate(already)
-                if interval.empty:
-                    interval = Interval(interval.lo, interval.lo + 1)
+            # The insert/invalidate race: this still-valid entry was read
+            # before an invalidation of its tags that the server has already
+            # processed.  Truncate at the *first* invalidation at or after
+            # the entry's birth — truncating at the latest one would claim
+            # validity for every intermediate version, which concurrent
+            # writers (several commits between a transaction's query and its
+            # cache insert) turn into observable mixed-snapshot reads.
+            first = self._first_invalidation_at_or_after(tags, interval.lo)
+            if first is not None:
+                interval = Interval(interval.lo, max(first, interval.lo + 1))
 
         versions = self._entries.setdefault(key, [])
         for existing in versions:
@@ -294,6 +362,7 @@ class CacheServer:
     # ------------------------------------------------------------------
     # Key migration (cluster elasticity)
     # ------------------------------------------------------------------
+    @_locked
     def extract_entries(
         self, cursor: Optional[str] = None, limit: int = 64
     ) -> Tuple[List[EntryRecord], Optional[str]]:
@@ -328,6 +397,7 @@ class CacheServer:
         next_cursor = chunk[-1] if more else None
         return records, next_cursor
 
+    @_locked
     def install_entries(self, records: Sequence[EntryRecord]) -> int:
         """Install migrated entry versions; returns how many were stored.
 
@@ -344,6 +414,7 @@ class CacheServer:
         self.stats.entries_installed += installed
         return installed
 
+    @_locked
     def discard_keys(self, keys: Sequence[str]) -> int:
         """Drop every version of the given keys (post-migration cleanup).
 
@@ -369,6 +440,7 @@ class CacheServer:
     # ------------------------------------------------------------------
     # Invalidation stream
     # ------------------------------------------------------------------
+    @_locked
     def process_invalidation(self, message: InvalidationMessage) -> None:
         """Apply one invalidation message from the database's stream."""
         self.stats.invalidation_messages += 1
@@ -392,6 +464,7 @@ class CacheServer:
         if timestamp > self.last_invalidation_timestamp:
             self.last_invalidation_timestamp = timestamp
 
+    @_locked
     def note_timestamp(self, timestamp: int) -> None:
         """Advance the last-invalidation watermark without any tags.
 
@@ -406,6 +479,7 @@ class CacheServer:
     # ------------------------------------------------------------------
     # Eviction
     # ------------------------------------------------------------------
+    @_locked
     def evict_stale(self, oldest_useful_timestamp: int) -> int:
         """Drop entries that ended before ``oldest_useful_timestamp``.
 
@@ -428,9 +502,11 @@ class CacheServer:
             else:
                 del self._entries[key]
                 self._lru.pop(key, None)
+        self._prune_invalidation_histories(oldest_useful_timestamp)
         self.stats.stale_evictions += removed
         return removed
 
+    @_locked
     def clear(self) -> None:
         """Remove every entry (used between benchmark configurations)."""
         self._entries.clear()
@@ -493,36 +569,63 @@ class CacheServer:
                 entry.tags = frozenset()
                 self.stats.entries_invalidated += 1
 
-    def _latest_invalidation_for(self, tags: FrozenSet[InvalidationTag]) -> Optional[int]:
-        latest: Optional[int] = None
+    def _first_invalidation_at_or_after(
+        self, tags: FrozenSet[InvalidationTag], lo: int
+    ) -> Optional[int]:
+        """Earliest processed invalidation at/after ``lo`` affecting ``tags``.
+
+        This is the exact truncation point for a late insert: the entry was
+        definitely valid at ``lo`` (the database computed that) and stopped
+        being current no later than the first subsequent invalidation of any
+        of its dependencies.  Returns ``None`` when no such invalidation has
+        been processed (the entry is genuinely still valid here).
+        """
+        first: Optional[int] = None
         for tag in tags:
-            candidates = []
+            histories = []
             if tag.is_wildcard:
                 # Any invalidation on the table affects a wildcard dependency.
-                candidates.extend(
-                    ts
-                    for other, ts in self._tag_last_invalidation.items()
+                histories.extend(
+                    history
+                    for other, history in self._tag_invalidations.items()
                     if other.table == tag.table
                 )
-                candidates.extend(
-                    ts for table, ts in self._table_last_invalidation.items() if table == tag.table
-                )
+                if tag.table in self._table_invalidations:
+                    histories.append(self._table_invalidations[tag.table])
             else:
-                if tag in self._tag_last_invalidation:
-                    candidates.append(self._tag_last_invalidation[tag])
-                if tag.table in self._table_last_invalidation:
-                    candidates.append(self._table_last_invalidation[tag.table])
-            for ts in candidates:
-                if latest is None or ts > latest:
-                    latest = ts
-        return latest
+                if tag in self._tag_invalidations:
+                    histories.append(self._tag_invalidations[tag])
+                if tag.table in self._table_invalidations:
+                    histories.append(self._table_invalidations[tag.table])
+            for history in histories:
+                index = bisect.bisect_left(history, lo)
+                if index < len(history) and (first is None or history[index] < first):
+                    first = history[index]
+        return first
 
     def _record_tag_invalidation(self, tag: InvalidationTag, timestamp: int) -> None:
         if tag.is_wildcard:
-            previous = self._table_last_invalidation.get(tag.table, 0)
-            if timestamp > previous:
-                self._table_last_invalidation[tag.table] = timestamp
+            history = self._table_invalidations.setdefault(tag.table, [])
         else:
-            previous = self._tag_last_invalidation.get(tag, 0)
-            if timestamp > previous:
-                self._tag_last_invalidation[tag] = timestamp
+            history = self._tag_invalidations.setdefault(tag, [])
+        # The stream is timestamp-ordered, so this is almost always a plain
+        # append; insort covers a message replayed or re-delivered late.
+        if not history or timestamp > history[-1]:
+            history.append(timestamp)
+        elif timestamp != history[-1] and timestamp not in history:
+            bisect.insort(history, timestamp)
+
+    def _prune_invalidation_histories(self, oldest_useful_timestamp: int) -> None:
+        """Drop history prefixes no lookup can reach (called by evict_stale).
+
+        The largest pruned timestamp is kept as each history's head: a late
+        insert born before the horizon then truncates to at most that
+        timestamp — i.e. to an interval that is itself entirely below the
+        horizon and unreachable — instead of overclaiming up to the next
+        retained invalidation.
+        """
+        for histories in (self._tag_invalidations, self._table_invalidations):
+            for history in histories.values():
+                index = bisect.bisect_right(history, oldest_useful_timestamp)
+                if index > 1:
+                    del history[: index - 1]

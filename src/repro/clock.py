@@ -16,6 +16,8 @@ Two implementations are provided:
 
 from __future__ import annotations
 
+import threading
+
 import time
 from abc import ABC, abstractmethod
 
@@ -42,9 +44,13 @@ class ManualClock(Clock):
 
     Tests and the benchmark simulator advance it explicitly, which makes
     staleness behaviour (pin expiry, stale cache entries) fully deterministic.
+    Thread-safe: several harness threads may advance one shared clock, and a
+    lock keeps each advance atomic (an unlocked ``+=`` could both lose
+    advances and let the observed time regress between threads).
     """
 
     def __init__(self, start: float = 0.0) -> None:
+        self._lock = threading.Lock()
         self._now = float(start)
 
     def now(self) -> float:
@@ -54,12 +60,14 @@ class ManualClock(Clock):
         """Move the clock forward by ``seconds`` and return the new time."""
         if seconds < 0:
             raise ValueError("cannot move a ManualClock backwards")
-        self._now += seconds
-        return self._now
+        with self._lock:
+            self._now += seconds
+            return self._now
 
     def set(self, timestamp: float) -> float:
         """Jump the clock to an absolute time (must not move backwards)."""
-        if timestamp < self._now:
-            raise ValueError("cannot move a ManualClock backwards")
-        self._now = float(timestamp)
-        return self._now
+        with self._lock:
+            if timestamp < self._now:
+                raise ValueError("cannot move a ManualClock backwards")
+            self._now = float(timestamp)
+            return self._now

@@ -14,10 +14,25 @@ can be switched to *deferred* mode, where published messages queue up until
 the window between a database commit and the cache learning about it, the
 exact scenario the paper's timestamp-ordering protocol is designed to make
 harmless.
+
+Thread safety
+-------------
+:class:`InvalidationBus` is thread-safe: a single reentrant lock guards the
+subscriber list, the pending queue, and delivery.  Publication order *is*
+delivery order even with concurrent publishers because the lock is held
+across the publish-and-deliver pair; a subscriber (un)subscribing while
+another thread is mid-delivery blocks until that delivery completes, and the
+delivery loop works from a snapshot of the subscriber list taken under the
+lock, so a subscriber removed *during* delivery (e.g. a dead cache node being
+evicted from inside its own failure handler — the lock is reentrant exactly
+for this) can never corrupt the iteration.  Subscribers added mid-delivery
+see only later messages, which is the membership contract: a node joining
+the stream is warmed by migration, not by replaying the past.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, List, Protocol, Tuple
@@ -55,6 +70,10 @@ class InvalidationBus:
     """
 
     def __init__(self, synchronous: bool = True) -> None:
+        #: Guards subscribers, the pending queue, and delivery; reentrant so
+        #: a subscriber may unsubscribe (itself or another node) from inside
+        #: its own process_invalidation callback.
+        self._lock = threading.RLock()
         self._subscribers: List[Subscriber] = []
         self._pending: Deque[InvalidationMessage] = deque()
         self._synchronous = synchronous
@@ -66,52 +85,82 @@ class InvalidationBus:
     # ------------------------------------------------------------------
     def subscribe(self, subscriber: Subscriber) -> None:
         """Register a cache node to receive the invalidation stream."""
-        if subscriber not in self._subscribers:
-            self._subscribers.append(subscriber)
+        with self._lock:
+            if subscriber not in self._subscribers:
+                self._subscribers.append(subscriber)
 
     def unsubscribe(self, subscriber: Subscriber) -> None:
         """Remove a cache node from the stream."""
-        if subscriber in self._subscribers:
-            self._subscribers.remove(subscriber)
+        with self._lock:
+            if subscriber in self._subscribers:
+                self._subscribers.remove(subscriber)
 
     @property
     def subscribers(self) -> List[Subscriber]:
         """Currently registered subscribers."""
-        return list(self._subscribers)
+        with self._lock:
+            return list(self._subscribers)
 
     # ------------------------------------------------------------------
     # Publication and delivery
     # ------------------------------------------------------------------
     def publish(self, message: InvalidationMessage) -> None:
-        """Publish one message; messages must arrive in timestamp order."""
-        if message.timestamp <= self._last_published:
-            raise ValueError(
-                "invalidation stream out of order: "
-                f"{message.timestamp} after {self._last_published}"
-            )
-        self._last_published = message.timestamp
-        self._pending.append(message)
-        if self._synchronous:
-            self.deliver_pending()
+        """Publish one message; messages must arrive in timestamp order.
+
+        The lock is held across validation, queueing, and (in synchronous
+        mode) delivery, so concurrent publishers cannot interleave their
+        messages out of timestamp order on the wire.
+        """
+        with self._lock:
+            self.enqueue(message)
+            if self._synchronous:
+                self.deliver_pending()
+
+    def enqueue(self, message: InvalidationMessage) -> None:
+        """Validate ordering and queue one message *without* delivering it.
+
+        The cheap half of :meth:`publish`: a committer holding the
+        database's commit lock enqueues here (preserving timestamp order)
+        and runs :meth:`deliver_pending` only after releasing that lock, so
+        a blocking transport (a hung networked cache node) can never stall
+        every reader queued on the commit lock.  Delivery stays ordered
+        regardless of which committer ends up draining the queue.
+        """
+        with self._lock:
+            if message.timestamp <= self._last_published:
+                raise ValueError(
+                    "invalidation stream out of order: "
+                    f"{message.timestamp} after {self._last_published}"
+                )
+            self._last_published = message.timestamp
+            self._pending.append(message)
 
     def deliver_pending(self) -> int:
         """Deliver every queued message, in order.  Returns the count."""
-        delivered = 0
-        while self._pending:
-            message = self._pending.popleft()
-            # Snapshot the subscriber list: delivering to a dead cache node
-            # can trigger its eviction, which unsubscribes it mid-delivery.
-            for subscriber in list(self._subscribers):
-                subscriber.process_invalidation(message)
-            delivered += 1
-            self._delivered_count += 1
-        return delivered
+        with self._lock:
+            delivered = 0
+            while self._pending:
+                message = self._pending.popleft()
+                # Snapshot the subscriber list under the lock: a concurrent
+                # subscribe/unsubscribe (or a dead cache node evicting itself
+                # mid-delivery) must never mutate the list being iterated.
+                for subscriber in list(self._subscribers):
+                    subscriber.process_invalidation(message)
+                delivered += 1
+                self._delivered_count += 1
+            return delivered
 
     def set_synchronous(self, synchronous: bool) -> None:
         """Switch between immediate and deferred delivery."""
-        self._synchronous = synchronous
-        if synchronous:
-            self.deliver_pending()
+        with self._lock:
+            self._synchronous = synchronous
+            if synchronous:
+                self.deliver_pending()
+
+    @property
+    def synchronous(self) -> bool:
+        """True when published messages are delivered immediately."""
+        return self._synchronous
 
     # ------------------------------------------------------------------
     # Introspection
@@ -119,7 +168,8 @@ class InvalidationBus:
     @property
     def pending_count(self) -> int:
         """Number of published-but-undelivered messages."""
-        return len(self._pending)
+        with self._lock:
+            return len(self._pending)
 
     @property
     def delivered_count(self) -> int:

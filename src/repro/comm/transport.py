@@ -27,6 +27,12 @@ subsystem (``extract_entries``, ``install_entries``, ``discard_keys``,
 ``keys``, ``watermark``), the invalidation-stream entry points
 (``process_invalidation``, ``note_timestamp``) and lifecycle helpers
 (``reset_stats``, ``close``).
+
+Thread safety: implementations must be safe for concurrent calls from many
+client threads, and ``close`` must be idempotent.  ``InProcessTransport``
+inherits this from :class:`CacheServer`'s per-server lock (direct calls,
+nothing to add); ``SocketTransport`` provides it with a connection pool
+(up to ``pool_size`` RPCs in flight, one per pooled connection).
 """
 
 from __future__ import annotations
@@ -172,10 +178,10 @@ class InProcessTransport:
         self.server.clear()
 
     def stats(self) -> CacheServerStats:
-        return self.server.stats
+        return self.server.stats_snapshot()
 
     def reset_stats(self) -> None:
-        self.server.stats.reset()
+        self.server.reset_stats()
 
     # -- key migration --------------------------------------------------
     def extract_entries(

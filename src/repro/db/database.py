@@ -15,10 +15,27 @@ TxCache library expects from its modified PostgreSQL (paper section 5):
 * an ordered invalidation stream published on an
   :class:`repro.comm.multicast.InvalidationBus`;
 * a vacuum that reclaims tuple versions no pinned snapshot can see.
+
+Thread safety
+-------------
+The coarse-grained pieces concurrent clients contend on are protected by
+:attr:`Database.commit_lock`, a reentrant lock serializing the commit
+critical section (timestamp allocation, version stamping, and the
+invalidation *enqueue* — held together so the bus always sees commits in
+timestamp order), snapshot pinning, and vacuum.  Invalidation *delivery*
+runs after the lock is released (:meth:`Database.flush_invalidations`):
+it can block on networked cache nodes, and a hung node must never stall
+readers queued on the commit lock.  Read-only queries run lock-free
+against the no-overwrite storage: a reader's snapshot timestamp makes
+versions stamped by later commits invisible, so the only requirement is
+that a version's ``xmin`` assignment is a single reference store (it is).
+The lock order is database -> invalidation bus -> cache server; no path
+takes them in the other direction.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -69,6 +86,11 @@ class Database:
         self._catalog: Dict[str, Table] = {}
         self.executor = Executor(self._catalog, track_validity=track_validity)
         self.stats = DatabaseStats()
+        #: Serializes commits (timestamp allocation through invalidation
+        #: publish), pin bookkeeping, and vacuum; see "Thread safety" above.
+        #: Reentrant because a committing transaction re-enters the database
+        #: (allocate_commit_timestamp, register_commit) under the same lock.
+        self.commit_lock = threading.RLock()
         #: last committed logical timestamp; the initial load commits at 0.
         self._last_committed = 0
         #: logical timestamp -> wall-clock time of the commit.
@@ -120,21 +142,56 @@ class Database:
     # ------------------------------------------------------------------
     @property
     def latest_timestamp(self) -> int:
-        """Commit timestamp of the most recently committed transaction."""
-        return self._last_committed
+        """Commit timestamp of the most recently committed transaction.
+
+        Read under the commit lock: a writer holds it from timestamp
+        allocation until its versions are stamped, so a reader can never be
+        handed a snapshot id whose commit is only half-applied.
+        """
+        with self.commit_lock:
+            return self._last_committed
 
     def allocate_commit_timestamp(self) -> int:
-        """Allocate the next commit timestamp (called by committing writers)."""
-        self._last_committed += 1
-        return self._last_committed
+        """Allocate the next commit timestamp (called by committing writers).
+
+        Callers must hold :attr:`commit_lock` until the commit is registered
+        (``ReadWriteTransaction.commit`` does), so timestamps are published
+        on the invalidation stream in allocation order.
+        """
+        with self.commit_lock:
+            self._last_committed += 1
+            return self._last_committed
 
     def register_commit(self, timestamp: int, tags: frozenset) -> None:
-        """Record a commit and publish its invalidation message."""
-        self._commit_wallclock[timestamp] = self.clock.now()
-        self.stats.commits += 1
-        if tags:
-            self.invalidation_bus.publish(InvalidationMessage(timestamp=timestamp, tags=tuple(tags)))
-            self.stats.invalidations_published += 1
+        """Record a commit and enqueue its invalidation message.
+
+        The message is only *enqueued* here (cheap, order-validated); the
+        committer delivers it via :meth:`flush_invalidations` after
+        releasing the commit lock.  Delivery can block on networked cache
+        nodes, and holding the commit lock across that would let one hung
+        node stall every reader and writer queued on the lock.
+        """
+        with self.commit_lock:
+            self._commit_wallclock[timestamp] = self.clock.now()
+            self.stats.commits += 1
+            if tags:
+                self.invalidation_bus.enqueue(
+                    InvalidationMessage(timestamp=timestamp, tags=tuple(tags))
+                )
+                self.stats.invalidations_published += 1
+
+    def flush_invalidations(self) -> None:
+        """Deliver enqueued invalidations (committers call this unlocked).
+
+        A no-op when the bus is in deferred mode (tests drive delivery
+        explicitly there).  Safe even when a node is slow or dead: this is
+        the paper's asynchronous multicast — a node that has not yet seen
+        commit T simply cannot serve still-valid claims at T (its watermark
+        caps ``effective_interval``), so consistency never depends on
+        delivery happening inside the commit critical section.
+        """
+        if self.invalidation_bus.synchronous:
+            self.invalidation_bus.deliver_pending()
 
     def wallclock_of(self, timestamp: int) -> float:
         """Wall-clock time at which ``timestamp`` committed."""
@@ -150,19 +207,21 @@ class Database:
         ago") into a logical timestamp, for example when eagerly evicting
         cache entries too stale to satisfy any transaction.
         """
-        best = 0
-        for timestamp, committed_at in self._commit_wallclock.items():
-            if committed_at <= wallclock and timestamp > best:
-                best = timestamp
-        return best
+        with self.commit_lock:  # a committer mutates the mapping mid-commit
+            best = 0
+            for timestamp, committed_at in self._commit_wallclock.items():
+                if committed_at <= wallclock and timestamp > best:
+                    best = timestamp
+            return best
 
     # ------------------------------------------------------------------
     # Transactions
     # ------------------------------------------------------------------
     def begin_rw(self) -> ReadWriteTransaction:
         """Start a read/write transaction on the latest snapshot."""
-        self.stats.rw_transactions += 1
-        return ReadWriteTransaction(self, self._last_committed, next_uncommitted_mark_id())
+        with self.commit_lock:  # counters are read-modify-writes too
+            self.stats.rw_transactions += 1
+        return ReadWriteTransaction(self, self.latest_timestamp, next_uncommitted_mark_id())
 
     def begin_ro(self, snapshot_id: Optional[int] = None) -> ReadOnlyTransaction:
         """Start a read-only transaction.
@@ -172,9 +231,9 @@ class Database:
         committed state.
         """
         if snapshot_id is None:
-            snapshot_id = self._last_committed
+            snapshot_id = self.latest_timestamp
         else:
-            if snapshot_id > self._last_committed:
+            if snapshot_id > self.latest_timestamp:
                 raise SnapshotTooOldError(
                     f"snapshot {snapshot_id} is in the future (latest is {self._last_committed})"
                 )
@@ -190,19 +249,21 @@ class Database:
     # ------------------------------------------------------------------
     def pin_latest(self) -> int:
         """Pin the latest snapshot and return its id (the latest commit ts)."""
-        snapshot_id = self._last_committed
-        self._pins[snapshot_id] = self._pins.get(snapshot_id, 0) + 1
-        self.stats.pins += 1
-        return snapshot_id
+        with self.commit_lock:
+            snapshot_id = self._last_committed
+            self._pins[snapshot_id] = self._pins.get(snapshot_id, 0) + 1
+            self.stats.pins += 1
+            return snapshot_id
 
     def unpin(self, snapshot_id: int) -> None:
         """Release one pin on ``snapshot_id``."""
-        count = self._pins.get(snapshot_id, 0)
-        if count <= 1:
-            self._pins.pop(snapshot_id, None)
-        else:
-            self._pins[snapshot_id] = count - 1
-        self.stats.unpins += 1
+        with self.commit_lock:
+            count = self._pins.get(snapshot_id, 0)
+            if count <= 1:
+                self._pins.pop(snapshot_id, None)
+            else:
+                self._pins[snapshot_id] = count - 1
+            self.stats.unpins += 1
 
     @property
     def pinned_snapshots(self) -> Dict[int, int]:
@@ -231,8 +292,9 @@ class Database:
         """
         from repro.db.vacuum import vacuum_database
 
-        removed, horizon = vacuum_database(self)
-        self._oldest_available = horizon
-        self.stats.vacuum_runs += 1
-        self.stats.versions_vacuumed += removed
-        return removed
+        with self.commit_lock:
+            removed, horizon = vacuum_database(self)
+            self._oldest_available = horizon
+            self.stats.vacuum_runs += 1
+            self.stats.versions_vacuumed += removed
+            return removed

@@ -53,7 +53,8 @@ class ReadOnlyTransaction(_BaseTransaction):
 
     def __init__(self, database: "Database", snapshot_ts: int) -> None:
         super().__init__(database, snapshot_ts)
-        database.stats.ro_transactions += 1
+        with database.commit_lock:  # counters are read-modify-writes too
+            database.stats.ro_transactions += 1
 
     def query(self, query: Query) -> QueryResult:
         """Execute a query at this transaction's snapshot."""
@@ -152,18 +153,29 @@ class ReadWriteTransaction(_BaseTransaction):
             # A read-only "read/write" transaction: nothing to stamp, no
             # commit timestamp consumed, no invalidation published.
             self._finished = True
-            self._db.stats.commits += 1
+            with self._db.commit_lock:
+                self._db.stats.commits += 1
             return self._db.latest_timestamp
 
-        timestamp = self._db.allocate_commit_timestamp()
-        for _table_name, version in self._created:
-            version.xmin = timestamp
-        for _table_name, version in self._deleted:
-            version.xmax = timestamp
+        # The critical section — timestamp allocation, version stamping,
+        # invalidation *enqueue* — runs under the database's commit lock, so
+        # concurrent committers cannot interleave: the stream sees whole
+        # commits in timestamp order, and no reader at timestamp T can
+        # observe some of commit T's versions stamped and others not.
+        with self._db.commit_lock:
+            timestamp = self._db.allocate_commit_timestamp()
+            for _table_name, version in self._created:
+                version.xmin = timestamp
+            for _table_name, version in self._deleted:
+                version.xmax = timestamp
 
-        tags = self._collect_tags()
-        self._finished = True
-        self._db.register_commit(timestamp, tags)
+            tags = self._collect_tags()
+            self._finished = True
+            self._db.register_commit(timestamp, tags)
+        # Delivery happens outside the lock: it can block on networked cache
+        # nodes (up to the transport timeout for a hung one), and readers
+        # queued on the commit lock must not pay for that.
+        self._db.flush_invalidations()
         return timestamp
 
     def abort(self) -> None:
@@ -175,7 +187,8 @@ class ReadWriteTransaction(_BaseTransaction):
             if isinstance(version.xmax, UncommittedMark) and version.xmax.tx_id == self.tx_id:
                 version.xmax = None
         self._finished = True
-        self._db.stats.aborts += 1
+        with self._db.commit_lock:
+            self._db.stats.aborts += 1
 
     # ------------------------------------------------------------------
     # Internals

@@ -49,6 +49,18 @@ class TxCacheDeployment:
     #: Consecutive transport failures before a cache node is evicted from
     #: the ring (failure-aware routing degrades to misses until then).
     failure_threshold: int = 3
+    #: Pooled connections per cache node under the socket transport: the
+    #: number of RPCs one application server keeps in flight to each node.
+    #: Size it to the number of worker threads sharing the deployment (more
+    #: buys nothing; fewer makes threads queue for a connection).
+    socket_pool_size: int = 4
+    #: Connect/read timeout for pooled connections; a node that stops
+    #: answering surfaces as unreachable (and degrades) within this bound
+    #: instead of hanging a worker thread forever.
+    rpc_timeout_seconds: float = 30.0
+    #: Modelled LAN round-trip time served by each networked cache node
+    #: (0 = loopback only).  See repro.cache.netserver.CacheServerProcess.
+    simulated_rpc_latency_seconds: float = 0.0
     #: Keys per chunk when live-migrating entries on a membership change.
     migration_chunk_size: int = 128
     #: Copies of each key across the cache tier (ring successor lists).
@@ -74,6 +86,9 @@ class TxCacheDeployment:
             transport=self.transport,
             failure_threshold=self.failure_threshold,
             replication_factor=self.replication_factor,
+            socket_pool_size=self.socket_pool_size,
+            rpc_timeout_seconds=self.rpc_timeout_seconds,
+            simulated_rpc_latency_seconds=self.simulated_rpc_latency_seconds,
         )
         self.membership = ClusterMembership(
             self.cache, chunk_size=self.migration_chunk_size, auto_repair=self.auto_repair
@@ -171,8 +186,12 @@ class TxCacheDeployment:
     def shutdown(self) -> None:
         """Tear the deployment down (closes networked cache nodes).
 
-        Safe to call more than once; a no-op for in-process transports
-        beyond emptying the cluster.
+        Idempotent: every pooled client connection is closed and every
+        socket server stopped on the first call, and later calls are no-ops.
+        Safe to call while client threads are still issuing transactions —
+        their in-flight cache RPCs either complete or degrade through the
+        failure-aware routing path (a closed cache is indistinguishable from
+        a dead one, and a dead cache must never crash the application).
         """
         self.cache.close()
 

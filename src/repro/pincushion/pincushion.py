@@ -11,10 +11,23 @@ commit timestamp), the wall-clock time it corresponds to, and the number of
 running transactions that might be using it.  Read-only transactions ask it
 for all sufficiently fresh pinned snapshots at BEGIN and release them at
 COMMIT/ABORT; a periodic sweep unpins snapshots that are old and unused.
+
+Thread safety
+-------------
+:class:`Pincushion` is thread-safe: one lock serializes every operation, so
+many application-server threads may BEGIN/COMMIT concurrently.  The paper's
+pincushion is a single daemon serving all application servers, which makes
+it exactly this kind of shared, contended structure; the lock keeps the
+in-use reference counts exact (a lost update there would either expire a
+snapshot still in use or pin one forever).  The expiry sweep invokes the
+``unpin_callback`` while holding the lock; the database's pin bookkeeping
+takes its own lock, and no database path calls back into the pincushion, so
+the lock order pincushion -> database is acyclic.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
@@ -59,6 +72,8 @@ class Pincushion:
         self.clock = clock or SystemClock()
         self._unpin_callback = unpin_callback
         self.expiry_seconds = expiry_seconds
+        #: Serializes every operation (see "Thread safety" above).
+        self._lock = threading.Lock()
         self._snapshots: Dict[int, PinnedSnapshot] = {}
         self.stats = PincushionStats()
 
@@ -72,30 +87,34 @@ class Pincushion:
         each returned snapshot's in-use count is incremented; the caller must
         balance it with :meth:`release` when the transaction finishes.
         """
-        self.stats.fresh_requests += 1
-        cutoff = self.clock.now() - staleness
-        fresh = [
-            snapshot
-            for snapshot in self._snapshots.values()
-            if snapshot.wallclock >= cutoff
-        ]
-        fresh.sort(key=lambda snapshot: snapshot.snapshot_id)
-        if mark_in_use:
-            for snapshot in fresh:
-                snapshot.in_use += 1
-        return fresh
+        with self._lock:
+            self.stats.fresh_requests += 1
+            cutoff = self.clock.now() - staleness
+            fresh = [
+                snapshot
+                for snapshot in self._snapshots.values()
+                if snapshot.wallclock >= cutoff
+            ]
+            fresh.sort(key=lambda snapshot: snapshot.snapshot_id)
+            if mark_in_use:
+                for snapshot in fresh:
+                    snapshot.in_use += 1
+            return fresh
 
     def snapshot(self, snapshot_id: int) -> Optional[PinnedSnapshot]:
         """Return the pinned snapshot with the given id, if registered."""
-        return self._snapshots.get(snapshot_id)
+        with self._lock:
+            return self._snapshots.get(snapshot_id)
 
     @property
     def pinned_ids(self) -> List[int]:
         """Ids of every registered snapshot, ascending."""
-        return sorted(self._snapshots)
+        with self._lock:
+            return sorted(self._snapshots)
 
     def __len__(self) -> int:
-        return len(self._snapshots)
+        with self._lock:
+            return len(self._snapshots)
 
     # ------------------------------------------------------------------
     # Registration and release
@@ -106,25 +125,27 @@ class Pincushion:
         If the snapshot is already registered its in-use count is simply
         bumped (two transactions may race to pin the same latest snapshot).
         """
-        self.stats.registrations += 1
-        existing = self._snapshots.get(snapshot_id)
-        if existing is not None:
-            if in_use:
-                existing.in_use += 1
-            return existing
-        snapshot = PinnedSnapshot(
-            snapshot_id=snapshot_id, wallclock=wallclock, in_use=1 if in_use else 0
-        )
-        self._snapshots[snapshot_id] = snapshot
-        return snapshot
+        with self._lock:
+            self.stats.registrations += 1
+            existing = self._snapshots.get(snapshot_id)
+            if existing is not None:
+                if in_use:
+                    existing.in_use += 1
+                return existing
+            snapshot = PinnedSnapshot(
+                snapshot_id=snapshot_id, wallclock=wallclock, in_use=1 if in_use else 0
+            )
+            self._snapshots[snapshot_id] = snapshot
+            return snapshot
 
     def release(self, snapshot_ids: List[int]) -> None:
         """Drop the in-use marks a finishing transaction held."""
-        self.stats.releases += 1
-        for snapshot_id in snapshot_ids:
-            snapshot = self._snapshots.get(snapshot_id)
-            if snapshot is not None and snapshot.in_use > 0:
-                snapshot.in_use -= 1
+        with self._lock:
+            self.stats.releases += 1
+            for snapshot_id in snapshot_ids:
+                snapshot = self._snapshots.get(snapshot_id)
+                if snapshot is not None and snapshot.in_use > 0:
+                    snapshot.in_use -= 1
 
     # ------------------------------------------------------------------
     # Expiry sweep
@@ -135,14 +156,15 @@ class Pincushion:
         Returns the ids that were expired.  A snapshot still marked in-use is
         never expired regardless of age.
         """
-        threshold = self.expiry_seconds if older_than is None else older_than
-        cutoff = self.clock.now() - threshold
-        expired: List[int] = []
-        for snapshot_id, snapshot in list(self._snapshots.items()):
-            if snapshot.in_use == 0 and snapshot.wallclock < cutoff:
-                del self._snapshots[snapshot_id]
-                expired.append(snapshot_id)
-                self.stats.expirations += 1
-                if self._unpin_callback is not None:
-                    self._unpin_callback(snapshot_id)
-        return expired
+        with self._lock:
+            threshold = self.expiry_seconds if older_than is None else older_than
+            cutoff = self.clock.now() - threshold
+            expired: List[int] = []
+            for snapshot_id, snapshot in list(self._snapshots.items()):
+                if snapshot.in_use == 0 and snapshot.wallclock < cutoff:
+                    del self._snapshots[snapshot_id]
+                    expired.append(snapshot_id)
+                    self.stats.expirations += 1
+                    if self._unpin_callback is not None:
+                        self._unpin_callback(snapshot_id)
+            return expired

@@ -221,24 +221,41 @@ class ConsistencyHarness:
     has seen an inconsistent mix of states and raises
     :class:`ConsistencyViolation`.  Faults may be injected between (or
     during) steps; the invariant must hold regardless.
+
+    Several harnesses may share one deployment to model concurrent
+    application servers: pass ``create_table=False`` for every harness after
+    the first and give each its own seed (and its own thread).  Each write
+    still rewrites the whole table atomically, so whatever interleaving the
+    threads produce, every committed state is uniform and the one-snapshot
+    invariant stays checkable from any thread.  A write that loses the
+    first-committer-wins race to a concurrent harness is aborted and counted
+    in :attr:`write_conflicts` — exactly what a real application server
+    would see and retry.
     """
 
     ROWS = 6
 
-    def __init__(self, deployment: TxCacheDeployment, seed: int = 1) -> None:
+    def __init__(
+        self,
+        deployment: TxCacheDeployment,
+        seed: int = 1,
+        create_table: bool = True,
+    ) -> None:
         self.deployment = deployment
         self.client = deployment.client()
         self.rng = random.Random(seed)
         self.version = 0
         self.reads = 0
         self.writes = 0
-        deployment.database.create_table(
-            TableSchema.build("state", ["id", "version", "payload"], primary_key="id")
-        )
-        deployment.database.bulk_load(
-            "state",
-            [{"id": i, "version": 0, "payload": "x" * 64} for i in range(self.ROWS)],
-        )
+        self.write_conflicts = 0
+        if create_table:
+            deployment.database.create_table(
+                TableSchema.build("state", ["id", "version", "payload"], primary_key="id")
+            )
+            deployment.database.bulk_load(
+                "state",
+                [{"id": i, "version": 0, "payload": "x" * 64} for i in range(self.ROWS)],
+            )
 
         client = self.client
 
@@ -250,11 +267,20 @@ class ConsistencyHarness:
 
     def write(self) -> None:
         """One update transaction: move every row to the next version."""
+        from repro.db.errors import SerializationError
+
         self.version += 1
         transaction = self.deployment.database.begin_rw()
-        for row_id in range(self.ROWS):
-            transaction.update("state", Eq("id", row_id), {"version": self.version})
-        transaction.commit()
+        try:
+            for row_id in range(self.ROWS):
+                transaction.update("state", Eq("id", row_id), {"version": self.version})
+            transaction.commit()
+        except SerializationError:
+            # A concurrent harness won the first-committer-wins race for a
+            # row; abort cleanly (single-threaded runs never hit this).
+            transaction.abort()
+            self.write_conflicts += 1
+            return
         self.deployment.advance(self.rng.uniform(0.01, 0.5))
         self.writes += 1
 

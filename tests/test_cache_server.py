@@ -104,6 +104,38 @@ class TestPut:
         assert not entry.still_valid
         assert entry.interval.hi == 7
 
+    def test_insert_truncates_at_first_invalidation_not_latest(self, server):
+        """Regression: several invalidations of the same tag before a late
+        insert must truncate at the *first* one after the entry's birth.
+        Truncating at the latest would claim validity for every intermediate
+        version — observable as mixed-snapshot reads once concurrent writers
+        can commit between a transaction's query and its cache insert."""
+        invalidate(server, 5, tag(1))
+        invalidate(server, 9, tag(1))
+        server.put("k", "v-from-ts-2", Interval(2), tags=frozenset({tag(1)}))
+        entry = server.versions_of("k")[0]
+        assert not entry.still_valid
+        assert entry.interval.hi == 5  # not 9
+
+    def test_insert_born_at_latest_invalidation_keeps_birth_timestamp(self, server):
+        invalidate(server, 5, tag(1))
+        server.put("k", "v-from-ts-5", Interval(5), tags=frozenset({tag(1)}))
+        entry = server.versions_of("k")[0]
+        # Valid at its birth timestamp at least; nothing later is claimed.
+        assert entry.interval.lo == 5
+        assert entry.interval.hi == 6
+
+    def test_stale_eviction_prunes_histories_without_overclaiming(self, server):
+        invalidate(server, 3, tag(1))
+        invalidate(server, 6, tag(1))
+        invalidate(server, 9, tag(1))
+        server.evict_stale(7)
+        # The largest pruned timestamp (6) survives as the history head, so
+        # a very late insert truncates below the horizon instead of
+        # overclaiming up to the next retained invalidation (9).
+        server.put("k", "ancient", Interval(1), tags=frozenset({tag(1)}))
+        assert server.versions_of("k")[0].interval.hi == 6
+
     def test_insert_after_unrelated_invalidation_stays_valid(self, server):
         invalidate(server, 7, tag(999))
         server.put("k", "fresh", Interval(3), tags=frozenset({tag(1)}))
