@@ -30,12 +30,13 @@ from repro.bench.experiments import (
     figure6,
     figure7,
     figure8,
+    pipelined_clients,
     validity_tracking_overhead,
 )
 
 EXPERIMENTS = (
     "fig5a", "fig5b", "fig6a", "fig6b", "fig7", "fig8", "overhead",
-    "concurrency", "concurrent-churn",
+    "concurrency", "concurrent-churn", "pipelined",
 )
 
 
@@ -62,6 +63,19 @@ def run_experiment(name: str, settings: ExperimentSettings) -> None:
         print(concurrent_clients().format_table())
     elif name == "concurrent-churn":
         print(concurrent_churn().format_table())
+    elif name == "pipelined":
+        # The fast wire path, measured without the client GIL: K forked
+        # worker processes per point, {pooled, pipelined} x {threaded,
+        # eventloop}.  The pooled deployment default caps in-flight RPCs at
+        # pool x nodes; the pipelined transport lifts the cap from one
+        # socket per node.
+        result = pipelined_clients()
+        print(result.format_table())
+        print(
+            "pipelined+eventloop over pooled deployment default at "
+            f"{result.process_counts[-1]} processes: "
+            f"{result.speedup_at(result.process_counts[-1]):.2f}x"
+        )
     else:
         raise SystemExit(f"unknown experiment {name!r}")
     print(f"[{name} finished in {time.time() - started:.1f}s]\n")

@@ -1,0 +1,17 @@
+"""Small version-compatibility shims.
+
+``DATACLASS_SLOTS`` lets the hot-path value types (intervals, cache entry
+and lookup records) opt into ``__slots__`` layout where the interpreter
+supports it: ``@dataclass(slots=True)`` needs Python 3.10, and the oldest
+interpreter in CI is 3.9.  Slotted instances skip the per-instance
+``__dict__`` (less memory, faster attribute access), which the wire
+microbenchmark measures on the frame codec path.
+"""
+
+from __future__ import annotations
+
+import sys
+
+__all__ = ["DATACLASS_SLOTS"]
+
+DATACLASS_SLOTS = {"slots": True} if sys.version_info >= (3, 10) else {}

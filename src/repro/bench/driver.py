@@ -31,6 +31,7 @@ size, a staleness limit, and a consistency mode.  The driver
 
 from __future__ import annotations
 
+import multiprocessing
 import random
 import threading
 import time
@@ -56,10 +57,13 @@ __all__ = [
     "ChurnEvent",
     "ConcurrencyConfig",
     "ConcurrencyResult",
+    "MultiprocessConfig",
+    "MultiprocessResult",
     "TimedChurnEvent",
     "rolling_restart_events",
     "run_benchmark",
     "run_concurrent_benchmark",
+    "run_multiprocess_benchmark",
 ]
 
 #: Smallest clock advance per interaction; keeps time moving even for
@@ -657,3 +661,292 @@ def _apply_timed_churn(deployment: TxCacheDeployment, event: TimedChurnEvent) ->
         deployment.add_cache_node(name=name, migrate=event.migrate)
     else:
         raise ValueError(f"unknown timed churn action {event.action!r}")
+
+
+# ----------------------------------------------------------------------
+# Multi-process driver (no client GIL in the measurement)
+# ----------------------------------------------------------------------
+@dataclass
+class MultiprocessConfig:
+    """Parameters of one multi-process wall-clock measurement.
+
+    The threaded driver above shares one interpreter between all workers,
+    so past a point the curve measures the *client* GIL, not the cache
+    tier.  This driver forks ``processes`` OS processes: each builds its
+    own client-side stack (database replica, pincushion, and a client-only
+    :class:`repro.cache.cluster.CacheCluster` dialled at the coordinator's
+    cache-node endpoints) and drives ``threads_per_process`` worker threads
+    against the *shared* networked cache nodes.  What saturates first is
+    therefore the server side — exactly what the pipelined-transport /
+    event-loop-server comparison needs to expose.
+
+    The workload is read-only by construction: the reproduction's database
+    is an in-process object, so a forked worker's writes could not reach
+    the other workers' replicas and the shared cache would mix states from
+    diverged databases.  Every worker loads the identical ``pages`` table
+    (same rows, same commit timestamps), which makes the shared cache
+    coherent across processes without a networked database.
+    """
+
+    processes: int = 4
+    #: Worker threads inside each process; with the modelled LAN round trip
+    #: they give each process several RPCs in flight, which is what makes
+    #: the pooled-vs-pipelined connection discipline observable.
+    threads_per_process: int = 4
+    #: "socket" (pooled + threaded server) or "socket-pipelined"
+    #: (multiplexed + event-loop server); the overrides below mix and match.
+    transport: str = "socket"
+    socket_pipelined: Optional[bool] = None
+    server_style: Optional[str] = None
+    cache_nodes: int = 2
+    cache_capacity_bytes_per_node: int = 8 * 1024 * 1024
+    rows: int = 256
+    #: Measured interactions per worker thread (total = processes x
+    #: threads_per_process x this).
+    interactions_per_thread: int = 300
+    staleness: float = 30.0
+    #: Pooled connections per node per process (pooled mode only); None
+    #: sizes the pool to ``threads_per_process``.
+    socket_pool_size: Optional[int] = None
+    #: Modelled LAN round trip per cache RPC (see CacheServerProcess).
+    simulated_rpc_latency_seconds: float = 4e-4
+    seed: int = 1
+    label: str = ""
+
+
+@dataclass
+class MultiprocessResult:
+    """Outcome of one multi-process wall-clock measurement."""
+
+    label: str
+    processes: int
+    threads_per_process: int
+    transport: str
+    interactions: int
+    wall_seconds: float
+    ops_per_second: float
+    hit_rate: float
+    per_process_interactions: List[int]
+    #: Exceptions escaped from worker threads (0 on a healthy run), plus
+    #: workers that failed to bootstrap at all.
+    errors: int
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.label or 'run'}: {self.processes} proc x "
+            f"{self.threads_per_process} thr ({self.transport}): "
+            f"{self.ops_per_second:8.1f} ops/s  hit rate {self.hit_rate:5.1%}"
+        )
+
+
+def _multiprocess_worker(index: int, addresses, config: MultiprocessConfig, barrier, queue) -> None:
+    """One forked worker: build a client stack, drive threads, report.
+
+    Runs in a child process.  The worker must *always* reach the barrier
+    (the coordinator waits on it before starting the clock), so bootstrap
+    failures are carried past it and reported through the queue instead of
+    deadlocking the run.
+    """
+    from repro.cache.cluster import CacheCluster
+    from repro.core.api import TxCacheClient
+    from repro.pincushion.pincushion import Pincushion
+    from repro.db.database import Database
+
+    cluster = None
+    bootstrap_error: Optional[str] = None
+    clients: List[TxCacheClient] = []
+    try:
+        clock = SystemClock()
+        database = Database(clock=clock)
+        database.create_table(
+            TableSchema.build("pages", ["id", "payload", "hits"], primary_key="id")
+        )
+        database.bulk_load(
+            "pages",
+            [{"id": i, "payload": "x" * 128, "hits": 0} for i in range(config.rows)],
+        )
+        # Client-only cluster: dial the coordinator's nodes.  No
+        # invalidation bus — the workload is read-only, so the stream stays
+        # silent and subscribing would only replay this replica's load-time
+        # invalidations at the shared servers.
+        cluster = CacheCluster(
+            node_addresses=addresses,
+            transport=config.transport,
+            socket_pipelined=config.socket_pipelined,
+            socket_pool_size=config.socket_pool_size or max(1, config.threads_per_process),
+            clock=clock,
+        )
+        pincushion = Pincushion(clock=clock, unpin_callback=database.unpin)
+        clients = [
+            TxCacheClient(
+                database=database,
+                cache=cluster,
+                pincushion=pincushion,
+                clock=clock,
+                default_staleness=config.staleness,
+            )
+            for _ in range(config.threads_per_process)
+        ]
+    except Exception as exc:  # noqa: BLE001 - reported via the queue
+        bootstrap_error = f"{type(exc).__name__}: {exc}"
+
+    completed = [0] * config.threads_per_process
+    errors = [0] * config.threads_per_process
+
+    def run_thread(thread_index: int) -> None:
+        client = clients[thread_index]
+        rng = random.Random(config.seed * 100_000 + index * 100 + thread_index)
+
+        @client.cacheable(name="bench_get_row")
+        def get_row(row_id):
+            return client.query(Select("pages", Eq("id", row_id))).rows[0]
+
+        for _ in range(config.interactions_per_thread):
+            try:
+                with client.read_only(staleness=config.staleness):
+                    for _ in range(rng.randint(1, 3)):
+                        get_row(rng.randrange(config.rows))
+            except Exception:  # noqa: BLE001 - counted, run continues
+                errors[thread_index] += 1
+            completed[thread_index] += 1
+
+    try:
+        barrier.wait(timeout=60)
+    except Exception:
+        bootstrap_error = bootstrap_error or "coordination barrier broke"
+    if bootstrap_error is None:
+        threads = [
+            threading.Thread(target=run_thread, args=(i,), daemon=True)
+            for i in range(config.threads_per_process)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    merged = ClientStats()
+    for client in clients:
+        merged += client.stats
+    queue.put(
+        {
+            "index": index,
+            "completed": sum(completed),
+            "hits": merged.hits,
+            "misses": merged.misses,
+            "errors": sum(errors) + (1 if bootstrap_error else 0),
+            "bootstrap_error": bootstrap_error,
+        }
+    )
+    if cluster is not None:
+        cluster.close()
+
+
+def run_multiprocess_benchmark(config: MultiprocessConfig) -> MultiprocessResult:
+    """Measure wall-clock throughput of K worker *processes* on one cache tier.
+
+    The coordinator builds the networked deployment, loads and warms it,
+    then forks the workers and times the measured phase from the moment the
+    start barrier releases to the last worker's report.  Worker results
+    travel back over a queue (one message per process); a worker that fails
+    to bootstrap reports the failure instead of hanging the barrier.
+    """
+    if config.processes < 1:
+        raise ValueError("processes must be positive")
+    if config.threads_per_process < 1:
+        raise ValueError("threads_per_process must be positive")
+    if config.transport not in ("socket", "socket-pipelined"):
+        raise ValueError("multi-process driver requires a socket transport")
+    deployment = TxCacheDeployment(
+        clock=SystemClock(),
+        cache_nodes=config.cache_nodes,
+        cache_capacity_bytes_per_node=config.cache_capacity_bytes_per_node,
+        transport=config.transport,
+        socket_pipelined=config.socket_pipelined,
+        cache_server_style=config.server_style,
+        default_staleness=config.staleness,
+        simulated_rpc_latency_seconds=config.simulated_rpc_latency_seconds,
+    )
+    try:
+        deployment.database.create_table(
+            TableSchema.build("pages", ["id", "payload", "hits"], primary_key="id")
+        )
+        deployment.database.bulk_load(
+            "pages",
+            [{"id": i, "payload": "x" * 128, "hits": 0} for i in range(config.rows)],
+        )
+        # Warm the shared cache once so every worker starts from hits (the
+        # paper restores a cache snapshot; this plays the same role).
+        warm_client = deployment.client(default_staleness=config.staleness)
+
+        @warm_client.cacheable(name="bench_get_row")
+        def warm_get_row(row_id):
+            return warm_client.query(Select("pages", Eq("id", row_id))).rows[0]
+
+        for row_id in range(config.rows):
+            with warm_client.read_only(staleness=config.staleness):
+                warm_get_row(row_id)
+
+        addresses = {
+            name: process.address
+            for name, process in deployment.cache.processes.items()
+        }
+        # Fork keeps the already-imported interpreter (fast, Linux); spawn
+        # is the portable fallback — the worker entry point and all its
+        # arguments are picklable either way.
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else methods[0]
+        )
+        barrier = context.Barrier(config.processes + 1)
+        queue = context.Queue()
+        workers = [
+            context.Process(
+                target=_multiprocess_worker,
+                args=(index, addresses, config, barrier, queue),
+                daemon=True,
+            )
+            for index in range(config.processes)
+        ]
+        for worker in workers:
+            worker.start()
+        barrier.wait(timeout=120)
+        started = time.perf_counter()
+        reports = [queue.get(timeout=600) for _ in workers]
+        wall = time.perf_counter() - started
+        for worker in workers:
+            worker.join(timeout=30)
+
+        interactions = sum(report["completed"] for report in reports)
+        hits = sum(report["hits"] for report in reports)
+        misses = sum(report["misses"] for report in reports)
+        looked_up = hits + misses
+        return MultiprocessResult(
+            label=config.label,
+            processes=config.processes,
+            threads_per_process=config.threads_per_process,
+            transport=_transport_label(config),
+            interactions=interactions,
+            wall_seconds=wall,
+            ops_per_second=interactions / wall if wall > 0 else 0.0,
+            hit_rate=hits / looked_up if looked_up else 0.0,
+            per_process_interactions=[
+                report["completed"]
+                for report in sorted(reports, key=lambda r: r["index"])
+            ],
+            errors=sum(report["errors"] for report in reports),
+        )
+    finally:
+        deployment.shutdown()
+
+
+def _transport_label(config: MultiprocessConfig) -> str:
+    """Human-readable wire-path label: client framing x server engine."""
+    pipelined = (
+        config.socket_pipelined
+        if config.socket_pipelined is not None
+        else config.transport == "socket-pipelined"
+    )
+    style = config.server_style or (
+        "eventloop" if config.transport == "socket-pipelined" else "threaded"
+    )
+    return f"{'pipelined' if pipelined else 'pooled'}+{style}"

@@ -40,12 +40,16 @@ from repro.bench.driver import (
     ChurnEvent,
     ConcurrencyConfig,
     ConcurrencyResult,
+    MultiprocessConfig,
+    MultiprocessResult,
     TimedChurnEvent,
     rolling_restart_events,
     run_benchmark,
     run_concurrent_benchmark,
+    run_multiprocess_benchmark,
 )
 from repro.bench.report import format_table
+from repro.cache.netserver import DEFAULT_POOL_SIZE
 from repro.clock import ManualClock
 from repro.core.stats import MissType
 from repro.db.database import Database
@@ -62,6 +66,7 @@ __all__ = [
     "RollingRestartResult",
     "ConcurrentClientsResult",
     "ConcurrentChurnResult",
+    "PipelinedClientsResult",
     "figure5",
     "figure6",
     "figure7",
@@ -71,6 +76,7 @@ __all__ = [
     "rolling_restart",
     "concurrent_clients",
     "concurrent_churn",
+    "pipelined_clients",
     "validity_tracking_overhead",
     "PAPER_IN_MEMORY_CACHE_MB",
     "PAPER_DISK_BOUND_CACHE_GB",
@@ -977,6 +983,131 @@ def concurrent_churn(
     return ConcurrentChurnResult(
         baseline=baseline,
         churned=churned,
+        elapsed_seconds=time.time() - started,
+    )
+
+
+# ----------------------------------------------------------------------
+# Pipelined clients: the fast wire path, measured without the client GIL
+# ----------------------------------------------------------------------
+@dataclass
+class PipelinedClientsResult:
+    """Throughput vs worker processes, per wire path.
+
+    ``results[variant]`` holds one :class:`MultiprocessResult` per entry of
+    ``process_counts``.  The four variants cover {legacy pooled, pipelined}
+    x {threaded server, event-loop server}:
+
+    * ``"pooled+threaded (pool=threads)"`` — PR 4's benchmark baseline: one
+      socket per concurrent RPC, one server thread per socket.
+    * ``"pooled+threaded"`` — PR 4's *deployment default*: 4 pooled
+      connections per node, so each application server is capped at
+      ``4 x nodes`` in-flight RPCs no matter how many worker threads it
+      runs.  This is the row the pipelined path must beat.
+    * ``"pipelined+eventloop"`` — the fast wire path: one multiplexed
+      socket per node (unbounded in-flight), served by the selector loop.
+    * ``"pipelined+threaded"`` — the control that shows why the event loop
+      exists: the threaded engine serves one mux connection sequentially,
+      so every modelled round trip is paid serially (head-of-line).
+    """
+
+    process_counts: List[int]
+    threads_per_process: int
+    results: Dict[str, List[MultiprocessResult]]
+    elapsed_seconds: float = 0.0
+
+    def speedup_at(self, processes: int) -> float:
+        """Pipelined+eventloop over the pooled deployment default."""
+        index = self.process_counts.index(processes)
+        baseline = self.results["pooled+threaded"][index].ops_per_second or 1.0
+        return self.results["pipelined+eventloop"][index].ops_per_second / baseline
+
+    def format_table(self) -> str:
+        rows = []
+        for variant, series in self.results.items():
+            for result in series:
+                rows.append(
+                    [
+                        variant,
+                        f"{result.processes}",
+                        f"{result.processes * result.threads_per_process}",
+                        f"{result.ops_per_second:,.0f}",
+                        f"{result.hit_rate:.1%}",
+                        f"{result.errors}",
+                    ]
+                )
+        return format_table(
+            ["wire path", "processes", "workers", "ops/sec", "hit rate", "errors"],
+            rows,
+            title=(
+                "Pipelined clients: multi-process wall-clock throughput "
+                f"({self.threads_per_process} threads/process, modelled RTT)"
+            ),
+        )
+
+
+def pipelined_clients(
+    process_counts: Sequence[int] = (1, 2, 4),
+    threads_per_process: int = 16,
+    interactions_per_thread: int = 25,
+    simulated_rpc_latency_seconds: float = 1e-2,
+    include_threaded_pipelined: bool = True,
+    seed: int = 1,
+) -> PipelinedClientsResult:
+    """Throughput-vs-processes under {pooled, pipelined} x {threaded, eventloop}.
+
+    Every point forks its worker processes (:func:`run_multiprocess_benchmark`),
+    so the curve measures the cache tier — transport discipline and server
+    engine — rather than the client GIL.  The modelled LAN round trip is
+    deliberately large relative to loopback so the binding constraint is
+    in-flight concurrency, which is exactly what the pooled and pipelined
+    disciplines differ in: with ``threads_per_process`` workers above the
+    pooled cap (``DEFAULT_POOL_SIZE x nodes``), the deployment-default
+    pooled transport serializes the excess behind its sockets while the
+    pipelined transport keeps every worker's RPC in flight on one socket
+    per node.
+
+    ``include_threaded_pipelined=False`` skips the head-of-line control row
+    (it pays every modelled round trip serially, so it is the slowest row
+    by design and dominates the experiment's wall time).
+    """
+    started = time.time()
+    variants: List[Tuple[str, dict]] = [
+        (
+            "pooled+threaded (pool=threads)",
+            dict(transport="socket", socket_pool_size=threads_per_process),
+        ),
+        # The deployment-default pool (DEFAULT_POOL_SIZE per node) — what a
+        # PR-4 deployment actually runs with, and the row to beat.
+        ("pooled+threaded", dict(transport="socket", socket_pool_size=DEFAULT_POOL_SIZE)),
+        ("pipelined+eventloop", dict(transport="socket-pipelined")),
+    ]
+    if include_threaded_pipelined:
+        variants.append(
+            (
+                "pipelined+threaded",
+                dict(transport="socket", socket_pipelined=True, server_style="threaded"),
+            )
+        )
+    results: Dict[str, List[MultiprocessResult]] = {}
+    for variant, overrides in variants:
+        series: List[MultiprocessResult] = []
+        for processes in process_counts:
+            config = MultiprocessConfig(
+                processes=processes,
+                threads_per_process=threads_per_process,
+                interactions_per_thread=interactions_per_thread,
+                simulated_rpc_latency_seconds=simulated_rpc_latency_seconds,
+                seed=seed,
+                label=f"pipelined-{variant}-{processes}p",
+                **overrides,
+            )
+            series.append(run_multiprocess_benchmark(config))
+        results[variant] = series
+    return PipelinedClientsResult(
+        process_counts=list(process_counts),
+        threads_per_process=threads_per_process,
+        results=results,
         elapsed_seconds=time.time() - started,
     )
 

@@ -84,7 +84,10 @@ from repro.interval import Interval
 __all__ = ["CacheCluster", "ClusterHealthStats"]
 
 #: Supported values of the ``transport`` constructor argument.
-TRANSPORT_KINDS = ("inprocess", "socket")
+#: ``"socket"`` is the PR-4 fast path (pooled one-in-flight connections to
+#: thread-per-connection servers); ``"socket-pipelined"`` is the multiplexed
+#: wire protocol to event-loop servers (see :mod:`repro.cache.netserver`).
+TRANSPORT_KINDS = ("inprocess", "socket", "socket-pipelined")
 
 #: Exceptions that mean "the node is unreachable" (never server-side errors).
 _FAILURE_EXCEPTIONS = (CacheNodeUnreachableError, ConnectionError, OSError)
@@ -164,6 +167,9 @@ class CacheCluster:
         socket_pool_size: int = 4,
         rpc_timeout_seconds: float = 30.0,
         simulated_rpc_latency_seconds: float = 0.0,
+        socket_pipelined: Optional[bool] = None,
+        server_style: Optional[str] = None,
+        node_addresses: Optional[Dict[str, Tuple[str, int]]] = None,
     ) -> None:
         if transport not in TRANSPORT_KINDS:
             raise ValueError(
@@ -175,7 +181,26 @@ class CacheCluster:
             raise ValueError("replication_factor must be positive")
         if socket_pool_size < 1:
             raise ValueError("socket_pool_size must be positive")
+        if node_addresses is not None and transport == "inprocess":
+            raise ValueError("node_addresses requires a socket transport")
         self.transport_kind = transport
+        #: Pipelined (multiplexed) client framing; the "socket-pipelined"
+        #: kind turns it on, and either kind accepts an explicit override.
+        self.socket_pipelined = (
+            socket_pipelined
+            if socket_pipelined is not None
+            else transport == "socket-pipelined"
+        )
+        #: Serving engine of locally started cache nodes ("threaded" or
+        #: "eventloop"); defaults to the event loop for "socket-pipelined".
+        self.server_style = server_style or (
+            "eventloop" if transport == "socket-pipelined" else "threaded"
+        )
+        #: Endpoints of externally running cache nodes.  When set, the
+        #: cluster is *client-only*: it dials the given addresses instead of
+        #: starting servers (the multi-process benchmark workers attach to
+        #: the coordinator's nodes this way).
+        self._node_addresses = dict(node_addresses) if node_addresses else None
         self.failure_threshold = failure_threshold
         self.replication_factor = replication_factor
         #: Connections each SocketTransport keeps per node (= concurrent
@@ -203,7 +228,10 @@ class CacheCluster:
         self._failures: Dict[str, int] = {}
         self._suspects: Set[str] = set()
         if node_names is None:
-            node_names = [f"cache{i}" for i in range(node_count)]
+            if self._node_addresses is not None:
+                node_names = sorted(self._node_addresses)
+            else:
+                node_names = [f"cache{i}" for i in range(node_count)]
         try:
             for name in node_names:
                 self._start_node(name, capacity_bytes_per_node, self._clock)
@@ -212,7 +240,7 @@ class CacheCluster:
             # and threads) when a later node fails to come up.
             self._teardown_nodes()
             raise
-        self.ring = ConsistentHashRing(nodes=list(self._servers), virtual_nodes=virtual_nodes)
+        self.ring = ConsistentHashRing(nodes=list(self._transports), virtual_nodes=virtual_nodes)
         if invalidation_bus is not None:
             self.attach_invalidation_bus(invalidation_bus)
 
@@ -407,13 +435,26 @@ class CacheCluster:
         self._servers.clear()
         self._stream_guards.clear()
 
-    def _start_node(self, name: str, capacity_bytes: int, clock: Clock) -> CacheServer:
+    def _start_node(
+        self, name: str, capacity_bytes: int, clock: Clock
+    ) -> Optional[CacheServer]:
+        if self._node_addresses is not None:
+            # Client-only cluster: the node runs elsewhere; just dial it.
+            self._transports[name] = SocketTransport(
+                self._node_addresses[name],
+                name=name,
+                pool_size=self.socket_pool_size,
+                timeout_seconds=self.rpc_timeout_seconds,
+                pipelined=self.socket_pipelined,
+            )
+            return None
         server = CacheServer(name=name, capacity_bytes=capacity_bytes, clock=clock)
         self._servers[name] = server
-        if self.transport_kind == "socket":
+        if self.transport_kind != "inprocess":
             process = CacheServerProcess(
                 server,
                 simulated_latency_seconds=self.simulated_rpc_latency_seconds,
+                style=self.server_style,
             )
             self._processes[name] = process
             try:
@@ -422,6 +463,7 @@ class CacheCluster:
                     name=name,
                     pool_size=self.socket_pool_size,
                     timeout_seconds=self.rpc_timeout_seconds,
+                    pipelined=self.socket_pipelined,
                 )
             except BaseException:
                 # Connecting failed: stop the just-started node instead of

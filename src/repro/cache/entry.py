@@ -6,6 +6,7 @@ import pickle
 from dataclasses import dataclass
 from typing import Any, FrozenSet, Optional
 
+from repro._compat import DATACLASS_SLOTS
 from repro.db.invalidation import InvalidationTag
 from repro.interval import Interval
 
@@ -30,7 +31,7 @@ def estimate_size(key: str, value: Any) -> int:
     return len(key.encode()) + value_bytes + ENTRY_OVERHEAD_BYTES
 
 
-@dataclass
+@dataclass(**DATACLASS_SLOTS)
 class CacheEntry:
     """One version of one cached key.
 
@@ -71,7 +72,7 @@ class CacheEntry:
         return Interval(self.interval.lo, known_through + 1)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class EntryRecord:
     """One cache-entry version in transit between nodes (key migration).
 
@@ -88,7 +89,7 @@ class EntryRecord:
     tags: FrozenSet[InvalidationTag] = frozenset()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class LookupRequest:
     """One element of a batched (multi-key) cache lookup.
 
@@ -105,9 +106,15 @@ class LookupRequest:
     probe: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class LookupResult:
-    """Outcome of a cache lookup."""
+    """Outcome of a cache lookup.
+
+    Slotted (with the other wire-crossing records above) where the
+    interpreter supports it: lookup results are created once per cacheable
+    call and pickled across the socket transports, so skipping the
+    per-instance ``__dict__`` pays on both allocation and codec time.
+    """
 
     hit: bool
     key: str

@@ -1,75 +1,89 @@
-"""Cache nodes as real networked servers (TCP + length-prefixed frames).
+"""Cache nodes as real networked servers (TCP, framed wire protocol).
 
 The paper deploys cache nodes as standalone servers that application servers
 reach over a gigabit LAN.  This module provides that topology for the
 reproduction:
 
-* :class:`CacheServerProcess` serves one :class:`CacheServer` over TCP.  It
-  owns a listening socket and a dedicated service thread per node (plus one
-  handler thread per accepted connection), standing in for the separate
-  cache-server process of a production deployment while remaining debuggable
-  in a single Python process.  Shutdown is graceful: in-flight requests
-  finish, then every socket is closed and the threads are joined.
-* :class:`SocketTransport` is the client side: a
-  :class:`repro.comm.transport.CacheTransport` that speaks the framed
-  protocol over a small pool of persistent connections.  It is what a
-  :class:`repro.cache.cluster.CacheCluster` built with ``transport="socket"``
-  routes operations (and the invalidation stream) through.
+* :class:`CacheServerProcess` serves one :class:`CacheServer` over TCP, with
+  a choice of two engines.  ``style="threaded"`` (the default) dedicates one
+  handler thread to each accepted connection — simple, debuggable, and how
+  the server has always run.  ``style="eventloop"`` serves *every*
+  connection from one ``selectors``-based loop thread: sockets are
+  non-blocking, partial frames are reassembled per connection, decoded
+  requests are dispatched to a small worker pool, and responses are written
+  back **as they finish** — a slow ``extract_entries`` never head-of-line
+  blocks a ``lookup`` pipelined on the same connection.  Per-connection
+  backpressure bounds the number of requests in flight: a connection that
+  exceeds ``max_queued_per_connection`` stops being read until its backlog
+  drains, so one firehose client cannot swamp the worker pool.
+* :class:`SocketTransport` is the client side, in two generations.  The
+  *pooled* mode (``pipelined=False``) keeps up to ``pool_size`` legacy
+  one-request-in-flight connections.  The *pipelined* mode
+  (``pipelined=True``) multiplexes any number of outstanding RPCs over
+  ``mux_connections`` (default 1) sockets: each caller registers a
+  per-request :class:`repro.comm.wire.ResponseSlot`, one reader thread per
+  connection demultiplexes responses by ``request_id``, and the socket
+  count stays constant no matter how many client threads share the
+  transport.
 
-Concurrency
------------
-The request path is concurrent end to end.  Server side, each accepted
-connection gets its own handler thread and dispatch takes **no**
-process-level lock: thread safety lives inside :class:`CacheServer` (one
-reentrant lock per server), so two connections' requests interleave at
-operation granularity instead of queueing behind a connection-level mutex.
-Client side, :class:`SocketTransport` keeps up to ``pool_size`` connections
-per node: each RPC checks a connection out (dialling lazily on first use),
-so ``pool_size`` client threads have ``pool_size`` RPCs genuinely in flight
-where the previous design serialized them all behind one socket.  Every
-socket — both ends — sets ``TCP_NODELAY`` (the frames are far smaller than
-a segment, so Nagle would add a delayed-ACK round trip to every RPC) and the
-client applies a configurable connect/read timeout, so a hung node surfaces
-as :class:`CacheNodeUnreachableError` instead of blocking a worker forever.
-
-``CacheServerProcess(simulated_latency_seconds=...)`` optionally sleeps that
-long before serving each request, modelling the LAN round trip of the
-paper's gigabit testbed.  On a loopback interface an RPC completes in tens
-of microseconds and a single client thread already saturates one core, so
-without a modelled network there is nothing for concurrency to overlap; with
-it, the throughput-vs-threads benchmark measures exactly what the pool
-provides — K overlapping in-flight requests per node.
+Both engines of the server accept both client generations on the same port:
+the framing is detected from the first byte of each connection (see
+:mod:`repro.comm.wire`).
 
 Wire protocol
 -------------
-Every message — request or response — is one *frame*: a 4-byte big-endian
-unsigned length followed by that many bytes of payload, in the spirit of the
-length-delimited framing used for streaming structured data over plain
-sockets.  A request payload decodes to ``(op, args)`` where ``op`` names a
-cache operation (``"lookup"``, ``"multi_lookup"``, ``"put"``, ``"probe"``,
-``"was_ever_stored"``, ``"evict_stale"``, ``"clear"``, ``"stats"``,
-``"reset_stats"``, ``"extract_entries"``, ``"install_entries"``,
-``"discard_keys"``, ``"keys"``, ``"watermark"``, ``"invalidate"``, ``"note_timestamp"``,
-``"ping"``) and ``args`` is a tuple of its positional arguments.  A response payload decodes
-to ``("ok", value)`` or ``("err", message)``.  Payloads are encoded with
-:mod:`pickle` because cached values are arbitrary Python objects (query-result
-rows, tuples, frozensets of invalidation tags) that must round-trip exactly;
-both endpoints of the simulated deployment are trusted, which is the standard
-caveat for pickle-based RPC.
+Legacy frames are a 4-byte big-endian length plus a pickled payload; a
+request payload decodes to ``(op, args)`` and a response to ``("ok", value)``
+or ``("err", message)``.  Multiplexed frames carry a struct-packed
+``(request_id, opcode, length)`` header (``!QBI``); the opcode names the
+operation numerically on requests and carries ``OP_OK``/``OP_ERR`` on
+responses, whose body is the bare result (or error string).  Payloads are
+pickled (protocol 5) because cached values are arbitrary Python objects that
+must round-trip exactly; both endpoints of the simulated deployment are
+trusted, the standard caveat for pickle-based RPC.  No path concatenates a
+header onto a payload: frames are written as buffer vectors with ``sendmsg``
+gather I/O (:func:`repro.comm.wire.send_buffers`).
+
+``CacheServerProcess(simulated_latency_seconds=...)`` models the LAN round
+trip of the paper's gigabit testbed.  The threaded engine sleeps in the
+handler thread before serving (concurrent connections overlap their modelled
+latency, one thread each); the event-loop engine instead *delays the
+response* on a timer wheel inside the loop, so a thousand in-flight modelled
+round trips cost zero threads — the same modelling decision an asynchronous
+server would force in production.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import pickle
+import selectors
 import socket
-import struct
 import threading
 import time
-from typing import FrozenSet, List, Optional, Sequence, Tuple
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.cache.entry import EntryRecord, LookupRequest, LookupResult
 from repro.cache.server import CacheServer, CacheServerStats
+from repro.comm import wire
 from repro.comm.multicast import InvalidationMessage
+from repro.comm.wire import (
+    LEGACY_HEADER,
+    MAX_FRAME_BYTES,
+    MUX_HEADER,
+    MUX_MAGIC,
+    OP_ERR,
+    OP_NAMES,
+    OP_OK,
+    OPCODES,
+    FLAG_OOB,
+    FrameAssembler,
+    ResponseSlot,
+    recv_exactly,
+)
 from repro.db.invalidation import InvalidationTag
 from repro.interval import Interval
 
@@ -79,17 +93,29 @@ __all__ = [
     "CacheTransportError",
     "CacheNodeUnreachableError",
     "DEFAULT_POOL_SIZE",
+    "DEFAULT_WORKER_THREADS",
+    "DEFAULT_MAX_QUEUED_PER_CONNECTION",
+    "SERVER_STYLES",
 ]
 
-#: Frame header: payload length as a 4-byte big-endian unsigned integer.
-_HEADER = struct.Struct("!I")
+#: Frame header of the legacy protocol (kept under its historical name; the
+#: multiplexed header lives in :mod:`repro.comm.wire`).
+_HEADER = LEGACY_HEADER
 
-#: Upper bound on a single frame, as a sanity check against corrupt headers.
-MAX_FRAME_BYTES = 256 * 1024 * 1024
-
-#: Default size of a :class:`SocketTransport` connection pool: how many RPCs
-#: one application server keeps in flight to one cache node.
+#: Default size of a pooled :class:`SocketTransport` connection pool: how
+#: many legacy one-in-flight RPCs one application server keeps going to one
+#: cache node.  Ignored in pipelined mode, where one socket multiplexes.
 DEFAULT_POOL_SIZE = 4
+
+#: Worker threads of the event-loop engine's dispatch pool.
+DEFAULT_WORKER_THREADS = 4
+
+#: Per-connection backpressure bound of the event-loop engine: a connection
+#: with this many requests in flight stops being read until responses drain.
+DEFAULT_MAX_QUEUED_PER_CONNECTION = 32
+
+#: Supported values of ``CacheServerProcess(style=...)``.
+SERVER_STYLES = ("threaded", "eventloop")
 
 
 def _set_nodelay(sock: socket.socket) -> None:
@@ -115,58 +141,47 @@ class CacheNodeUnreachableError(CacheTransportError):
 
 
 # ----------------------------------------------------------------------
-# Framing helpers (shared by both endpoints)
+# Legacy framing helpers (shared by both endpoints)
 # ----------------------------------------------------------------------
 def send_frame(sock: socket.socket, payload: object) -> None:
-    """Serialize ``payload`` and write it as one length-prefixed frame."""
-    data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-    sock.sendall(_HEADER.pack(len(data)) + data)
+    """Serialize ``payload`` and write it as one legacy frame.
+
+    The header and body go out as two gathered buffers (``sendmsg``), never
+    concatenated — the old ``header + data`` copied every payload twice.
+    """
+    wire.send_buffers(sock, wire.encode_legacy_frame(payload))
 
 
 def recv_frame(sock: socket.socket) -> object:
-    """Read one length-prefixed frame and deserialize its payload.
+    """Read one legacy frame and deserialize its payload.
 
     Raises :class:`ConnectionError` on EOF (orderly shutdown of the peer).
     """
-    header = _recv_exactly(sock, _HEADER.size)
+    header = recv_exactly(sock, _HEADER.size)
     (length,) = _HEADER.unpack(header)
     if length > MAX_FRAME_BYTES:
         raise CacheTransportError(f"oversized frame: {length} bytes")
-    return pickle.loads(_recv_exactly(sock, length))
-
-
-def _recv_exactly(sock: socket.socket, count: int) -> bytes:
-    chunks: List[bytes] = []
-    remaining = count
-    while remaining:
-        chunk = sock.recv(remaining)
-        if not chunk:
-            raise ConnectionError("connection closed by peer")
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
+    return pickle.loads(recv_exactly(sock, length))
 
 
 # ----------------------------------------------------------------------
 # Server side
 # ----------------------------------------------------------------------
 class CacheServerProcess:
-    """One cache node served over TCP in its own thread.
+    """One cache node served over TCP in its own thread(s).
 
-    Wraps a :class:`CacheServer` and exposes it at a TCP endpoint.  Several
-    client connections (application servers, or several pooled connections
-    of one server) may be open at once, each served by its own handler
-    thread; dispatch takes no process-level lock — concurrent requests are
-    synchronized by the :class:`CacheServer`'s own reentrant lock, so the
-    socket path has exactly the same thread-safety contract as in-process
-    callers.  The wrapped server object remains reachable via :attr:`server`
-    for tests and introspection, but live traffic goes through the socket.
+    Wraps a :class:`CacheServer` and exposes it at a TCP endpoint.  Dispatch
+    takes no process-level lock — concurrent requests are synchronized by
+    the :class:`CacheServer`'s own reentrant lock, so the socket path has
+    exactly the same thread-safety contract as in-process callers.  The
+    wrapped server object remains reachable via :attr:`server` for tests and
+    introspection, but live traffic goes through the socket.
 
-    ``simulated_latency_seconds`` models the network round trip of a real
-    deployment (the paper's cache nodes sit across a gigabit LAN): each
-    request sleeps that long before being served, without holding any lock,
-    so concurrent in-flight requests overlap their latency exactly as they
-    would on a real network.  The default of 0 keeps unit tests fast.
+    ``style`` selects the serving engine (see the module docstring):
+    ``"threaded"`` is one handler thread per connection; ``"eventloop"`` is
+    one selector loop plus a ``worker_threads``-wide dispatch pool, with
+    out-of-order response completion and per-connection backpressure
+    (``max_queued_per_connection``).  Both speak both wire framings.
     """
 
     def __init__(
@@ -175,12 +190,28 @@ class CacheServerProcess:
         host: str = "127.0.0.1",
         port: int = 0,
         simulated_latency_seconds: float = 0.0,
+        style: str = "threaded",
+        worker_threads: int = DEFAULT_WORKER_THREADS,
+        max_queued_per_connection: int = DEFAULT_MAX_QUEUED_PER_CONNECTION,
     ) -> None:
+        if style not in SERVER_STYLES:
+            raise ValueError(f"unknown server style {style!r}; expected one of {SERVER_STYLES}")
+        if worker_threads < 1:
+            raise ValueError("worker_threads must be positive")
+        if max_queued_per_connection < 1:
+            raise ValueError("max_queued_per_connection must be positive")
         self.server = server
+        self.style = style
         self.simulated_latency_seconds = simulated_latency_seconds
         self._listener = socket.create_server((host, port))
         self.address: Tuple[str, int] = self._listener.getsockname()[:2]
         self._running = True
+        self._engine: Optional[_EventLoopEngine] = None
+        if style == "eventloop":
+            self._engine = _EventLoopEngine(
+                self, self._listener, worker_threads, max_queued_per_connection
+            )
+            return
         #: Guards the connection/handler registries (mutated by the accept
         #: loop, read by shutdown).
         self._registry_lock = threading.Lock()
@@ -196,6 +227,18 @@ class CacheServerProcess:
         """True until :meth:`shutdown` completes."""
         return self._running
 
+    @property
+    def backpressure_pauses(self) -> int:
+        """Times the event-loop engine paused reading a connection (0 when threaded)."""
+        return self._engine.backpressure_pauses if self._engine is not None else 0
+
+    @property
+    def max_in_flight_per_connection(self) -> int:
+        """High-water mark of queued requests on any one connection (event loop)."""
+        return self._engine.max_in_flight if self._engine is not None else 0
+
+    # ------------------------------------------------------------------
+    # Threaded engine
     # ------------------------------------------------------------------
     def _accept_loop(self) -> None:
         while self._running:
@@ -222,35 +265,19 @@ class CacheServerProcess:
 
     def _serve_connection(self, connection: socket.socket) -> None:
         try:
-            while self._running:
-                try:
-                    request = recv_frame(connection)
-                except (ConnectionError, OSError):
-                    return  # client went away or shutdown closed the socket
-                except CacheTransportError:
-                    return  # corrupt frame header: the stream cannot resync
-                except Exception as exc:
-                    # Undecodable payload; the frame was consumed in full, so
-                    # the stream is still in sync — report and keep serving.
-                    try:
-                        send_frame(connection, ("err", f"bad request frame: {exc}"))
-                    except OSError:
-                        return
-                    continue
-                if self.simulated_latency_seconds > 0.0:
-                    # Lock-free by construction: concurrent requests overlap
-                    # their modelled network time like real round trips.
-                    time.sleep(self.simulated_latency_seconds)
-                try:
-                    op, args = request
-                    result = self._dispatch(op, args)
-                    response = ("ok", result)
-                except Exception as exc:  # server must survive bad requests
-                    response = ("err", f"{type(exc).__name__}: {exc}")
-                try:
-                    send_frame(connection, response)
-                except OSError:
-                    return
+            # The first byte tells the two client generations apart: the
+            # multiplexed protocol opens with MUX_MAGIC, which can never
+            # begin a sane legacy length header.
+            try:
+                first = connection.recv(1)
+            except OSError:
+                return
+            if not first:
+                return
+            if first[0] == MUX_MAGIC:
+                self._serve_mux_connection(connection)
+            else:
+                self._serve_legacy_connection(connection, first)
         finally:
             _close_quietly(connection)
             # Drop this connection from the registries so a client pool
@@ -262,6 +289,105 @@ class CacheServerProcess:
                 current = threading.current_thread()
                 if current in self._handler_threads:
                     self._handler_threads.remove(current)
+
+    def _serve_legacy_connection(
+        self, connection: socket.socket, prefix: Optional[bytes]
+    ) -> None:
+        while self._running:
+            try:
+                if prefix is not None:
+                    header = prefix + recv_exactly(connection, _HEADER.size - len(prefix))
+                    prefix = None
+                else:
+                    header = recv_exactly(connection, _HEADER.size)
+                (length,) = _HEADER.unpack(header)
+                if length > MAX_FRAME_BYTES:
+                    return  # corrupt frame header: the stream cannot resync
+                body = recv_exactly(connection, length)
+            except (ConnectionError, OSError):
+                return  # client went away or shutdown closed the socket
+            try:
+                request = pickle.loads(body)
+            except Exception as exc:
+                # Undecodable payload; the frame was consumed in full, so
+                # the stream is still in sync — report and keep serving.
+                try:
+                    send_frame(connection, ("err", f"bad request frame: {exc}"))
+                except OSError:
+                    return
+                continue
+            if self.simulated_latency_seconds > 0.0:
+                # Lock-free by construction: concurrent requests overlap
+                # their modelled network time like real round trips.
+                time.sleep(self.simulated_latency_seconds)
+            try:
+                op, args = request
+                result = self._dispatch(op, args)
+                response = ("ok", result)
+            except Exception as exc:  # server must survive bad requests
+                response = ("err", f"{type(exc).__name__}: {exc}")
+            try:
+                send_frame(connection, response)
+            except OSError:
+                return
+
+    def _serve_mux_connection(self, connection: socket.socket) -> None:
+        """Multiplexed framing on the threaded engine.
+
+        Requests are served in arrival order on this connection (the
+        event-loop engine is the one that completes out of order); the
+        response still carries the request id, so a pipelined client works
+        against either engine.
+        """
+        while self._running:
+            try:
+                header = recv_exactly(connection, MUX_HEADER.size)
+                request_id, opcode, length = MUX_HEADER.unpack(header)
+                if length > MAX_FRAME_BYTES:
+                    return
+                body = recv_exactly(connection, length)
+            except (ConnectionError, OSError):
+                return
+            if self.simulated_latency_seconds > 0.0:
+                time.sleep(self.simulated_latency_seconds)
+            buffers = self._execute_mux(request_id, opcode, memoryview(body))
+            try:
+                wire.send_buffers(connection, buffers)
+            except OSError:
+                return
+
+    # ------------------------------------------------------------------
+    # Dispatch (shared by both engines)
+    # ------------------------------------------------------------------
+    def _execute_mux(
+        self, request_id: int, opcode: int, body: memoryview
+    ) -> List[wire.Buffer]:
+        """Serve one multiplexed request; returns the response frame buffers."""
+        try:
+            op = OP_NAMES.get(opcode & ~FLAG_OOB)
+            if op is None:
+                raise ValueError(f"unknown cache operation opcode {opcode & ~FLAG_OOB}")
+            args = wire.decode_body(opcode & FLAG_OOB, body)
+            result = self._dispatch(op, args)
+            return wire.encode_mux_frame(request_id, OP_OK, result)
+        except Exception as exc:  # server must survive bad requests
+            return wire.encode_mux_frame(
+                request_id, OP_ERR, f"{type(exc).__name__}: {exc}"
+            )
+
+    def _execute_legacy(self, body: memoryview) -> List[wire.Buffer]:
+        """Serve one legacy request (event-loop path); returns frame buffers."""
+        try:
+            request = pickle.loads(body)
+        except Exception as exc:
+            return wire.encode_legacy_frame(("err", f"bad request frame: {exc}"))
+        try:
+            op, args = request
+            result = self._dispatch(op, args)
+            response = ("ok", result)
+        except Exception as exc:
+            response = ("err", f"{type(exc).__name__}: {exc}")
+        return wire.encode_legacy_frame(response)
 
     def _dispatch(self, op: str, args: tuple) -> object:
         server = self.server
@@ -310,6 +436,11 @@ class CacheServerProcess:
         Idempotent, and safe to call while handler threads are mid-request:
         closing a connection wakes its handler out of ``recv``.
         """
+        if self._engine is not None:
+            if self._running:
+                self._running = False
+                self._engine.shutdown()
+            return
         with self._registry_lock:
             if not self._running:
                 return
@@ -331,32 +462,588 @@ class CacheServerProcess:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         host, port = self.address
-        return f"CacheServerProcess({self.server.name!r} @ {host}:{port})"
+        return f"CacheServerProcess({self.server.name!r} @ {host}:{port}, {self.style})"
+
+
+# ----------------------------------------------------------------------
+# Event-loop engine
+# ----------------------------------------------------------------------
+class _EventLoopConnection:
+    """Per-connection state of the event-loop engine."""
+
+    __slots__ = (
+        "sock",
+        "assembler",
+        "pending",
+        "outgoing",
+        "in_flight",
+        "paused",
+        "closed",
+        "want_write",
+    )
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.assembler = FrameAssembler()
+        #: Parsed frames not yet handed to the worker pool (they queue here
+        #: while the connection is over its backpressure bound).
+        self.pending: deque = deque()
+        #: Encoded-but-unwritten response buffers (memoryviews mid-write).
+        self.outgoing: deque = deque()
+        #: Requests dispatched off this connection whose responses have not
+        #: been fully written yet — the quantity backpressure bounds.
+        self.in_flight = 0
+        self.paused = False
+        self.closed = False
+        self.want_write = False
+
+
+class _EventLoopEngine:
+    """A ``selectors`` loop serving every connection of one cache node.
+
+    One thread owns the selector: it accepts, reads, reassembles frames,
+    and writes responses.  Decoded requests are dispatched on a small
+    :class:`ThreadPoolExecutor` (CPython threads; the cache server work is
+    lock-synchronized anyway) and completed responses come back to the loop
+    through a thread-safe outbox plus a socketpair wakeup, so responses are
+    written strictly by the loop thread, in completion order — **not**
+    arrival order.  Modelled latency is a timer heap inside the loop: a
+    delayed response occupies no thread while it "travels".
+
+    Backpressure: when a connection's :attr:`_EventLoopConnection.in_flight`
+    reaches ``max_queued_per_connection``, its read interest is dropped —
+    the kernel socket buffer then fills and the client's sends stall, which
+    is TCP doing the flow control — and reading resumes once the backlog
+    drains below the bound.
+    """
+
+    #: How much to ask the kernel for per readable event.
+    _RECV_SIZE = 256 * 1024
+
+    #: Operations dispatched to the worker pool instead of running inline
+    #: on the loop thread.  The request path (lookups, puts, probes, the
+    #: invalidation stream) is microseconds of lock-synchronized work — a
+    #: pool handoff costs more than the op — so it normally runs inline,
+    #: reactor style.  Maintenance ops can touch the whole store (an
+    #: eviction sweep scans everything under the server lock), so they go
+    #: to the pool — and while any is in flight the request path detours to
+    #: the pool too (see ``_dispatch_pending``), so the loop thread never
+    #: queues on a lock a whole-store scan is holding.  This split is what
+    #: lets a fast lookup overtake a slow extract pipelined on the same
+    #: connection.
+    _POOLED_OPS = frozenset(
+        {"extract_entries", "install_entries", "discard_keys", "keys", "clear",
+         "evict_stale"}
+    )
+    _POOLED_OPCODES = frozenset(OPCODES[op] for op in _POOLED_OPS)
+
+    def __init__(
+        self,
+        process: CacheServerProcess,
+        listener: socket.socket,
+        worker_threads: int,
+        max_queued_per_connection: int,
+    ) -> None:
+        self._process = process
+        self._listener = listener
+        self._max_queued = max_queued_per_connection
+        self._selector = selectors.DefaultSelector()
+        listener.setblocking(False)
+        self._selector.register(listener, selectors.EVENT_READ, None)
+        #: Loop wakeup channel: workers write one byte after posting to the
+        #: outbox; the loop drains it and the outbox together.
+        self._wake_recv, self._wake_send = socket.socketpair()
+        self._wake_recv.setblocking(False)
+        self._wake_send.setblocking(False)
+        self._selector.register(self._wake_recv, selectors.EVENT_READ, None)
+        self._outbox_lock = threading.Lock()
+        self._outbox: deque = deque()  # (connection, response_buffers)
+        #: (deliver_at, seq, connection, buffers) — modelled-latency timers.
+        self._timers: list = []
+        self._timer_seq = itertools.count()
+        self._pool = ThreadPoolExecutor(
+            max_workers=worker_threads,
+            thread_name_prefix=f"cache-worker-{process.server.name}",
+        )
+        #: Maintenance ops currently on the pool.  While nonzero, the
+        #: request path detours to the pool as well: a whole-store op may
+        #: be holding the CacheServer lock, and the loop thread must never
+        #: wait on it (a blocked reactor stalls *every* connection).
+        self._pooled_active = 0
+        self._pooled_lock = threading.Lock()
+        self.backpressure_pauses = 0
+        self.max_in_flight = 0
+        self._thread = threading.Thread(
+            target=self._run, name=f"cache-loop-{process.server.name}", daemon=True
+        )
+        self._thread.start()
+
+    # -- loop ------------------------------------------------------------
+    def _run(self) -> None:
+        try:
+            while self._process._running:
+                if self._timers:
+                    remaining = self._timers[0][0] - time.monotonic()
+                    if remaining <= 0.0:
+                        self._fire_timers()
+                        continue
+                    if remaining < 0.002:
+                        # epoll rounds its timeout up to whole milliseconds,
+                        # which would stretch a sub-millisecond modelled RTT
+                        # to 1 ms+: poll for I/O, then park briefly.
+                        events = self._selector.select(0)
+                        if not events:
+                            time.sleep(min(remaining, 2.5e-4))
+                            continue
+                    else:
+                        events = self._selector.select(remaining)
+                else:
+                    events = self._selector.select(None)
+                for key, mask in events:
+                    if key.fileobj is self._listener:
+                        self._accept()
+                    elif key.fileobj is self._wake_recv:
+                        self._drain_wakeups()
+                    else:
+                        self._service(key.data, mask)
+                self._fire_timers()
+        finally:
+            self._teardown()
+
+    def _accept(self) -> None:
+        while True:
+            try:
+                sock, _peer = self._listener.accept()
+            except (BlockingIOError, OSError):
+                return
+            _set_nodelay(sock)
+            sock.setblocking(False)
+            connection = _EventLoopConnection(sock)
+            self._selector.register(sock, selectors.EVENT_READ, connection)
+
+    def _drain_wakeups(self) -> None:
+        try:
+            while self._wake_recv.recv(4096):
+                pass
+        except (BlockingIOError, InterruptedError):
+            pass
+        except OSError:
+            return
+        while True:
+            with self._outbox_lock:
+                if not self._outbox:
+                    return
+                connection, buffers = self._outbox.popleft()
+            self._queue_response(connection, buffers)
+
+    def _wake(self) -> None:
+        try:
+            self._wake_send.send(b"\x00")
+        except (BlockingIOError, InterruptedError):
+            pass  # a wakeup is already pending; that is enough
+        except OSError:
+            pass  # shutting down
+
+    def _fire_timers(self) -> None:
+        now = time.monotonic()
+        while self._timers and self._timers[0][0] <= now:
+            _at, _seq, connection, buffers = heapq.heappop(self._timers)
+            self._write_or_queue(connection, buffers)
+
+    # -- per-connection I/O ---------------------------------------------
+    def _service(self, connection: _EventLoopConnection, mask: int) -> None:
+        if mask & selectors.EVENT_WRITE:
+            self._flush(connection)
+        if connection.closed:
+            return
+        if mask & selectors.EVENT_READ:
+            self._read(connection)
+
+    def _read(self, connection: _EventLoopConnection) -> None:
+        try:
+            data = connection.sock.recv(self._RECV_SIZE)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._close_connection(connection)
+            return
+        if not data:
+            self._close_connection(connection)
+            return
+        try:
+            frames = connection.assembler.feed(data)
+        except ValueError:
+            # Oversized/corrupt header: the stream cannot resync.
+            self._close_connection(connection)
+            return
+        connection.pending.extend(frames)
+        self._dispatch_pending(connection)
+
+    def _dispatch_pending(self, connection: _EventLoopConnection) -> None:
+        """Serve queued frames, up to the backpressure bound.
+
+        The request path runs inline on the loop thread (the op is cheaper
+        than a pool handoff); maintenance ops and oversized payloads go to
+        the worker pool so they cannot stall the reactor, and while one is
+        in flight the request path follows it there (it may be holding the
+        server lock; the loop must stay free to read, write, and accept) —
+        that split is what lets a fast lookup overtake a slow extract on
+        one connection.
+        Frames beyond the bound stay in ``connection.pending`` and the
+        connection stops being read; response completions re-enter here, so
+        the backlog drains in arrival order as capacity frees up.
+        """
+        mode = connection.assembler.mode
+        while connection.pending and connection.in_flight < self._max_queued:
+            request_id, opcode, body = connection.pending.popleft()
+            connection.in_flight += 1
+            if connection.in_flight > self.max_in_flight:
+                self.max_in_flight = connection.in_flight
+            pooled_op = self._should_pool(mode, opcode, body)
+            if pooled_op or self._pooled_active:
+                # Inline-class ops also detour to the pool while any
+                # maintenance op is in flight: it may hold the server lock,
+                # and the loop must never block on it.
+                if pooled_op:
+                    with self._pooled_lock:
+                        self._pooled_active += 1
+                self._pool.submit(
+                    self._work, connection, mode, request_id, opcode, body, pooled_op
+                )
+            elif mode == "mux":
+                self._queue_response(
+                    connection, self._process._execute_mux(request_id or 0, opcode, body)
+                )
+            else:
+                self._queue_response(connection, self._process._execute_legacy(body))
+        should_pause = bool(connection.pending) or connection.in_flight >= self._max_queued
+        if should_pause and not connection.paused:
+            connection.paused = True
+            self.backpressure_pauses += 1
+            self._update_interest(connection)
+
+    #: Bodies above this size are decoded and served on the pool regardless
+    #: of op (a huge install/put payload must not stall the loop).
+    _INLINE_BODY_LIMIT = 64 * 1024
+
+    #: Op-name byte tags used to sniff pooled ops out of a legacy frame
+    #: (the mux header names the op; a legacy frame buries it in pickle —
+    #: the tuple's first element, always within the first few dozen bytes).
+    _LEGACY_POOL_TAGS = tuple(op.encode() for op in sorted(_POOLED_OPS))
+
+    def _should_pool(self, mode: str, opcode: int, body: memoryview) -> bool:
+        if len(body) > self._INLINE_BODY_LIMIT:
+            return True
+        if mode == "mux":
+            return (opcode & ~FLAG_OOB) in self._POOLED_OPCODES
+        head = bytes(body[:64])
+        return any(tag in head for tag in self._LEGACY_POOL_TAGS)
+
+    def _work(
+        self,
+        connection: _EventLoopConnection,
+        mode: str,
+        request_id: Optional[int],
+        opcode: int,
+        body: memoryview,
+        tracked: bool = False,
+    ) -> None:
+        """Worker-pool entry: serve one request, post the response."""
+        try:
+            process = self._process
+            if mode == "mux":
+                buffers = process._execute_mux(request_id or 0, opcode, body)
+            else:
+                buffers = process._execute_legacy(body)
+            with self._outbox_lock:
+                self._outbox.append((connection, buffers))
+            self._wake()
+        finally:
+            if tracked:
+                with self._pooled_lock:
+                    self._pooled_active -= 1
+
+    def _queue_response(
+        self, connection: _EventLoopConnection, buffers: List[wire.Buffer]
+    ) -> None:
+        """Route one completed response: deliver now, or after modelled RTT."""
+        latency = self._process.simulated_latency_seconds
+        if latency > 0.0:
+            heapq.heappush(
+                self._timers,
+                (time.monotonic() + latency, next(self._timer_seq), connection, buffers),
+            )
+            return
+        self._write_or_queue(connection, buffers)
+
+    def _write_or_queue(
+        self, connection: _EventLoopConnection, buffers: List[wire.Buffer]
+    ) -> None:
+        if connection.closed:
+            self._response_done(connection)
+            return
+        connection.outgoing.extend(memoryview(b).cast("B") for b in buffers if len(b))
+        connection.outgoing.append(None)  # response boundary marker
+        self._flush(connection)
+
+    def _flush(self, connection: _EventLoopConnection) -> None:
+        """Write as much queued output as the socket accepts right now."""
+        out = connection.outgoing
+        while out:
+            views: List[memoryview] = []
+            for item in out:
+                if item is None:
+                    if not views:
+                        continue
+                    break
+                views.append(item)
+                if len(views) >= 32:
+                    break
+            if not views:
+                # Only boundary markers left: account them and stop.
+                while out and out[0] is None:
+                    out.popleft()
+                    self._response_done(connection)
+                continue
+            try:
+                sent = connection.sock.sendmsg(views)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                self._close_connection(connection)
+                return
+            while out and sent:
+                item = out[0]
+                if item is None:
+                    out.popleft()
+                    self._response_done(connection)
+                    continue
+                if sent >= len(item):
+                    sent -= len(item)
+                    out.popleft()
+                else:
+                    out[0] = item[sent:]
+                    sent = 0
+            if out and out[0] is not None:
+                break  # socket is full
+        while out and out[0] is None:
+            out.popleft()
+            self._response_done(connection)
+        want_write = bool(out)
+        if want_write != connection.want_write:
+            connection.want_write = want_write
+            self._update_interest(connection)
+
+    def _response_done(self, connection: _EventLoopConnection) -> None:
+        connection.in_flight -= 1
+        if connection.closed:
+            return
+        if connection.pending:
+            self._dispatch_pending(connection)
+        if (
+            connection.paused
+            and not connection.pending
+            and connection.in_flight < self._max_queued
+        ):
+            connection.paused = False
+            self._update_interest(connection)
+
+    def _update_interest(self, connection: _EventLoopConnection) -> None:
+        events = 0
+        if not connection.paused:
+            events |= selectors.EVENT_READ
+        if connection.want_write:
+            events |= selectors.EVENT_WRITE
+        try:
+            if events:
+                self._selector.modify(connection.sock, events, connection)
+            else:
+                # Fully quiescent (paused, nothing to write): deregister
+                # until a response completion changes the picture.
+                self._selector.unregister(connection.sock)
+        except (KeyError, ValueError):
+            if events:
+                try:
+                    self._selector.register(connection.sock, events, connection)
+                except (KeyError, ValueError, OSError):
+                    pass
+        except OSError:
+            self._close_connection(connection)
+
+    def _close_connection(self, connection: _EventLoopConnection) -> None:
+        if connection.closed:
+            return
+        connection.closed = True
+        try:
+            self._selector.unregister(connection.sock)
+        except (KeyError, ValueError, OSError):
+            pass
+        _close_quietly(connection.sock)
+        connection.outgoing.clear()
+        connection.pending.clear()
+
+    # -- lifecycle -------------------------------------------------------
+    def shutdown(self) -> None:
+        """Stop the loop (called with ``process._running`` already False)."""
+        self._wake()
+        self._thread.join(timeout=5.0)
+        self._pool.shutdown(wait=True)
+
+    def _teardown(self) -> None:
+        """Loop-thread exit path: close every socket and the selector."""
+        for key in list(self._selector.get_map().values()):
+            fileobj = key.fileobj
+            if isinstance(key.data, _EventLoopConnection):
+                self._close_connection(key.data)
+            else:
+                try:
+                    self._selector.unregister(fileobj)
+                except (KeyError, ValueError):
+                    pass
+        _close_quietly(self._listener)
+        for sock in (self._wake_recv, self._wake_send):
+            try:
+                sock.close()
+            except OSError:
+                pass
+        self._selector.close()
 
 
 # ----------------------------------------------------------------------
 # Client side
 # ----------------------------------------------------------------------
+class _MuxConnection:
+    """One multiplexed client connection: many RPCs in flight, one socket.
+
+    Callers register a :class:`ResponseSlot` under a fresh ``request_id``,
+    write their frame (sends serialized by a per-connection lock; the
+    payloads themselves are encoded outside it), and block on their slot.
+    A dedicated reader thread demultiplexes responses by ``request_id``.
+    Any I/O failure — including a caller's wait timing out — poisons the
+    whole connection: every pending slot fails with
+    :class:`CacheNodeUnreachableError` and the owner dials a fresh
+    connection on the next call (a stream that lost a response can never
+    be trusted again, exactly like the pooled transport's discipline).
+    """
+
+    def __init__(self, sock: socket.socket, label: str, timeout: Optional[float]) -> None:
+        self._sock = sock
+        self._label = label
+        self._timeout = timeout
+        self._lock = threading.Lock()
+        self._send_lock = threading.Lock()
+        self._pending: Dict[int, ResponseSlot] = {}
+        self._ids = itertools.count(1)
+        self._dead: Optional[BaseException] = None
+        # The reader owns recv; callers only send and wait.  recv has no
+        # socket timeout (an idle connection is fine); caller timeouts are
+        # enforced on the slot wait.
+        sock.settimeout(None)
+        sock.sendall(bytes([MUX_MAGIC]))
+        self._reader = threading.Thread(
+            target=self._read_loop, name=f"mux-reader-{label}", daemon=True
+        )
+        self._reader.start()
+
+    @property
+    def dead(self) -> bool:
+        return self._dead is not None
+
+    def call(self, op: str, args: tuple) -> Tuple[bool, object]:
+        """One RPC: returns ``(ok, value_or_error_message)``."""
+        opcode = OPCODES.get(op)
+        if opcode is None:
+            # Fail fast, naming the op — no point paying a round trip for a
+            # request the server can only reject.  Same error class and
+            # message shape as the server-side rejection of the legacy path.
+            raise CacheTransportError(
+                f"cache node {self._label}: unknown cache operation {op!r}"
+            )
+        slot = ResponseSlot()
+        with self._lock:
+            if self._dead is not None:
+                raise CacheNodeUnreachableError(
+                    f"connection to {self._label} is dead: {self._dead}"
+                )
+            request_id = next(self._ids)
+            self._pending[request_id] = slot
+        buffers = wire.encode_mux_frame(request_id, opcode, args)
+        try:
+            with self._send_lock:
+                wire.send_buffers(self._sock, buffers)
+        except (ConnectionError, OSError) as exc:
+            self.fail(exc)
+            raise CacheNodeUnreachableError(
+                f"cache node {self._label} unreachable: {exc}"
+            ) from exc
+        if not slot.wait(self._timeout):
+            # The response stream is now untrustworthy (the reply may land
+            # after we stop waiting): poison the connection.
+            exc = CacheNodeUnreachableError(
+                f"cache node {self._label} timed out after {self._timeout}s"
+            )
+            self.fail(exc)
+            raise exc
+        if slot.error is not None:
+            raise CacheNodeUnreachableError(
+                f"cache node {self._label} unreachable: {slot.error}"
+            ) from slot.error
+        return slot.value  # type: ignore[return-value]
+
+    def _read_loop(self) -> None:
+        sock = self._sock
+        try:
+            while True:
+                header = recv_exactly(sock, MUX_HEADER.size)
+                request_id, opcode, length = MUX_HEADER.unpack(header)
+                if length > MAX_FRAME_BYTES:
+                    raise ConnectionError(f"oversized frame: {length} bytes")
+                body = recv_exactly(sock, length)
+                status = opcode & ~FLAG_OOB
+                value = wire.decode_body(opcode & FLAG_OOB, memoryview(body))
+                with self._lock:
+                    slot = self._pending.pop(request_id, None)
+                if slot is not None:
+                    slot.resolve((status == OP_OK, value))
+        except BaseException as exc:  # noqa: BLE001 - fanned out to callers
+            self.fail(exc)
+
+    def fail(self, exc: BaseException) -> None:
+        """Poison the connection: close it and fail every pending slot."""
+        with self._lock:
+            if self._dead is not None:
+                return
+            self._dead = exc
+            pending = list(self._pending.values())
+            self._pending.clear()
+        _close_quietly(self._sock)
+        for slot in pending:
+            slot.fail(exc)
+
+    def close(self) -> None:
+        self.fail(CacheNodeUnreachableError(f"connection to {self._label} closed"))
+
+
 class SocketTransport:
     """Framed-protocol client to one networked cache node.
 
-    Implements :class:`repro.comm.transport.CacheTransport` over a pool of
-    up to ``pool_size`` persistent TCP connections.  Each connection carries
-    one outstanding request at a time (the framed protocol's discipline), so
-    the pool bounds the number of concurrent in-flight RPCs to this node:
+    Implements :class:`repro.comm.transport.CacheTransport` in one of two
+    modes.  **Pooled** (``pipelined=False``): up to ``pool_size`` persistent
+    legacy connections, each carrying one outstanding request at a time —
     ``pool_size`` client threads proceed in parallel, further threads wait
-    for a connection to come free.  Connections are dialled lazily — the
-    constructor opens exactly one (to verify the endpoint and learn the
-    node's name) and the rest appear on demand under concurrent load.
+    for a connection to come free.  **Pipelined** (``pipelined=True``): the
+    multiplexed framing over ``mux_connections`` (default 1) sockets; every
+    client thread's RPC goes out immediately with its own ``request_id``
+    and a per-connection reader thread routes responses back, so in-flight
+    concurrency no longer costs a socket per thread.
 
-    Thread safety: fully thread-safe; any number of threads may issue RPCs
-    on one transport.  A connection that suffers any I/O failure is
-    discarded, never reused (the request may already be on the wire; a later
-    reply would desynchronize the stream), and the failure surfaces as
-    :class:`CacheNodeUnreachableError`.  ``connect_timeout_seconds`` bounds
-    dialling and ``timeout_seconds`` bounds each send/receive, so a hung
-    node cannot strand a worker thread.  :meth:`close` is idempotent and
-    closes every pooled connection.
+    Thread safety: fully thread-safe in both modes; any number of threads
+    may issue RPCs on one transport.  A connection that suffers any I/O
+    failure (or a response timeout) is discarded, never reused, and the
+    failure surfaces as :class:`CacheNodeUnreachableError`.
+    ``connect_timeout_seconds`` bounds dialling and ``timeout_seconds``
+    bounds each RPC, so a hung node cannot strand a worker thread.
+    :meth:`close` is idempotent.
     """
 
     def __init__(
@@ -366,23 +1053,35 @@ class SocketTransport:
         timeout_seconds: float = 30.0,
         connect_timeout_seconds: float = 5.0,
         pool_size: int = DEFAULT_POOL_SIZE,
+        pipelined: bool = False,
+        mux_connections: int = 1,
     ) -> None:
         if pool_size < 1:
             raise ValueError("pool_size must be positive")
+        if mux_connections < 1:
+            raise ValueError("mux_connections must be positive")
         self.address = address
         self.pool_size = pool_size
+        self.pipelined = pipelined
+        self.mux_connections = mux_connections
         self.timeout_seconds = timeout_seconds
         self.connect_timeout_seconds = connect_timeout_seconds
-        #: Guards the idle list and the closed flag (never held during I/O).
+        #: Guards the idle list / mux slots and the closed flag (never held
+        #: during I/O).
         self._lock = threading.Lock()
-        #: Bounds in-flight RPCs: one permit per pooled connection.
+        #: Bounds in-flight RPCs in pooled mode: one permit per connection.
         self._slots = threading.BoundedSemaphore(pool_size)
         self._idle: List[socket.socket] = []
+        self._mux: List[Optional[_MuxConnection]] = [None] * mux_connections
+        self._mux_rr = itertools.count()
         self._closed = False
         # Eager first dial: verify the endpoint now (the cluster relies on
         # construction failing fast for an unreachable node) and learn (or
         # verify) the node's name from the server itself.
-        self._checkin(self._dial())
+        if pipelined:
+            self._mux_connection(0)
+        else:
+            self._checkin(self._dial())
         self.name = name or self._call("ping")
 
     # ------------------------------------------------------------------
@@ -399,6 +1098,35 @@ class SocketTransport:
         sock.settimeout(self.timeout_seconds)
         return sock
 
+    # -- pipelined mode --------------------------------------------------
+    def _mux_connection(self, index: Optional[int] = None) -> _MuxConnection:
+        """The live mux connection for this call, dialling if necessary."""
+        if index is None:
+            index = next(self._mux_rr) % self.mux_connections
+        with self._lock:
+            if self._closed:
+                raise CacheNodeUnreachableError(f"transport to {self.address} is closed")
+            connection = self._mux[index]
+            if connection is not None and not connection.dead:
+                return connection
+        # Dial outside the lock; first thread to store the fresh connection
+        # wins, any race loser's dial is closed again.
+        fresh = _MuxConnection(
+            self._dial(), label=f"{getattr(self, 'name', None) or self.address}",
+            timeout=self.timeout_seconds,
+        )
+        with self._lock:
+            if self._closed:
+                fresh.close()
+                raise CacheNodeUnreachableError(f"transport to {self.address} is closed")
+            current = self._mux[index]
+            if current is not None and not current.dead:
+                fresh.close()
+                return current
+            self._mux[index] = fresh
+            return fresh
+
+    # -- pooled mode -----------------------------------------------------
     def _checkout(self) -> socket.socket:
         """An idle pooled connection, or a freshly dialled one."""
         with self._lock:
@@ -418,6 +1146,13 @@ class SocketTransport:
         _close_quietly(sock)  # closed while this call was in flight
 
     def _call(self, op: str, *args: object) -> object:
+        if self.pipelined:
+            ok, value = self._mux_connection().call(op, args)
+            if not ok:
+                raise CacheTransportError(
+                    f"cache node {getattr(self, 'name', None) or self.address}: {value}"
+                )
+            return value
         with self._slots:
             sock = self._checkout()
             try:
@@ -504,21 +1239,27 @@ class SocketTransport:
 
     # -- lifecycle ------------------------------------------------------
     def close(self) -> None:
-        """Close every pooled connection; idempotent.
+        """Close every connection; idempotent.
 
-        Calls already in flight finish their round trip (their connection is
-        closed when they check it back in); new calls fail immediately with
-        :class:`CacheNodeUnreachableError`.
+        Pooled calls already in flight finish their round trip (their
+        connection is closed when they check it back in); pipelined calls
+        in flight fail with :class:`CacheNodeUnreachableError`.  New calls
+        fail immediately.
         """
         with self._lock:
             self._closed = True
             idle, self._idle = self._idle, []
+            mux, self._mux = list(self._mux), [None] * self.mux_connections
         for sock in idle:
             _close_quietly(sock)
+        for connection in mux:
+            if connection is not None:
+                connection.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         host, port = self.address
-        return f"SocketTransport({self.name!r} @ {host}:{port})"
+        mode = "pipelined" if self.pipelined else f"pooled[{self.pool_size}]"
+        return f"SocketTransport({self.name!r} @ {host}:{port}, {mode})"
 
 
 def _close_quietly(sock: socket.socket) -> None:

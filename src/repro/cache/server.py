@@ -609,11 +609,14 @@ class CacheServer:
         else:
             history = self._tag_invalidations.setdefault(tag, [])
         # The stream is timestamp-ordered, so this is almost always a plain
-        # append; insort covers a message replayed or re-delivered late.
+        # append; the bisect covers a message replayed or re-delivered late
+        # (inserted once, O(log n) dedup — the history is sorted).
         if not history or timestamp > history[-1]:
             history.append(timestamp)
-        elif timestamp != history[-1] and timestamp not in history:
-            bisect.insort(history, timestamp)
+        else:
+            index = bisect.bisect_left(history, timestamp)
+            if index == len(history) or history[index] != timestamp:
+                history.insert(index, timestamp)
 
     def _prune_invalidation_histories(self, oldest_useful_timestamp: int) -> None:
         """Drop history prefixes no lookup can reach (called by evict_stale).

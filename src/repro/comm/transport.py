@@ -31,8 +31,11 @@ subsystem (``extract_entries``, ``install_entries``, ``discard_keys``,
 Thread safety: implementations must be safe for concurrent calls from many
 client threads, and ``close`` must be idempotent.  ``InProcessTransport``
 inherits this from :class:`CacheServer`'s per-server lock (direct calls,
-nothing to add); ``SocketTransport`` provides it with a connection pool
-(up to ``pool_size`` RPCs in flight, one per pooled connection).
+nothing to add); ``SocketTransport`` provides it either with a connection
+pool (up to ``pool_size`` RPCs in flight, one per pooled connection) or, in
+pipelined mode, by multiplexing any number of in-flight RPCs over one
+socket — per-request ids, a reader thread demultiplexing responses (see
+:mod:`repro.comm.wire` for the framing).
 """
 
 from __future__ import annotations

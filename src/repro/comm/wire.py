@@ -1,0 +1,363 @@
+"""The framed wire codec shared by both ends of the cache protocol.
+
+Two framings coexist on the same port (the server tells them apart by the
+first byte a connection sends):
+
+* **Legacy framing** — a 4-byte big-endian length followed by the pickled
+  payload; exactly one request may be in flight per connection (the client
+  writes a frame and blocks reading the response).  This is the original
+  protocol of the socket transport and remains available behind
+  ``SocketTransport(pipelined=False)`` for parity testing.
+* **Multiplexed framing** — a connection opens with the single magic byte
+  ``MUX_MAGIC``; every frame then starts with a struct-packed
+  ``(request_id, opcode, length)`` header (:data:`MUX_HEADER`, ``!QBI``).
+  Any number of requests may be in flight on one connection, and responses
+  may arrive **out of order**: the ``request_id`` is how the client matches
+  a response to its caller.  ``MUX_MAGIC`` is unambiguous because a legacy
+  length header starting with ``0xA7`` would announce a ~2.8 GB frame, far
+  beyond :data:`MAX_FRAME_BYTES`.
+
+Opcodes name the cache operation numerically (:data:`OPCODES`), replacing
+the pickled operation-name string of the legacy payload; the two response
+opcodes ``OP_OK``/``OP_ERR`` carry the result.  The high bit of the opcode
+byte (:data:`FLAG_OOB`) marks a body with out-of-band pickle buffers.
+
+Copy discipline
+---------------
+Nothing in this module concatenates a header onto a payload.  Frames are
+written as *vectors of buffers* via :func:`send_buffers` (``socket.sendmsg``
+gather I/O, with a join fallback for sockets that lack it), and payloads are
+pickled once with protocol 5.  Objects that support pickle-5 out-of-band
+serialization (:class:`pickle.PickleBuffer` views over large values) are
+sent as separate segments and reassembled on the far side from zero-copy
+``memoryview`` slices of the received body.  :class:`WireCounters` tallies
+the bytes that *were* copied (the fallback paths) so the wire
+microbenchmark can assert the fast paths stay copy-free.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import threading
+from typing import List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "LEGACY_HEADER",
+    "MUX_HEADER",
+    "MUX_MAGIC",
+    "MAX_FRAME_BYTES",
+    "OPCODES",
+    "OP_NAMES",
+    "OP_OK",
+    "OP_ERR",
+    "FLAG_OOB",
+    "PICKLE_PROTOCOL",
+    "WireCounters",
+    "WIRE_COUNTERS",
+    "encode_body",
+    "decode_body",
+    "encode_mux_frame",
+    "encode_legacy_frame",
+    "send_buffers",
+    "recv_exactly",
+]
+
+#: Legacy frame header: payload length, 4-byte big-endian unsigned.
+LEGACY_HEADER = struct.Struct("!I")
+
+#: Multiplexed frame header: (request_id: u64, opcode: u8, length: u32).
+MUX_HEADER = struct.Struct("!QBI")
+
+#: First byte of a multiplexed connection.  Never a plausible legacy length
+#: prefix (it would imply a frame over MAX_FRAME_BYTES).
+MUX_MAGIC = 0xA7
+
+#: Upper bound on a single frame, as a sanity check against corrupt headers.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+#: Wire pickle protocol.  Protocol 5 (Python 3.8+) supports out-of-band
+#: buffers; it equals ``pickle.HIGHEST_PROTOCOL`` on every supported Python.
+PICKLE_PROTOCOL = 5
+
+#: Request opcodes: every cache operation the transport protocol names.
+OPCODES = {
+    "lookup": 1,
+    "multi_lookup": 2,
+    "put": 3,
+    "probe": 4,
+    "was_ever_stored": 5,
+    "evict_stale": 6,
+    "clear": 7,
+    "stats": 8,
+    "reset_stats": 9,
+    "extract_entries": 10,
+    "install_entries": 11,
+    "discard_keys": 12,
+    "keys": 13,
+    "watermark": 14,
+    "invalidate": 15,
+    "note_timestamp": 16,
+    "ping": 17,
+}
+
+#: Response opcodes.
+OP_OK = 0x40
+OP_ERR = 0x41
+
+#: Opcode flag: the body is segmented (pickle stream + out-of-band buffers).
+FLAG_OOB = 0x80
+
+#: Reverse opcode table (diagnostics and the threaded server's dispatch).
+OP_NAMES = {code: name for name, code in OPCODES.items()}
+
+#: Sub-header of an out-of-band body: the number of segments, then one
+#: length per segment.  Segment 0 is the pickle stream; segments 1.. are the
+#: raw out-of-band buffers, in ``buffer_callback`` order.
+_SEGMENT_COUNT = struct.Struct("!I")
+_SEGMENT_LENGTH = struct.Struct("!I")
+
+Buffer = Union[bytes, bytearray, memoryview]
+
+
+class WireCounters:
+    """Bytes-copied / frames-encoded accounting for the wire microbenchmark.
+
+    The counters are advisory (plain int adds; exact under the GIL for the
+    single-threaded microbenchmark that reads them) and cost one attribute
+    update per frame on the hot path.
+    """
+
+    __slots__ = ("frames_encoded", "frames_decoded", "bytes_sent", "bytes_copied")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        #: Frames encoded (requests and responses, both framings).
+        self.frames_encoded = 0
+        #: Frames decoded from received bytes.
+        self.frames_decoded = 0
+        #: Payload + header bytes handed to the socket layer.
+        self.bytes_sent = 0
+        #: Bytes that crossed an extra userspace copy (sendmsg-fallback
+        #: joins and oob-subheader assembly).  Zero on the fast paths.
+        self.bytes_copied = 0
+
+
+#: Process-wide counters; the microbenchmark resets and reads them.
+WIRE_COUNTERS = WireCounters()
+
+
+# ----------------------------------------------------------------------
+# Body codec (shared by both framings)
+# ----------------------------------------------------------------------
+def encode_body(payload: object) -> Tuple[int, List[Buffer]]:
+    """Pickle ``payload`` into wire segments.
+
+    Returns ``(flags, buffers)``.  With no out-of-band buffers (the common
+    case: cache payloads are ordinary object graphs) ``flags`` is 0 and
+    ``buffers`` is the one-element pickle stream.  When the payload carries
+    :class:`pickle.PickleBuffer` views, ``flags`` is :data:`FLAG_OOB` and
+    ``buffers`` is ``[subheader, pickle_stream, *raw_buffers]`` — the large
+    buffers are never copied into the pickle stream.
+    """
+    oob: List[pickle.PickleBuffer] = []
+    data = pickle.dumps(payload, protocol=PICKLE_PROTOCOL, buffer_callback=oob.append)
+    if not oob:
+        return 0, [data]
+    segments: List[Buffer] = [data]
+    for buffer in oob:
+        segments.append(buffer.raw())
+    subheader = bytearray(_SEGMENT_COUNT.pack(len(segments)))
+    for segment in segments:
+        subheader += _SEGMENT_LENGTH.pack(len(segment))
+    WIRE_COUNTERS.bytes_copied += len(subheader)  # only the tiny subheader
+    return FLAG_OOB, [bytes(subheader)] + segments
+
+
+def decode_body(flags: int, body: Buffer) -> object:
+    """Decode one frame body produced by :func:`encode_body`.
+
+    The out-of-band path slices ``body`` with zero-copy memoryviews and
+    hands the raw buffers back to :func:`pickle.loads` via ``buffers=``.
+    """
+    if not flags & FLAG_OOB:
+        return pickle.loads(body)
+    view = memoryview(body)
+    (count,) = _SEGMENT_COUNT.unpack_from(view, 0)
+    offset = _SEGMENT_COUNT.size
+    lengths = []
+    for _ in range(count):
+        (length,) = _SEGMENT_LENGTH.unpack_from(view, offset)
+        offset += _SEGMENT_LENGTH.size
+        lengths.append(length)
+    segments = []
+    for length in lengths:
+        segments.append(view[offset : offset + length])
+        offset += length
+    return pickle.loads(segments[0], buffers=segments[1:])
+
+
+# ----------------------------------------------------------------------
+# Frame encoders
+# ----------------------------------------------------------------------
+def encode_mux_frame(request_id: int, opcode: int, payload: object) -> List[Buffer]:
+    """One multiplexed frame as a buffer vector (header never concatenated)."""
+    flags, buffers = encode_body(payload)
+    length = sum(len(b) for b in buffers)
+    header = MUX_HEADER.pack(request_id, opcode | flags, length)
+    WIRE_COUNTERS.frames_encoded += 1
+    return [header] + buffers
+
+
+def encode_legacy_frame(payload: object) -> List[Buffer]:
+    """One legacy frame as a buffer vector.
+
+    Out-of-band segmentation needs the opcode flag bit, which the legacy
+    header lacks, so the legacy body is always one plain pickle stream —
+    exactly the original protocol, minus the old ``header + data`` copy.
+    """
+    data = pickle.dumps(payload, protocol=PICKLE_PROTOCOL)
+    WIRE_COUNTERS.frames_encoded += 1
+    return [LEGACY_HEADER.pack(len(data)), data]
+
+
+# ----------------------------------------------------------------------
+# Socket I/O helpers
+# ----------------------------------------------------------------------
+def send_buffers(sock: socket.socket, buffers: Sequence[Buffer]) -> None:
+    """Write a vector of buffers to ``sock`` without concatenating them.
+
+    Uses ``sendmsg`` gather I/O, resuming correctly after partial writes;
+    falls back to one joined ``sendall`` where ``sendmsg`` is unavailable
+    (the copy is counted in :data:`WIRE_COUNTERS`).
+    """
+    total = sum(len(b) for b in buffers)
+    WIRE_COUNTERS.bytes_sent += total
+    if not hasattr(sock, "sendmsg"):  # pragma: no cover - exotic platforms
+        data = b"".join(buffers)
+        WIRE_COUNTERS.bytes_copied += len(data)
+        sock.sendall(data)
+        return
+    views: List[memoryview] = [memoryview(b).cast("B") for b in buffers if len(b)]
+    while views:
+        sent = sock.sendmsg(views)
+        while views and sent >= len(views[0]):
+            sent -= len(views[0])
+            views.pop(0)
+        if sent:
+            views[0] = views[0][sent:]
+
+
+def recv_exactly(sock: socket.socket, count: int) -> bytes:
+    """Read exactly ``count`` bytes; raises ConnectionError on EOF."""
+    if count == 0:
+        return b""
+    first = sock.recv(count)
+    if not first:
+        raise ConnectionError("connection closed by peer")
+    if len(first) == count:
+        return first
+    chunks = [first]
+    remaining = count - len(first)
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionError("connection closed by peer")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# ----------------------------------------------------------------------
+# Incremental frame parser (the event-loop server's read path)
+# ----------------------------------------------------------------------
+class FrameAssembler:
+    """Reassembles frames from an arbitrarily chunked byte stream.
+
+    Feed it whatever ``recv`` produced; it yields complete frames and keeps
+    partial ones buffered.  The framing mode is detected from the first byte
+    (``MUX_MAGIC`` or a legacy length header), so one assembler serves
+    both client generations on the same listening socket.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        #: None until the first byte arrives; then "mux" or "legacy".
+        self.mode: Optional[str] = None
+
+    def feed(self, data: Buffer) -> List[Tuple[Optional[int], int, memoryview]]:
+        """Add received bytes; return complete ``(request_id, opcode, body)``.
+
+        Legacy frames have no header fields, so they come back as
+        ``(None, 0, body)``.  Raises :class:`ValueError` on an oversized
+        frame (the stream cannot be resynchronized).
+        """
+        self._buffer += data
+        if self.mode is None and self._buffer:
+            if self._buffer[0] == MUX_MAGIC:
+                self.mode = "mux"
+                del self._buffer[:1]
+            else:
+                self.mode = "legacy"
+        frames: List[Tuple[Optional[int], int, memoryview]] = []
+        while True:
+            frame = self._next_frame()
+            if frame is None:
+                return frames
+            frames.append(frame)
+
+    def _next_frame(self) -> Optional[Tuple[Optional[int], int, memoryview]]:
+        if self.mode == "mux":
+            if len(self._buffer) < MUX_HEADER.size:
+                return None
+            request_id, opcode, length = MUX_HEADER.unpack_from(self._buffer, 0)
+            header_size = MUX_HEADER.size
+        elif self.mode == "legacy":
+            if len(self._buffer) < LEGACY_HEADER.size:
+                return None
+            (length,) = LEGACY_HEADER.unpack_from(self._buffer, 0)
+            request_id, opcode = None, 0
+            header_size = LEGACY_HEADER.size
+        else:
+            return None
+        if length > MAX_FRAME_BYTES:
+            raise ValueError(f"oversized frame: {length} bytes")
+        if len(self._buffer) < header_size + length:
+            return None
+        # One copy per frame: the body must outlive the stream buffer
+        # (which keeps filling), so it is materialized from a memoryview
+        # slice — released before the del, or the bytearray can't resize.
+        with memoryview(self._buffer) as view:
+            body = bytes(view[header_size : header_size + length])
+        del self._buffer[: header_size + length]
+        WIRE_COUNTERS.frames_decoded += 1
+        return request_id, opcode, memoryview(body)
+
+
+# ----------------------------------------------------------------------
+# Client-side response slot (the pipelined transport's rendezvous)
+# ----------------------------------------------------------------------
+class ResponseSlot:
+    """One in-flight request's rendezvous between caller and reader thread."""
+
+    __slots__ = ("_event", "value", "error")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self.value: object = None
+        self.error: Optional[BaseException] = None
+
+    def resolve(self, value: object) -> None:
+        self.value = value
+        self._event.set()
+
+    def fail(self, error: BaseException) -> None:
+        self.error = error
+        self._event.set()
+
+    def wait(self, timeout: Optional[float]) -> bool:
+        """True if the slot settled within ``timeout``."""
+        return self._event.wait(timeout)

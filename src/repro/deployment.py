@@ -39,7 +39,9 @@ class TxCacheDeployment:
     clock: Clock = field(default_factory=ManualClock)
     cache_nodes: int = 2
     cache_capacity_bytes_per_node: int = 64 * 1024 * 1024
-    #: "inprocess" (direct calls) or "socket" (networked cache servers).
+    #: "inprocess" (direct calls), "socket" (networked cache servers behind
+    #: pooled one-in-flight connections) or "socket-pipelined" (the
+    #: multiplexed wire protocol to event-loop servers — the fast wire path).
     transport: str = "inprocess"
     mode: ConsistencyMode = ConsistencyMode.CONSISTENT
     default_staleness: float = 30.0
@@ -61,6 +63,13 @@ class TxCacheDeployment:
     #: Modelled LAN round-trip time served by each networked cache node
     #: (0 = loopback only).  See repro.cache.netserver.CacheServerProcess.
     simulated_rpc_latency_seconds: float = 0.0
+    #: Override the client framing (None = derived from ``transport``):
+    #: True multiplexes many in-flight RPCs per socket, False keeps the
+    #: pooled one-in-flight connections.  See repro.cache.netserver.
+    socket_pipelined: Optional[bool] = None
+    #: Override the cache-server engine ("threaded" | "eventloop"; None =
+    #: derived from ``transport``).
+    cache_server_style: Optional[str] = None
     #: Keys per chunk when live-migrating entries on a membership change.
     migration_chunk_size: int = 128
     #: Copies of each key across the cache tier (ring successor lists).
@@ -89,6 +98,8 @@ class TxCacheDeployment:
             socket_pool_size=self.socket_pool_size,
             rpc_timeout_seconds=self.rpc_timeout_seconds,
             simulated_rpc_latency_seconds=self.simulated_rpc_latency_seconds,
+            socket_pipelined=self.socket_pipelined,
+            server_style=self.cache_server_style,
         )
         self.membership = ClusterMembership(
             self.cache, chunk_size=self.migration_chunk_size, auto_repair=self.auto_repair

@@ -31,16 +31,19 @@ from repro.db.query import Eq, Select
 from repro.db.schema import IndexSpec, TableSchema
 from repro.deployment import TxCacheDeployment
 
-#: Both cache transports; the parity suites parametrize over this.
-TRANSPORTS = ["inprocess", "socket"]
+#: Every cache transport kind; the parity suites parametrize over this.
+#: "socket" is the pooled client + thread-per-connection server (PR 4);
+#: "socket-pipelined" is the multiplexed client + event-loop server.
+TRANSPORTS = ["inprocess", "socket", "socket-pipelined"]
 
 
 def transports_under_test() -> List[str]:
     """Transports the parametrized suites should run against.
 
-    Defaults to both; set ``REPRO_TRANSPORT=inprocess`` or ``socket`` to
-    restrict the run (used by the CI matrix to exercise the socket transport
-    in a dedicated entry without doubling every job's runtime).
+    Defaults to all; set ``REPRO_TRANSPORT=inprocess``, ``socket`` or
+    ``socket-pipelined`` to restrict the run (used by the CI matrix to
+    exercise one wire path at a time without multiplying every job's
+    runtime).
     """
     forced = os.environ.get("REPRO_TRANSPORT")
     if not forced:

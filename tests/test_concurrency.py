@@ -305,11 +305,14 @@ def test_socket_transport_read_timeout_surfaces_as_unreachable():
         transport = SocketTransport.__new__(SocketTransport)
         transport.address = address
         transport.pool_size = 1
+        transport.pipelined = False
         transport.timeout_seconds = 0.2
         transport.connect_timeout_seconds = 0.5
         transport._lock = threading.Lock()
         transport._slots = threading.BoundedSemaphore(1)
         transport._idle = []
+        transport.mux_connections = 1
+        transport._mux = [None]
         transport._closed = False
         transport.name = "hung"
         started = time.perf_counter()

@@ -121,7 +121,7 @@ class TestReplicaPlacement:
             victim = cluster.ring.node_for(keys[0])
             owned = [k for k in keys if cluster.ring.node_for(k) == victim]
             cluster.fail_node(victim)
-            if transport_kind == "socket":
+            if transport_kind != "inprocess":
                 result = cluster.lookup(owned[0], 0, 5)
                 assert not result.hit and result.degraded
                 assert cluster.health.replica_served_lookups == 0
@@ -406,7 +406,7 @@ class TestReplicatedMigration:
             keys = fill(cluster, tagged=False)
             victim = cluster.ring.nodes[0]
             cluster.fail_node(victim)
-            if transport_kind == "socket":
+            if transport_kind != "inprocess":
                 while victim in cluster.ring:
                     cluster.lookup(keys[0], 0, 5)
             membership.join(victim, capacity_bytes=1 << 22)
@@ -434,7 +434,7 @@ class TestInvalidationDelivery:
             fill(cluster, count=30)
             victim = cluster.ring.nodes[0]
             cluster.fail_node(victim)
-            if transport_kind == "socket":
+            if transport_kind != "inprocess":
                 while victim in cluster.ring:
                     cluster.lookup("key-0", 0, 5)
             membership.join(victim, capacity_bytes=1 << 22)  # re-warm

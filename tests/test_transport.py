@@ -327,3 +327,4 @@ class TestIntegrationOverTcp:
             finally:
                 deployment.shutdown()
         assert patterns["socket"] == patterns["inprocess"]
+        assert patterns["socket-pipelined"] == patterns["inprocess"]

@@ -1,0 +1,160 @@
+"""Unit tests for the wire codec: framing, opcodes, reassembly, copies."""
+
+from __future__ import annotations
+
+import pickle
+import socket
+
+import pytest
+
+from repro.cache.entry import LookupRequest
+from repro.comm import wire
+
+
+# ----------------------------------------------------------------------
+# Body codec
+# ----------------------------------------------------------------------
+def test_plain_body_round_trips():
+    payload = ("multi_lookup", ([LookupRequest("k", 0, 5)],))
+    flags, buffers = wire.encode_body(payload)
+    assert flags == 0 and len(buffers) == 1
+    assert wire.decode_body(flags, buffers[0]) == payload
+
+
+def test_out_of_band_buffers_round_trip_without_copies():
+    """PickleBuffer payloads travel as separate segments, reassembled zero-copy."""
+    blob = bytearray(b"z" * 200_000)
+    payload = {"meta": 1, "blob": pickle.PickleBuffer(blob)}
+    flags, buffers = wire.encode_body(payload)
+    assert flags == wire.FLAG_OOB
+    # subheader + pickle stream + the raw buffer, which is *not* embedded
+    # in the pickle stream.
+    assert len(buffers) == 3
+    assert len(buffers[1]) < 1000  # the stream stays tiny
+    assert bytes(buffers[2]) == bytes(blob)
+    body = b"".join(bytes(b) for b in buffers)
+    decoded = wire.decode_body(flags, body)
+    assert bytes(decoded["blob"]) == bytes(blob)
+    assert decoded["meta"] == 1
+
+
+def test_mux_frame_header_layout():
+    buffers = wire.encode_mux_frame(42, wire.OPCODES["lookup"], ("k", 0, 5))
+    header = bytes(buffers[0])
+    request_id, opcode, length = wire.MUX_HEADER.unpack(header)
+    assert request_id == 42
+    assert opcode == wire.OPCODES["lookup"]
+    assert length == sum(len(b) for b in buffers[1:])
+
+
+def test_legacy_frame_matches_historical_layout():
+    payload = ("ping", ())
+    header, data = wire.encode_legacy_frame(payload)
+    (length,) = wire.LEGACY_HEADER.unpack(bytes(header))
+    assert length == len(data)
+    assert pickle.loads(data) == payload
+
+
+def test_opcode_table_is_bijective_and_reserves_zero():
+    assert 0 not in wire.OP_NAMES
+    assert len(wire.OP_NAMES) == len(wire.OPCODES)
+    for name, code in wire.OPCODES.items():
+        assert wire.OP_NAMES[code] == name
+        assert code < wire.OP_OK  # responses and flags never collide
+
+
+# ----------------------------------------------------------------------
+# Frame reassembly
+# ----------------------------------------------------------------------
+def _flatten(buffers):
+    return b"".join(bytes(b) for b in buffers)
+
+
+def test_assembler_detects_mux_by_magic_and_reassembles_partials():
+    assembler = wire.FrameAssembler()
+    stream = bytes([wire.MUX_MAGIC])
+    stream += _flatten(wire.encode_mux_frame(1, wire.OPCODES["ping"], ()))
+    stream += _flatten(wire.encode_mux_frame(2, wire.OPCODES["probe"], ("k", 0, 5)))
+    frames = []
+    for i in range(0, len(stream), 3):  # drip-feed in 3-byte chunks
+        frames.extend(assembler.feed(stream[i : i + 3]))
+    assert assembler.mode == "mux"
+    assert [(f[0], f[1]) for f in frames] == [
+        (1, wire.OPCODES["ping"]),
+        (2, wire.OPCODES["probe"]),
+    ]
+    assert wire.decode_body(0, frames[1][2]) == ("k", 0, 5)
+
+
+def test_assembler_detects_legacy_without_magic():
+    assembler = wire.FrameAssembler()
+    stream = _flatten(wire.encode_legacy_frame(("ping", ())))
+    stream += _flatten(wire.encode_legacy_frame(("probe", ("k", 0, 5))))
+    frames = assembler.feed(stream)
+    assert assembler.mode == "legacy"
+    assert [f[0] for f in frames] == [None, None]
+    assert pickle.loads(bytes(frames[1][2])) == ("probe", ("k", 0, 5))
+
+
+def test_assembler_rejects_oversized_frames():
+    assembler = wire.FrameAssembler()
+    bogus = wire.LEGACY_HEADER.pack(wire.MAX_FRAME_BYTES + 1)
+    with pytest.raises(ValueError, match="oversized"):
+        assembler.feed(bogus)
+
+
+def test_multiple_frames_in_one_feed():
+    assembler = wire.FrameAssembler()
+    stream = bytes([wire.MUX_MAGIC])
+    for i in range(20):
+        stream += _flatten(wire.encode_mux_frame(i, wire.OPCODES["keys"], ()))
+    frames = assembler.feed(stream)
+    assert [f[0] for f in frames] == list(range(20))
+
+
+# ----------------------------------------------------------------------
+# Vectored sends
+# ----------------------------------------------------------------------
+def test_send_buffers_writes_vector_without_copies():
+    a, b = socket.socketpair()
+    try:
+        wire.WIRE_COUNTERS.reset()
+        payload = [b"head", b"x" * 10_000, b"tail"]
+        wire.send_buffers(a, payload)
+        received = bytearray()
+        while len(received) < 10_008:
+            received += b.recv(65536)
+        assert bytes(received) == b"".join(payload)
+        assert wire.WIRE_COUNTERS.bytes_copied == 0
+        assert wire.WIRE_COUNTERS.bytes_sent == 10_008
+    finally:
+        a.close()
+        b.close()
+
+
+def test_send_buffers_resumes_after_partial_sends():
+    """A tiny kernel buffer forces partial sendmsg returns mid-vector."""
+    import threading
+
+    a, b = socket.socketpair()
+    try:
+        a.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, 4096)
+        chunks = [bytes([i % 251]) * 3001 for i in range(40)]
+        expected = b"".join(chunks)
+        received = bytearray()
+
+        def drain():
+            while len(received) < len(expected):
+                data = b.recv(65536)
+                if not data:
+                    return
+                received.extend(data)
+
+        reader = threading.Thread(target=drain)
+        reader.start()
+        wire.send_buffers(a, chunks)
+        reader.join(timeout=10)
+        assert bytes(received) == expected
+    finally:
+        a.close()
+        b.close()
