@@ -19,12 +19,25 @@ if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
 from repro.bench.experiments import ExperimentSettings  # noqa: E402
+from repro.comm import wire  # noqa: E402
 
 
 @pytest.fixture(scope="session")
 def settings() -> ExperimentSettings:
     """Quick experiment settings shared by every figure benchmark."""
     return ExperimentSettings.quick()
+
+
+@pytest.fixture
+def wire_counters() -> wire.WireCounters:
+    """The process-wide wire counters, reset before the test.
+
+    Shared by the codec microbenchmarks: each starts from zero frames/bytes
+    without repeating the reset (and without one benchmark's traffic
+    polluting the next one's counter assertions).
+    """
+    wire.WIRE_COUNTERS.reset()
+    return wire.WIRE_COUNTERS
 
 
 def run_once(benchmark, fn, *args, **kwargs):

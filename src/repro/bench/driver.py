@@ -710,6 +710,14 @@ class MultiprocessConfig:
     socket_pool_size: Optional[int] = None
     #: Modelled LAN round trip per cache RPC (see CacheServerProcess).
     simulated_rpc_latency_seconds: float = 4e-4
+    #: Hot-path body codec on the pipelined wire ("binary" | "pickle";
+    #: None = the REPRO_WIRE_CODEC default).  Applied to the coordinator's
+    #: servers and every worker's client-only cluster.
+    wire_codec: Optional[str] = None
+    #: Calling-thread read lease on mux connections (see SocketTransport).
+    mux_read_lease: bool = True
+    #: One sendmsg gather per readiness event on event-loop servers.
+    write_coalescing: bool = True
     seed: int = 1
     label: str = ""
 
@@ -776,6 +784,8 @@ def _multiprocess_worker(index: int, addresses, config: MultiprocessConfig, barr
             socket_pipelined=config.socket_pipelined,
             socket_pool_size=config.socket_pool_size or max(1, config.threads_per_process),
             clock=clock,
+            wire_codec=config.wire_codec,
+            mux_read_lease=config.mux_read_lease,
         )
         pincushion = Pincushion(clock=clock, unpin_callback=database.unpin)
         clients = [
@@ -865,6 +875,9 @@ def run_multiprocess_benchmark(config: MultiprocessConfig) -> MultiprocessResult
         cache_server_style=config.server_style,
         default_staleness=config.staleness,
         simulated_rpc_latency_seconds=config.simulated_rpc_latency_seconds,
+        wire_codec=config.wire_codec,
+        mux_read_lease=config.mux_read_lease,
+        write_coalescing=config.write_coalescing,
     )
     try:
         deployment.database.create_table(

@@ -1,0 +1,78 @@
+"""Persisted benchmark numbers (the perf trajectory across PRs).
+
+The wire-path microbenchmarks don't just assert their speedups — they
+record the measured numbers in ``BENCH_wire.json`` at the repository root
+so the performance trajectory is tracked in version control.  Each
+benchmark owns one *section* of the file (codec, RPC round trip,
+multiprocess throughput); re-running a benchmark replaces its section and
+leaves the others untouched, so a partial run never erases numbers it did
+not re-measure.
+
+The file is written atomically (temp file + ``os.replace``) because the
+benchmark suites may run under ``pytest -n``-style parallelism; last
+writer wins per section, which is fine for measurements.  Set
+``REPRO_BENCH_DIR`` to redirect the output (CI artifacts, scratch runs).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, Optional
+
+__all__ = ["BENCH_WIRE_FILENAME", "record_wire_benchmark", "wire_benchmark_path"]
+
+BENCH_WIRE_FILENAME = "BENCH_wire.json"
+
+
+def wire_benchmark_path(path: Optional[str] = None) -> str:
+    """Resolve where ``BENCH_wire.json`` lives.
+
+    Precedence: explicit ``path`` argument, then the ``REPRO_BENCH_DIR``
+    environment variable, then the repository root (three directories up
+    from this file: ``src/repro/bench/`` -> repo).
+    """
+    if path is not None:
+        return path
+    env_dir = os.environ.get("REPRO_BENCH_DIR")
+    if env_dir:
+        return os.path.join(env_dir, BENCH_WIRE_FILENAME)
+    here = os.path.dirname(os.path.abspath(__file__))
+    repo_root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    return os.path.join(repo_root, BENCH_WIRE_FILENAME)
+
+
+def record_wire_benchmark(
+    section: str, data: Dict[str, Any], path: Optional[str] = None
+) -> str:
+    """Merge ``data`` into the ``section`` key of ``BENCH_wire.json``.
+
+    Read-modify-write with an atomic replace; a corrupt or missing file is
+    started over rather than crashing the benchmark that tried to record
+    into it.  Returns the path written, mostly for tests.
+    """
+    target = wire_benchmark_path(path)
+    document: Dict[str, Any] = {}
+    try:
+        with open(target, "r", encoding="utf-8") as handle:
+            loaded = json.load(handle)
+        if isinstance(loaded, dict):
+            document = loaded
+    except (OSError, ValueError):
+        pass  # first run, or unreadable: start a fresh document
+    document[section] = data
+    directory = os.path.dirname(target) or "."
+    fd, tmp_path = tempfile.mkstemp(prefix=".bench_wire_", dir=directory)
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp_path, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    return target

@@ -78,6 +78,7 @@ from repro.cache.server import CacheServer, CacheServerStats
 from repro.clock import Clock, SystemClock
 from repro.comm.multicast import InvalidationBus, InvalidationMessage
 from repro.comm.transport import CacheTransport, InProcessTransport
+from repro.comm.wire import resolve_wire_codec
 from repro.db.invalidation import InvalidationTag
 from repro.interval import Interval
 
@@ -170,6 +171,9 @@ class CacheCluster:
         socket_pipelined: Optional[bool] = None,
         server_style: Optional[str] = None,
         node_addresses: Optional[Dict[str, Tuple[str, int]]] = None,
+        wire_codec: Optional[str] = None,
+        mux_read_lease: bool = True,
+        write_coalescing: bool = True,
     ) -> None:
         if transport not in TRANSPORT_KINDS:
             raise ValueError(
@@ -212,6 +216,15 @@ class CacheCluster:
         #: Modelled LAN round trip served by each networked node (see
         #: :class:`repro.cache.netserver.CacheServerProcess`).
         self.simulated_rpc_latency_seconds = simulated_rpc_latency_seconds
+        #: Hot-path body codec of the pipelined framing ("binary" by
+        #: default; REPRO_WIRE_CODEC overrides); applied to both the
+        #: servers this cluster starts and the transports it dials.
+        self.wire_codec = resolve_wire_codec(wire_codec)
+        #: Calling-thread read lease on mux connections (see
+        #: :class:`repro.cache.netserver.SocketTransport`).
+        self.mux_read_lease = mux_read_lease
+        #: One sendmsg gather per readiness event on the event-loop engine.
+        self.write_coalescing = write_coalescing
         self.health = ClusterHealthStats()
         #: Guards ring, transport registry, and failure accounting (held for
         #: in-memory updates only; see "Thread safety" in the module doc).
@@ -446,6 +459,8 @@ class CacheCluster:
                 pool_size=self.socket_pool_size,
                 timeout_seconds=self.rpc_timeout_seconds,
                 pipelined=self.socket_pipelined,
+                wire_codec=self.wire_codec,
+                mux_read_lease=self.mux_read_lease,
             )
             return None
         server = CacheServer(name=name, capacity_bytes=capacity_bytes, clock=clock)
@@ -455,6 +470,8 @@ class CacheCluster:
                 server,
                 simulated_latency_seconds=self.simulated_rpc_latency_seconds,
                 style=self.server_style,
+                wire_codec=self.wire_codec,
+                write_coalescing=self.write_coalescing,
             )
             self._processes[name] = process
             try:
@@ -464,6 +481,8 @@ class CacheCluster:
                     pool_size=self.socket_pool_size,
                     timeout_seconds=self.rpc_timeout_seconds,
                     pipelined=self.socket_pipelined,
+                    wire_codec=self.wire_codec,
+                    mux_read_lease=self.mux_read_lease,
                 )
             except BaseException:
                 # Connecting failed: stop the just-started node instead of

@@ -3,14 +3,53 @@
 from __future__ import annotations
 
 import pickle
+import struct
 from dataclasses import dataclass
-from typing import Any, FrozenSet, Optional
+from typing import Any, Callable, FrozenSet, Optional, Tuple
 
 from repro._compat import DATACLASS_SLOTS
 from repro.db.invalidation import InvalidationTag
 from repro.interval import Interval
 
 __all__ = ["CacheEntry", "EntryRecord", "LookupRequest", "LookupResult", "estimate_size"]
+
+# Binary wire layouts (see repro.comm.wire).  Values and tags are encoded by
+# the codec callbacks the wire module passes in, which keeps this module
+# free of any dependency on the codec's tag table.  Keys carry a one-byte
+# length (255 escapes to a u32 for longer keys) and records pack all their
+# interval bounds with a single struct call — both measured wins over the
+# straightforward one-struct-per-field layout.
+_KEYLEN = struct.Struct("<I")
+_LO_HI_PROBE = struct.Struct("<qqB")
+_COUNT = struct.Struct("<I")
+#: Interval bounds of a LookupResult, all packed at once; indexed by count.
+_QS = (
+    None,
+    struct.Struct("<q"),
+    struct.Struct("<qq"),
+    struct.Struct("<qqq"),
+    struct.Struct("<qqqq"),
+)
+_unpack_keylen = _KEYLEN.unpack_from
+_unpack_lo_hi_probe = _LO_HI_PROBE.unpack_from
+_QS_PACK = (None,) + tuple(s.pack for s in _QS[1:])
+_QS_UNPACK = (None,) + tuple(s.unpack_from for s in _QS[1:])
+
+# LookupResult flag bits (one byte on the wire).  The interval bits say
+# which bounds are present in the packed-bounds block: a bounded interval
+# contributes (lo, hi), an unbounded one just lo.
+_F_HIT = 1
+_F_EVER_STORED = 2
+_F_FRESH_EXISTS = 4
+_F_DEGRADED = 8
+_F_HAS_INTERVAL = 16
+_F_INTERVAL_UNBOUNDED = 32
+_F_HAS_RAW = 64
+_F_RAW_UNBOUNDED = 128
+
+_new = object.__new__
+_set = object.__setattr__
+_EMPTY_TAGS: FrozenSet[InvalidationTag] = frozenset()
 
 #: Fixed per-entry bookkeeping overhead charged against the byte budget, in
 #: addition to the serialized size of the key and value.
@@ -88,6 +127,61 @@ class EntryRecord:
     interval: Interval
     tags: FrozenSet[InvalidationTag] = frozenset()
 
+    # ------------------------------------------------------------------
+    # Binary wire codec (see repro.comm.wire)
+    # ------------------------------------------------------------------
+    def pack_into(self, out: bytearray, enc_value: Callable[[bytearray, Any], None]) -> None:
+        """Append key, interval, tags and value; values via ``enc_value``."""
+        try:
+            raw = self.key.encode("utf-8")
+        except UnicodeEncodeError:
+            raw = self.key.encode("utf-8", "surrogatepass")
+        size = len(raw)
+        if size < 255:
+            out.append(size)
+        else:
+            out.append(255)
+            out += _KEYLEN.pack(size)
+        out += raw
+        self.interval.pack_into(out)
+        out += _COUNT.pack(len(self.tags))
+        for tag in self.tags:
+            enc_value(out, tag)
+        enc_value(out, self.value)
+
+    @classmethod
+    def unpack_from(
+        cls,
+        buf: bytes,
+        offset: int,
+        dec_value: Callable[[bytes, int], Tuple[Any, int]],
+    ) -> Tuple["EntryRecord", int]:
+        keylen = buf[offset]
+        offset += 1
+        if keylen == 255:
+            (keylen,) = _unpack_keylen(buf, offset)
+            offset += 4
+        end = offset + keylen
+        raw = buf[offset:end]
+        try:
+            key = raw.decode("utf-8")
+        except UnicodeDecodeError:
+            key = raw.decode("utf-8", "surrogatepass")
+        interval, offset = Interval.unpack_from(buf, end)
+        (count,) = _COUNT.unpack_from(buf, offset)
+        offset += _COUNT.size
+        tags = []
+        for _ in range(count):
+            tag, offset = dec_value(buf, offset)
+            tags.append(tag)
+        value, offset = dec_value(buf, offset)
+        record = _new(cls)
+        _set(record, "key", key)
+        _set(record, "value", value)
+        _set(record, "interval", interval)
+        _set(record, "tags", frozenset(tags))
+        return record, offset
+
 
 @dataclass(frozen=True, **DATACLASS_SLOTS)
 class LookupRequest:
@@ -104,6 +198,45 @@ class LookupRequest:
     lo: int
     hi: int
     probe: bool = False
+
+    # ------------------------------------------------------------------
+    # Binary wire codec (see repro.comm.wire)
+    # ------------------------------------------------------------------
+    def pack_into(self, out: bytearray) -> None:
+        """Append the fixed little-endian encoding of this request."""
+        try:
+            raw = self.key.encode("utf-8")
+        except UnicodeEncodeError:
+            raw = self.key.encode("utf-8", "surrogatepass")
+        size = len(raw)
+        if size < 255:
+            out.append(size)
+        else:
+            out.append(255)
+            out += _KEYLEN.pack(size)
+        out += raw
+        out += _LO_HI_PROBE.pack(self.lo, self.hi, 1 if self.probe else 0)
+
+    @classmethod
+    def unpack_from(cls, buf: bytes, offset: int) -> Tuple["LookupRequest", int]:
+        keylen = buf[offset]
+        offset += 1
+        if keylen == 255:
+            (keylen,) = _unpack_keylen(buf, offset)
+            offset += 4
+        end = offset + keylen
+        raw = buf[offset:end]
+        try:
+            key = raw.decode("utf-8")
+        except UnicodeDecodeError:
+            key = raw.decode("utf-8", "surrogatepass")
+        lo, hi, probe = _unpack_lo_hi_probe(buf, end)
+        request = _new(cls)
+        _set(request, "key", key)
+        _set(request, "lo", lo)
+        _set(request, "hi", hi)
+        _set(request, "probe", True if probe else False)
+        return request, end + 17
 
 
 @dataclass(frozen=True, **DATACLASS_SLOTS)
@@ -140,3 +273,162 @@ class LookupResult:
     #: responsible cache node was unreachable (failure-aware routing degraded
     #: the lookup instead of raising); such misses are classified separately.
     degraded: bool = False
+
+    # ------------------------------------------------------------------
+    # Binary wire codec (see repro.comm.wire)
+    # ------------------------------------------------------------------
+    def pack_into(self, out: bytearray, enc_value: Callable[[bytearray, Any], None]) -> None:
+        """Append flags, has-tags byte, key, packed bounds, tags, value."""
+        flags = 0
+        if self.hit:
+            flags |= _F_HIT
+        if self.key_ever_stored:
+            flags |= _F_EVER_STORED
+        if self.fresh_version_exists:
+            flags |= _F_FRESH_EXISTS
+        if self.degraded:
+            flags |= _F_DEGRADED
+        interval = self.interval
+        raw_interval = self.raw_interval
+        tags = self.tags
+        bounds = []
+        if interval is not None:
+            flags |= _F_HAS_INTERVAL
+            bounds.append(interval.lo)
+            hi = interval.hi
+            if hi is None:
+                flags |= _F_INTERVAL_UNBOUNDED
+            else:
+                bounds.append(hi)
+        if raw_interval is not None:
+            flags |= _F_HAS_RAW
+            bounds.append(raw_interval.lo)
+            hi = raw_interval.hi
+            if hi is None:
+                flags |= _F_RAW_UNBOUNDED
+            else:
+                bounds.append(hi)
+        append = out.append
+        append(flags)
+        # Tag count as one byte (255 escapes to a u32): nearly every hit
+        # carries a handful of tags, so the count never needs four bytes —
+        # or the struct call that packing them would cost.
+        count = len(tags)
+        if count < 255:
+            append(count)
+        else:
+            append(255)
+            out += _COUNT.pack(count)
+        try:
+            raw = self.key.encode("utf-8")
+        except UnicodeEncodeError:
+            raw = self.key.encode("utf-8", "surrogatepass")
+        size = len(raw)
+        if size < 255:
+            append(size)
+        else:
+            append(255)
+            out += _KEYLEN.pack(size)
+        out += raw
+        if bounds:
+            out += _QS_PACK[len(bounds)](*bounds)
+        if count:
+            for tag in tags:
+                enc_value(out, tag)
+        enc_value(out, self.value)
+
+    @classmethod
+    def unpack_from(
+        cls,
+        buf: bytes,
+        offset: int,
+        dec_value: Callable[[bytes, int], Tuple[Any, int]],
+    ) -> Tuple["LookupResult", int]:
+        flags = buf[offset]
+        tag_count = buf[offset + 1]
+        offset += 2
+        if tag_count == 255:
+            (tag_count,) = _COUNT.unpack_from(buf, offset)
+            offset += 4
+        keylen = buf[offset]
+        offset += 1
+        if keylen == 255:
+            (keylen,) = _unpack_keylen(buf, offset)
+            offset += 4
+        end = offset + keylen
+        raw = buf[offset:end]
+        try:
+            key = raw.decode("utf-8")
+        except UnicodeDecodeError:
+            key = raw.decode("utf-8", "surrogatepass")
+        offset = end
+        interval = None
+        raw_interval = None
+        if flags & 80:  # _F_HAS_INTERVAL | _F_HAS_RAW
+            count = 0
+            if flags & 16:
+                count = 1 if flags & 32 else 2
+            if flags & 64:
+                count += 1 if flags & 128 else 2
+            bounds = _QS_UNPACK[count](buf, offset)
+            offset += count * 8
+            index = 0
+            # Construction bypasses __init__, so the hi >= lo invariant is
+            # re-checked — a malformed frame must not mint an interval the
+            # validity algebra would misinterpret.
+            if flags & 16:
+                lo = bounds[0]
+                if flags & 32:
+                    hi = None
+                    index = 1
+                else:
+                    hi = bounds[1]
+                    if hi < lo:
+                        raise ValueError(f"invalid interval: hi={hi} < lo={lo}")
+                    index = 2
+                interval = _new(Interval)
+                _set(interval, "lo", lo)
+                _set(interval, "hi", hi)
+            if flags & 64:
+                lo = bounds[index]
+                if flags & 128:
+                    hi = None
+                else:
+                    hi = bounds[index + 1]
+                    if hi < lo:
+                        raise ValueError(f"invalid interval: hi={hi} < lo={lo}")
+                if interval is not None and lo == interval.lo and hi == interval.hi:
+                    # The server hands out the *same* Interval object as both
+                    # the effective and the raw interval of a truncated entry;
+                    # pickle's memo preserves that sharing across the wire, so
+                    # the binary codec reconstructs it too (transport parity
+                    # requires byte-identical re-pickles of results).
+                    raw_interval = interval
+                else:
+                    raw_interval = _new(Interval)
+                    _set(raw_interval, "lo", lo)
+                    _set(raw_interval, "hi", hi)
+        tags: FrozenSet[InvalidationTag] = _EMPTY_TAGS
+        if tag_count == 1:
+            # One tag is the overwhelmingly common hit shape (one table/
+            # column pair invalidates the entry); skip the list round trip.
+            tag, offset = dec_value(buf, offset)
+            tags = frozenset((tag,))
+        elif tag_count:
+            items = []
+            for _ in range(tag_count):
+                tag, offset = dec_value(buf, offset)
+                items.append(tag)
+            tags = frozenset(items)
+        value, offset = dec_value(buf, offset)
+        result = _new(cls)
+        _set(result, "hit", True if flags & 1 else False)
+        _set(result, "key", key)
+        _set(result, "value", value)
+        _set(result, "interval", interval)
+        _set(result, "raw_interval", raw_interval)
+        _set(result, "tags", tags)
+        _set(result, "key_ever_stored", True if flags & 2 else False)
+        _set(result, "fresh_version_exists", True if flags & 4 else False)
+        _set(result, "degraded", True if flags & 8 else False)
+        return result, offset

@@ -71,14 +71,20 @@ from repro.cache.server import CacheServer, CacheServerStats
 from repro.comm import wire
 from repro.comm.multicast import InvalidationMessage
 from repro.comm.wire import (
+    BINARY_ACK,
+    BINARY_NAK,
+    BINARY_OPCODES,
     LEGACY_HEADER,
     MAX_FRAME_BYTES,
     MUX_HEADER,
     MUX_MAGIC,
+    MUX_MAGIC_BINARY,
     OP_ERR,
     OP_NAMES,
     OP_OK,
     OPCODES,
+    OPCODE_MASK,
+    FLAG_BIN,
     FLAG_OOB,
     FrameAssembler,
     ResponseSlot,
@@ -92,6 +98,7 @@ __all__ = [
     "SocketTransport",
     "CacheTransportError",
     "CacheNodeUnreachableError",
+    "WireCodecMismatchError",
     "DEFAULT_POOL_SIZE",
     "DEFAULT_WORKER_THREADS",
     "DEFAULT_MAX_QUEUED_PER_CONNECTION",
@@ -137,6 +144,19 @@ class CacheNodeUnreachableError(CacheTransportError):
     (:class:`repro.cache.cluster.CacheCluster`) degrades only on genuine
     connectivity loss, never on an application-level error that would
     otherwise be masked.
+    """
+
+
+class WireCodecMismatchError(CacheTransportError):
+    """The two endpoints do not speak the same wire body codec.
+
+    Raised when a binary-codec client dials a server that answers the
+    codec handshake with :data:`repro.comm.wire.BINARY_NAK` (or not at
+    all — a server predating the handshake closes or stalls, which the
+    client treats the same way).  Deliberately *not* a
+    :class:`CacheNodeUnreachableError`: the node is reachable, the
+    deployment is misconfigured, and failure-aware routing must not paper
+    over that by degrading lookups.
     """
 
 
@@ -193,6 +213,8 @@ class CacheServerProcess:
         style: str = "threaded",
         worker_threads: int = DEFAULT_WORKER_THREADS,
         max_queued_per_connection: int = DEFAULT_MAX_QUEUED_PER_CONNECTION,
+        wire_codec: Optional[str] = None,
+        write_coalescing: bool = True,
     ) -> None:
         if style not in SERVER_STYLES:
             raise ValueError(f"unknown server style {style!r}; expected one of {SERVER_STYLES}")
@@ -202,6 +224,11 @@ class CacheServerProcess:
             raise ValueError("max_queued_per_connection must be positive")
         self.server = server
         self.style = style
+        #: "binary" (the default): this server answers the binary-codec
+        #: handshake with ACK and serves both codecs.  "pickle": a
+        #: pickle-only server — binary-codec clients are NAKed at the
+        #: handshake (the mixed-version deployment the fail-fast test pins).
+        self.wire_codec = wire.resolve_wire_codec(wire_codec)
         self.simulated_latency_seconds = simulated_latency_seconds
         self._listener = socket.create_server((host, port))
         self.address: Tuple[str, int] = self._listener.getsockname()[:2]
@@ -209,7 +236,8 @@ class CacheServerProcess:
         self._engine: Optional[_EventLoopEngine] = None
         if style == "eventloop":
             self._engine = _EventLoopEngine(
-                self, self._listener, worker_threads, max_queued_per_connection
+                self, self._listener, worker_threads, max_queued_per_connection,
+                write_coalescing,
             )
             return
         #: Guards the connection/handler registries (mutated by the accept
@@ -236,6 +264,16 @@ class CacheServerProcess:
     def max_in_flight_per_connection(self) -> int:
         """High-water mark of queued requests on any one connection (event loop)."""
         return self._engine.max_in_flight if self._engine is not None else 0
+
+    @property
+    def sendmsg_calls(self) -> int:
+        """``sendmsg`` syscalls issued by the event-loop engine (0 when threaded).
+
+        The write-coalescing benchmark compares this against the response
+        count: with coalescing on, one readiness event writes every drained
+        response of a connection in one gather.
+        """
+        return self._engine.sendmsg_calls if self._engine is not None else 0
 
     # ------------------------------------------------------------------
     # Threaded engine
@@ -274,7 +312,19 @@ class CacheServerProcess:
                 return
             if not first:
                 return
-            if first[0] == MUX_MAGIC:
+            if first[0] == MUX_MAGIC_BINARY:
+                # Binary-codec handshake: the client will not send a frame
+                # until it sees the ACK, and a pickle-only server NAKs so
+                # the client fails fast instead of mis-decoding.
+                try:
+                    if self.wire_codec != "binary":
+                        connection.send(bytes([BINARY_NAK]))
+                        return
+                    connection.send(bytes([BINARY_ACK]))
+                except OSError:
+                    return
+                self._serve_mux_connection(connection)
+            elif first[0] == MUX_MAGIC:
                 self._serve_mux_connection(connection)
             else:
                 self._serve_legacy_connection(connection, first)
@@ -362,18 +412,31 @@ class CacheServerProcess:
     def _execute_mux(
         self, request_id: int, opcode: int, body: memoryview
     ) -> List[wire.Buffer]:
-        """Serve one multiplexed request; returns the response frame buffers."""
+        """Serve one multiplexed request; returns the response frame buffers.
+
+        The response uses the request's codec (``FLAG_BIN`` on the opcode):
+        the server keeps no per-connection codec state, so binary and pickle
+        frames can interleave freely on one connection — which is exactly
+        what a binary client does, pickling only the maintenance ops.
+        """
+        binary = opcode & FLAG_BIN
         try:
-            op = OP_NAMES.get(opcode & ~FLAG_OOB)
+            op = OP_NAMES.get(opcode & OPCODE_MASK)
             if op is None:
-                raise ValueError(f"unknown cache operation opcode {opcode & ~FLAG_OOB}")
-            args = wire.decode_body(opcode & FLAG_OOB, body)
+                raise ValueError(f"unknown cache operation opcode {opcode & OPCODE_MASK}")
+            if binary:
+                args = wire.decode_binary_args(opcode & OPCODE_MASK, body)
+            else:
+                args = wire.decode_body(opcode & FLAG_OOB, body)
             result = self._dispatch(op, args)
+            if binary:
+                return wire.encode_binary_mux_frame(request_id, OP_OK, result)
             return wire.encode_mux_frame(request_id, OP_OK, result)
         except Exception as exc:  # server must survive bad requests
-            return wire.encode_mux_frame(
-                request_id, OP_ERR, f"{type(exc).__name__}: {exc}"
-            )
+            message = f"{type(exc).__name__}: {exc}"
+            if binary:
+                return wire.encode_binary_mux_frame(request_id, OP_ERR, message)
+            return wire.encode_mux_frame(request_id, OP_ERR, message)
 
     def _execute_legacy(self, body: memoryview) -> List[wire.Buffer]:
         """Serve one legacy request (event-loop path); returns frame buffers."""
@@ -480,11 +543,15 @@ class _EventLoopConnection:
         "paused",
         "closed",
         "want_write",
+        "greeted",
     )
 
     def __init__(self, sock: socket.socket) -> None:
         self.sock = sock
         self.assembler = FrameAssembler()
+        #: True once the codec handshake reply (if any) has been sent; the
+        #: binary-codec client blocks on the ACK before its first frame.
+        self.greeted = False
         #: Parsed frames not yet handed to the worker pool (they queue here
         #: while the connection is over its backpressure bound).
         self.pending: deque = deque()
@@ -543,10 +610,19 @@ class _EventLoopEngine:
         listener: socket.socket,
         worker_threads: int,
         max_queued_per_connection: int,
+        write_coalescing: bool = True,
     ) -> None:
         self._process = process
         self._listener = listener
         self._max_queued = max_queued_per_connection
+        #: With coalescing on, completed responses are *queued* per
+        #: connection and flushed once per loop iteration — every response
+        #: that completed in the same readiness batch rides one ``sendmsg``
+        #: gather instead of one syscall each.  Touched only by the loop
+        #: thread (workers post via the outbox), so no lock is needed.
+        self._coalesce = write_coalescing
+        self._dirty: set = set()
+        self.sendmsg_calls = 0
         self._selector = selectors.DefaultSelector()
         listener.setblocking(False)
         self._selector.register(listener, selectors.EVENT_READ, None)
@@ -582,6 +658,7 @@ class _EventLoopEngine:
     def _run(self) -> None:
         try:
             while self._process._running:
+                self._flush_dirty()
                 if self._timers:
                     remaining = self._timers[0][0] - time.monotonic()
                     if remaining <= 0.0:
@@ -676,6 +753,25 @@ class _EventLoopEngine:
             # Oversized/corrupt header: the stream cannot resync.
             self._close_connection(connection)
             return
+        if not connection.greeted and connection.assembler.codec is not None:
+            connection.greeted = True
+            if connection.assembler.codec == "binary":
+                # ACK (or NAK) the binary-codec handshake before serving:
+                # the client sends no frames until it hears back, so this
+                # one blocking byte cannot stall behind request traffic.
+                reply = (
+                    BINARY_ACK
+                    if self._process.wire_codec == "binary"
+                    else BINARY_NAK
+                )
+                try:
+                    connection.sock.send(bytes([reply]))
+                except OSError:
+                    self._close_connection(connection)
+                    return
+                if reply == BINARY_NAK:
+                    self._close_connection(connection)
+                    return
         connection.pending.extend(frames)
         self._dispatch_pending(connection)
 
@@ -735,7 +831,7 @@ class _EventLoopEngine:
         if len(body) > self._INLINE_BODY_LIMIT:
             return True
         if mode == "mux":
-            return (opcode & ~FLAG_OOB) in self._POOLED_OPCODES
+            return (opcode & OPCODE_MASK) in self._POOLED_OPCODES
         head = bytes(body[:64])
         return any(tag in head for tag in self._LEGACY_POOL_TAGS)
 
@@ -784,16 +880,40 @@ class _EventLoopEngine:
             return
         connection.outgoing.extend(memoryview(b).cast("B") for b in buffers if len(b))
         connection.outgoing.append(None)  # response boundary marker
+        if self._coalesce:
+            # Defer the write: every response completing in this loop
+            # iteration (inline dispatches, drained outbox, fired timers)
+            # joins the same sendmsg gather in _flush_dirty.
+            self._dirty.add(connection)
+            return
         self._flush(connection)
+
+    def _flush_dirty(self) -> None:
+        """Flush every connection that gained output this loop iteration.
+
+        Runs at the top of the loop body, which every ``continue`` path
+        re-enters — no response can sit unflushed across a ``select``.
+        Flushing can complete responses, which can dispatch queued frames
+        and dirty connections again, hence the drain loop; backpressure
+        (``max_queued_per_connection``) bounds the work per connection.
+        """
+        while self._dirty:
+            dirty, self._dirty = self._dirty, set()
+            for connection in dirty:
+                if not connection.closed:
+                    self._flush(connection)
 
     def _flush(self, connection: _EventLoopConnection) -> None:
         """Write as much queued output as the socket accepts right now."""
         out = connection.outgoing
+        coalesce = self._coalesce
         while out:
             views: List[memoryview] = []
             for item in out:
                 if item is None:
-                    if not views:
+                    if coalesce or not views:
+                        # Coalescing: a boundary marker does not end the
+                        # gather — one sendmsg spans every queued response.
                         continue
                     break
                 views.append(item)
@@ -807,6 +927,7 @@ class _EventLoopEngine:
                 continue
             try:
                 sent = connection.sock.sendmsg(views)
+                self.sendmsg_calls += 1
             except (BlockingIOError, InterruptedError):
                 break
             except OSError:
@@ -891,6 +1012,7 @@ class _EventLoopEngine:
 
     def _teardown(self) -> None:
         """Loop-thread exit path: close every socket and the selector."""
+        self._flush_dirty()  # best-effort: drain coalesced responses first
         for key in list(self._selector.get_map().values()):
             fileobj = key.fileobj
             if isinstance(key.data, _EventLoopConnection):
@@ -918,7 +1040,26 @@ class _MuxConnection:
     Callers register a :class:`ResponseSlot` under a fresh ``request_id``,
     write their frame (sends serialized by a per-connection lock; the
     payloads themselves are encoded outside it), and block on their slot.
-    A dedicated reader thread demultiplexes responses by ``request_id``.
+    Responses are demultiplexed by ``request_id`` in one of two ways:
+
+    * ``read_lease=True`` (the default): whichever caller gets there first
+      takes the *read lease* and reads frames off the socket itself,
+      resolving every slot it sees, until its own response lands.  At low
+      concurrency this removes the reader-thread rendezvous entirely — the
+      calling thread parks in ``recv`` and wakes with its own bytes, no
+      cross-thread handoff.  Releasing the lease kicks one waiting caller
+      (without settling its slot) so the lease is never orphaned while
+      requests are outstanding.
+    * ``read_lease=False``: the PR-5 arrangement — a dedicated reader
+      thread owns ``recv`` and callers only send and block on their slot.
+
+    ``codec="binary"`` performs the binary-codec handshake on construction
+    (send :data:`MUX_MAGIC_BINARY`, require :data:`BINARY_ACK` back) and
+    then encodes hot ops (:data:`repro.comm.wire.BINARY_OPS`) with the
+    compact binary codec; everything else stays pickled.  A server that
+    NAKs, closes, or stalls at the handshake raises
+    :class:`WireCodecMismatchError` — fail fast, never mis-decode.
+
     Any I/O failure — including a caller's wait timing out — poisons the
     whole connection: every pending slot fails with
     :class:`CacheNodeUnreachableError` and the owner dials a fresh
@@ -926,24 +1067,61 @@ class _MuxConnection:
     be trusted again, exactly like the pooled transport's discipline).
     """
 
-    def __init__(self, sock: socket.socket, label: str, timeout: Optional[float]) -> None:
+    def __init__(
+        self,
+        sock: socket.socket,
+        label: str,
+        timeout: Optional[float],
+        codec: str = "pickle",
+        read_lease: bool = True,
+    ) -> None:
         self._sock = sock
         self._label = label
         self._timeout = timeout
+        self._binary = codec == "binary"
+        self._read_lease = read_lease
         self._lock = threading.Lock()
         self._send_lock = threading.Lock()
         self._pending: Dict[int, ResponseSlot] = {}
         self._ids = itertools.count(1)
         self._dead: Optional[BaseException] = None
-        # The reader owns recv; callers only send and wait.  recv has no
-        # socket timeout (an idle connection is fine); caller timeouts are
-        # enforced on the slot wait.
+        #: True while some caller is reading the socket (guarded by _lock).
+        self._lease_held = False
+        if self._binary:
+            # Handshake under the dial timeout (still set on the socket): a
+            # pickle-only server NAKs; a server predating the handshake
+            # closes or stalls (it reads 0xA8 as a legacy length byte and
+            # waits for a header that never comes) — every one of those is
+            # a codec mismatch, reported as such instead of a hang.
+            try:
+                sock.sendall(bytes([MUX_MAGIC_BINARY]))
+                reply = recv_exactly(sock, 1)
+            except (ConnectionError, OSError) as exc:
+                _close_quietly(sock)
+                raise WireCodecMismatchError(
+                    f"cache node {label} did not complete the binary-codec "
+                    f"handshake ({exc}); it is likely a pickle-only server — "
+                    f"use wire_codec='pickle' to talk to it"
+                ) from exc
+            if reply[0] != BINARY_ACK:
+                _close_quietly(sock)
+                raise WireCodecMismatchError(
+                    f"cache node {label} refused the binary wire codec "
+                    f"(handshake reply 0x{reply[0]:02x}); use "
+                    f"wire_codec='pickle' to talk to this server"
+                )
+        else:
+            sock.sendall(bytes([MUX_MAGIC]))
+        # recv has no standing socket timeout (an idle connection is fine);
+        # caller timeouts are enforced on the slot wait, and a leased
+        # reader applies its own deadline per recv.
         sock.settimeout(None)
-        sock.sendall(bytes([MUX_MAGIC]))
-        self._reader = threading.Thread(
-            target=self._read_loop, name=f"mux-reader-{label}", daemon=True
-        )
-        self._reader.start()
+        self._reader: Optional[threading.Thread] = None
+        if not read_lease:
+            self._reader = threading.Thread(
+                target=self._read_loop, name=f"mux-reader-{label}", daemon=True
+            )
+            self._reader.start()
 
     @property
     def dead(self) -> bool:
@@ -967,7 +1145,10 @@ class _MuxConnection:
                 )
             request_id = next(self._ids)
             self._pending[request_id] = slot
-        buffers = wire.encode_mux_frame(request_id, opcode, args)
+        if self._binary and opcode in BINARY_OPCODES:
+            buffers = wire.encode_binary_request_frame(request_id, opcode, args)
+        else:
+            buffers = wire.encode_mux_frame(request_id, opcode, args)
         try:
             with self._send_lock:
                 wire.send_buffers(self._sock, buffers)
@@ -976,19 +1157,128 @@ class _MuxConnection:
             raise CacheNodeUnreachableError(
                 f"cache node {self._label} unreachable: {exc}"
             ) from exc
-        if not slot.wait(self._timeout):
+        if self._read_lease:
+            self._await_leased(slot)
+        elif not slot.wait(self._timeout):
             # The response stream is now untrustworthy (the reply may land
             # after we stop waiting): poison the connection.
-            exc = CacheNodeUnreachableError(
-                f"cache node {self._label} timed out after {self._timeout}s"
-            )
-            self.fail(exc)
-            raise exc
+            self._timeout_poison()
         if slot.error is not None:
             raise CacheNodeUnreachableError(
                 f"cache node {self._label} unreachable: {slot.error}"
             ) from slot.error
         return slot.value  # type: ignore[return-value]
+
+    # -- read lease ------------------------------------------------------
+    def _await_leased(self, slot: ResponseSlot) -> None:
+        """Wait for ``slot`` by reading the socket, or by following a leader.
+
+        The contender that finds the lease free takes it and reads frames
+        until its own response lands; everyone else blocks on their slot.
+        A follower woken without a result was *kicked* (the lease was
+        released before its response arrived): it loops to contend again.
+        """
+        deadline = None if self._timeout is None else time.monotonic() + self._timeout
+        while True:
+            with self._lock:
+                # Re-arm *before* the settled check: a resolve landing
+                # after the clear sets the event again, so the check-then-
+                # wait sequence can never lose that wakeup.
+                slot.clear()
+                if slot.settled:
+                    return
+                if self._dead is not None:
+                    slot.fail(self._dead)
+                    return
+                leader = not self._lease_held
+                if leader:
+                    self._lease_held = True
+            if leader:
+                try:
+                    self._read_as_leader(slot, deadline)
+                finally:
+                    self._release_lease()
+                if slot.settled:
+                    return
+                # The leader only returns unsettled when its deadline
+                # passed mid-wait; the stream may hold a half-read frame
+                # and can no longer be trusted.
+                self._timeout_poison()
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                self._timeout_poison()
+            slot.wait(remaining)
+            # Woken — settled, failed, or merely kicked: the loop top
+            # distinguishes the three under the lock.
+
+    def _read_as_leader(self, slot: ResponseSlot, deadline: Optional[float]) -> None:
+        """Read and resolve frames until ``slot`` settles or ``deadline``.
+
+        Frames for *other* requests are resolved along the way (their
+        callers wake directly off this thread's ``recv``).  A deadline is
+        enforced with a per-read socket timeout; hitting it returns with
+        the slot unsettled and the caller poisons the connection.  Any
+        other failure poisons it here.
+        """
+        sock = self._sock
+        try:
+            while not slot.settled:
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return
+                    sock.settimeout(remaining)
+                header = recv_exactly(sock, MUX_HEADER.size)
+                request_id, opcode, length = MUX_HEADER.unpack(header)
+                if length > MAX_FRAME_BYTES:
+                    raise ConnectionError(f"oversized frame: {length} bytes")
+                body = recv_exactly(sock, length)
+                self._resolve_frame(request_id, opcode, body)
+        except socket.timeout:
+            return  # deadline hit mid-read; the caller poisons
+        except BaseException as exc:  # noqa: BLE001 - fanned out to callers
+            self.fail(exc)
+        finally:
+            if deadline is not None:
+                try:
+                    sock.settimeout(None)
+                except OSError:
+                    pass  # poisoned: the socket is already closed
+
+    def _release_lease(self) -> None:
+        """Free the lease and kick one waiting caller to contend for it.
+
+        Without the kick a follower could block on its slot with no one
+        reading the socket — its response would sit in the kernel buffer
+        until its timeout.  Kicking exactly one waiter keeps the handoff
+        O(1); that waiter re-kicks when it releases in turn.
+        """
+        with self._lock:
+            self._lease_held = False
+            for pending in self._pending.values():
+                if not pending.settled:
+                    pending.kick()
+                    return
+
+    def _timeout_poison(self) -> None:
+        exc = CacheNodeUnreachableError(
+            f"cache node {self._label} timed out after {self._timeout}s"
+        )
+        self.fail(exc)
+        raise exc
+
+    # -- frame resolution (leader and reader thread) ---------------------
+    def _resolve_frame(self, request_id: int, opcode: int, body: bytes) -> None:
+        """Decode one response frame and settle the slot that owns it."""
+        status = opcode & OPCODE_MASK
+        if opcode & FLAG_BIN:
+            value = wire.decode_binary_body(memoryview(body))
+        else:
+            value = wire.decode_body(opcode & FLAG_OOB, memoryview(body))
+        with self._lock:
+            slot = self._pending.pop(request_id, None)
+        if slot is not None:
+            slot.resolve((status == OP_OK, value))
 
     def _read_loop(self) -> None:
         sock = self._sock
@@ -999,12 +1289,7 @@ class _MuxConnection:
                 if length > MAX_FRAME_BYTES:
                     raise ConnectionError(f"oversized frame: {length} bytes")
                 body = recv_exactly(sock, length)
-                status = opcode & ~FLAG_OOB
-                value = wire.decode_body(opcode & FLAG_OOB, memoryview(body))
-                with self._lock:
-                    slot = self._pending.pop(request_id, None)
-                if slot is not None:
-                    slot.resolve((status == OP_OK, value))
+                self._resolve_frame(request_id, opcode, body)
         except BaseException as exc:  # noqa: BLE001 - fanned out to callers
             self.fail(exc)
 
@@ -1055,6 +1340,8 @@ class SocketTransport:
         pool_size: int = DEFAULT_POOL_SIZE,
         pipelined: bool = False,
         mux_connections: int = 1,
+        wire_codec: Optional[str] = None,
+        mux_read_lease: bool = True,
     ) -> None:
         if pool_size < 1:
             raise ValueError("pool_size must be positive")
@@ -1064,6 +1351,11 @@ class SocketTransport:
         self.pool_size = pool_size
         self.pipelined = pipelined
         self.mux_connections = mux_connections
+        #: Body codec for the hot ops on the pipelined path ("binary" by
+        #: default, negotiated at dial time).  The pooled/legacy framing
+        #: has no codec byte, so it stays pickle regardless.
+        self.wire_codec = wire.resolve_wire_codec(wire_codec)
+        self.mux_read_lease = mux_read_lease
         self.timeout_seconds = timeout_seconds
         self.connect_timeout_seconds = connect_timeout_seconds
         #: Guards the idle list / mux slots and the closed flag (never held
@@ -1114,6 +1406,8 @@ class SocketTransport:
         fresh = _MuxConnection(
             self._dial(), label=f"{getattr(self, 'name', None) or self.address}",
             timeout=self.timeout_seconds,
+            codec=self.wire_codec if self.pipelined else "pickle",
+            read_lease=self.mux_read_lease,
         )
         with self._lock:
             if self._closed:

@@ -79,6 +79,18 @@ class TxCacheDeployment:
     #: Re-replicate under-replicated ranges automatically after a crash
     #: eviction (anti-entropy repair; only meaningful with replication).
     auto_repair: bool = True
+    #: Body codec of the hot ops on the pipelined wire ("binary" |
+    #: "pickle"; None = "binary" unless REPRO_WIRE_CODEC says otherwise).
+    #: Negotiated per connection, so mixed deployments fail fast instead
+    #: of mis-decoding.  See repro.comm.wire.
+    wire_codec: Optional[str] = None
+    #: Let the calling thread read its own response off a mux connection
+    #: when the read lease is free (drops the reader-thread rendezvous at
+    #: low concurrency); False restores the dedicated reader thread.
+    mux_read_lease: bool = True
+    #: Batch all drained responses per connection into one sendmsg gather
+    #: on the event-loop engine; False writes one sendmsg per response.
+    write_coalescing: bool = True
 
     def __post_init__(self) -> None:
         self.invalidation_bus = InvalidationBus()
@@ -100,6 +112,9 @@ class TxCacheDeployment:
             simulated_rpc_latency_seconds=self.simulated_rpc_latency_seconds,
             socket_pipelined=self.socket_pipelined,
             server_style=self.cache_server_style,
+            wire_codec=self.wire_codec,
+            mux_read_lease=self.mux_read_lease,
+            write_coalescing=self.write_coalescing,
         )
         self.membership = ClusterMembership(
             self.cache, chunk_size=self.migration_chunk_size, auto_repair=self.auto_repair

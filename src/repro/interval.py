@@ -20,8 +20,9 @@ snapshot visibility check (phantoms).
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 from repro._compat import DATACLASS_SLOTS
 
@@ -29,6 +30,13 @@ __all__ = ["Interval", "IntervalSet", "UNBOUNDED"]
 
 #: Sentinel meaning "no upper bound" (the value is still valid).
 UNBOUNDED: Optional[int] = None
+
+# Binary wire layout of one interval: a bounded-flag byte, the i64 lower
+# bound, and (bounded intervals only) the i64 upper bound.
+_BOUNDED_LO = struct.Struct("<Bq")
+_BOUNDED_LO_HI = struct.Struct("<Bqq")
+_LO_HI = struct.Struct("<qq")
+_COUNT = struct.Struct("<I")
 
 
 @dataclass(frozen=True, order=False, **DATACLASS_SLOTS)
@@ -143,6 +151,38 @@ class Interval:
         return pieces
 
     # ------------------------------------------------------------------
+    # Binary wire codec (see repro.comm.wire)
+    # ------------------------------------------------------------------
+    def pack_into(self, out: bytearray) -> None:
+        """Append this interval's fixed little-endian encoding to ``out``."""
+        if self.hi is None:
+            out += _BOUNDED_LO.pack(0, self.lo)
+        else:
+            out += _BOUNDED_LO_HI.pack(1, self.lo, self.hi)
+
+    @classmethod
+    def unpack_from(cls, buf: bytes, offset: int) -> Tuple["Interval", int]:
+        """Decode one interval; returns ``(interval, next_offset)``.
+
+        Construction bypasses ``__init__`` for speed, so the ``hi < lo``
+        invariant is re-checked here — a malformed frame must not produce an
+        interval the validity algebra would misinterpret.
+        """
+        if buf[offset]:
+            lo, hi = _LO_HI.unpack_from(buf, offset + 1)
+            if hi < lo:
+                raise ValueError(f"invalid interval: hi={hi} < lo={lo}")
+            offset += _BOUNDED_LO_HI.size
+        else:
+            lo = _BOUNDED_LO.unpack_from(buf, offset)[1]
+            hi = None
+            offset += _BOUNDED_LO.size
+        interval = object.__new__(cls)
+        object.__setattr__(interval, "lo", lo)
+        object.__setattr__(interval, "hi", hi)
+        return interval, offset
+
+    # ------------------------------------------------------------------
     # Dunder helpers
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -236,6 +276,33 @@ class IntervalSet:
         raise ValueError(
             f"timestamp {timestamp} not in {interval!r} minus mask {self._intervals!r}"
         )
+
+    # ------------------------------------------------------------------
+    # Binary wire codec (see repro.comm.wire)
+    # ------------------------------------------------------------------
+    def pack_into(self, out: bytearray) -> None:
+        """Append a member count and every member's encoding to ``out``."""
+        out += _COUNT.pack(len(self._intervals))
+        for interval in self._intervals:
+            interval.pack_into(out)
+
+    @classmethod
+    def unpack_from(cls, buf: bytes, offset: int) -> Tuple["IntervalSet", int]:
+        """Decode one interval set; returns ``(set, next_offset)``.
+
+        Members were packed from an existing set, so they are already
+        disjoint and sorted; they are installed directly instead of being
+        re-merged through :meth:`add`.
+        """
+        (count,) = _COUNT.unpack_from(buf, offset)
+        offset += _COUNT.size
+        members: List[Interval] = []
+        for _ in range(count):
+            interval, offset = Interval.unpack_from(buf, offset)
+            members.append(interval)
+        result = cls.__new__(cls)
+        result._intervals = members
+        return result, offset
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"IntervalSet({self._intervals!r})"

@@ -55,6 +55,27 @@ def transports_under_test() -> List[str]:
     return [forced]
 
 
+#: Wire body codecs of the pipelined transport (see repro.comm.wire).
+WIRE_CODECS = ["binary", "pickle"]
+
+
+def wire_codecs_under_test() -> List[str]:
+    """Wire codecs the parametrized suites should run against.
+
+    Defaults to both; set ``REPRO_WIRE_CODEC=binary`` or ``pickle`` to
+    restrict the run (the CI matrix pins one codec per job the same way
+    ``REPRO_TRANSPORT`` pins one transport).
+    """
+    forced = os.environ.get("REPRO_WIRE_CODEC")
+    if not forced:
+        return list(WIRE_CODECS)
+    if forced not in WIRE_CODECS:
+        raise ValueError(
+            f"REPRO_WIRE_CODEC={forced!r}; expected one of {WIRE_CODECS}"
+        )
+    return [forced]
+
+
 def simple_schema(name: str = "users") -> TableSchema:
     """A small table used by many database tests."""
     return TableSchema.build(

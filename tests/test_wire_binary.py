@@ -1,0 +1,642 @@
+"""Binary wire codec: round-trip properties, malformed-frame safety,
+codec negotiation, the read lease, and write coalescing.
+
+The codec tests are property-based (Hypothesis): whatever the cache layer
+puts in a response must survive encode -> decode unchanged, and *no* byte
+stream — truncated, mutated, or garbage — may raise anything other than
+:class:`~repro.comm.wire.WireDecodeError` out of the decoder.  The reactor
+depends on that contract: a malformed frame becomes an error response, never
+a crashed event loop.
+
+The negotiation tests pin the mixed-version story: a binary client dialing
+a pickle-only server fails fast with :class:`WireCodecMismatchError` (not
+the unreachable error failure-aware routing reacts to), and pickle/legacy
+clients keep working against binary servers unchanged.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cluster import CacheCluster
+from repro.cache.entry import EntryRecord, LookupRequest, LookupResult
+from repro.cache.netserver import (
+    CacheNodeUnreachableError,
+    CacheServerProcess,
+    SocketTransport,
+    WireCodecMismatchError,
+)
+from repro.cache.server import CacheServer
+from repro.clock import ManualClock
+from repro.comm import wire
+from repro.db.invalidation import InvalidationTag
+from repro.interval import Interval, IntervalSet
+from tests.helpers import wire_codecs_under_test
+
+WIRE_CODECS = wire_codecs_under_test()
+
+
+def make_server(name="node"):
+    return CacheServer(name=name, capacity_bytes=4 * 1024 * 1024, clock=ManualClock())
+
+
+def round_trip(value):
+    return wire.decode_binary_body(bytes(wire.encode_binary_body(value)))
+
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies over wire-crossing data
+# ----------------------------------------------------------------------
+# Timestamps are logical commit counters: non-negative, far below 2**63
+# (the codec packs interval bounds as little-endian i64).
+timestamps = st.integers(min_value=0, max_value=2**48)
+
+scalars = (
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**70), max_value=2**70)
+    | st.floats(allow_nan=False)
+    | st.text(max_size=40)  # includes surrogates -> pickle fallback path
+    | st.binary(max_size=40)
+)
+
+values = st.recursive(
+    scalars,
+    lambda children: (
+        st.lists(children, max_size=4)
+        | st.tuples(children, children)
+        | st.dictionaries(st.text(max_size=12) | st.integers(), children, max_size=4)
+        | st.frozensets(st.integers() | st.text(max_size=8), max_size=4)
+    ),
+    max_leaves=16,
+)
+
+intervals = st.builds(
+    lambda lo, span: Interval(lo, None if span is None else lo + span),
+    timestamps,
+    st.none() | st.integers(min_value=0, max_value=2**20),
+)
+
+tags = st.frozensets(
+    st.builds(
+        InvalidationTag,
+        st.sampled_from(["users", "state", "items"]),
+        st.none() | st.sampled_from(["id", "region"]),
+        st.none() | st.integers(min_value=-5, max_value=5000) | st.text(max_size=8),
+    ),
+    max_size=4,
+)
+
+keys = st.text(max_size=300)
+
+lookup_requests = st.builds(
+    LookupRequest, keys, timestamps, timestamps, st.booleans()
+)
+
+entry_records = st.builds(EntryRecord, keys, values, intervals, tags)
+
+
+@st.composite
+def lookup_results(draw):
+    hit = draw(st.booleans())
+    key = draw(keys)
+    if not hit:
+        return LookupResult(
+            False,
+            key,
+            key_ever_stored=draw(st.booleans()),
+            fresh_version_exists=draw(st.booleans()),
+            degraded=draw(st.booleans()),
+        )
+    interval = draw(intervals)
+    # raw_interval is None, the same object (truncated entries), or distinct.
+    raw_kind = draw(st.sampled_from(["none", "same", "other"]))
+    if raw_kind == "none":
+        raw_interval = None
+    elif raw_kind == "same":
+        raw_interval = interval
+    else:
+        raw_interval = draw(intervals)
+    return LookupResult(
+        True,
+        key,
+        value=draw(values),
+        interval=interval,
+        raw_interval=raw_interval,
+        tags=draw(tags),
+        key_ever_stored=True,
+        fresh_version_exists=draw(st.booleans()),
+    )
+
+
+def assert_results_equal(actual, expected):
+    assert actual.hit == expected.hit
+    assert actual.key == expected.key
+    assert actual.value == expected.value
+    assert actual.interval == expected.interval
+    assert actual.raw_interval == expected.raw_interval
+    assert actual.tags == expected.tags
+    assert actual.key_ever_stored == expected.key_ever_stored
+    assert actual.fresh_version_exists == expected.fresh_version_exists
+    assert actual.degraded == expected.degraded
+
+
+# ----------------------------------------------------------------------
+# Round-trip properties
+# ----------------------------------------------------------------------
+@given(values)
+@settings(deadline=None)
+def test_arbitrary_values_round_trip(value):
+    assert round_trip(value) == value
+
+
+@given(intervals)
+@settings(deadline=None)
+def test_intervals_round_trip(interval):
+    decoded = round_trip(interval)
+    assert decoded == interval
+    assert decoded.lo == interval.lo and decoded.hi == interval.hi
+
+
+@given(st.lists(intervals, max_size=4))
+@settings(deadline=None)
+def test_interval_sets_round_trip(members):
+    interval_set = IntervalSet(members)
+    decoded = round_trip(interval_set)
+    assert isinstance(decoded, IntervalSet)
+    assert decoded.intervals == interval_set.intervals
+
+
+@given(lookup_requests)
+@settings(deadline=None)
+def test_lookup_requests_round_trip(request):
+    assert round_trip(request) == request
+
+
+@given(entry_records)
+@settings(deadline=None)
+def test_entry_records_round_trip(record):
+    decoded = round_trip(record)
+    assert decoded == record
+
+
+@given(lookup_results())
+@settings(deadline=None)
+def test_lookup_results_round_trip(result):
+    assert_results_equal(round_trip(result), result)
+
+
+@given(st.lists(lookup_requests, min_size=1, max_size=6))
+@settings(deadline=None)
+def test_multi_lookup_request_payloads_round_trip(requests):
+    payload = (requests,)
+    assert round_trip(payload) == payload
+
+
+@given(keys, timestamps, timestamps, st.sampled_from(["lookup", "probe"]))
+@settings(deadline=None)
+def test_single_key_request_args_round_trip(key, lo, span, op):
+    """The fixed lookup/probe request layout is exact for every key and
+    every 64-bit bound (oversized keys take the u32 length escape)."""
+    args = (key, lo, lo + span)
+    opcode = wire.OPCODES[op]
+    body = bytes(wire.encode_binary_args(opcode, args))
+    assert wire.decode_binary_args(opcode, body) == args
+
+
+def test_single_key_request_args_fall_back_to_tagged_bodies():
+    """Arguments the packed layout cannot carry (bounds beyond 64 bits,
+    odd arities, non-str keys) still round-trip via the tagged fallback."""
+    opcode = wire.OPCODES["lookup"]
+    for args in [
+        ("k", 0, 2**70),
+        ("k", -(2**70), 1),
+        ("k", 0, None),
+        (b"raw-bytes-key", 0, 1),
+        ("k", 0),
+        ("k", 0, 1, 2),
+    ]:
+        body = bytes(wire.encode_binary_args(opcode, args))
+        assert body[0] == 0  # tagged-body marker
+        assert wire.decode_binary_args(opcode, body) == args
+    # Non-single-key ops use the plain tagged body, no marker byte.
+    payload = (["a", "b"],)
+    body = bytes(wire.encode_binary_args(wire.OPCODES["multi_lookup"], payload))
+    assert body == bytes(wire.encode_binary_body(payload))
+    assert wire.decode_binary_args(wire.OPCODES["multi_lookup"], body) == payload
+
+
+@given(keys, timestamps, timestamps, st.data())
+@settings(deadline=None, max_examples=60)
+def test_malformed_request_args_never_raise_anything_else(key, lo, span, data):
+    opcode = wire.OPCODES["lookup"]
+    body = bytearray(wire.encode_binary_args(opcode, (key, lo, lo + span)))
+    if data.draw(st.booleans()):
+        body = body[: data.draw(st.integers(0, max(0, len(body) - 1)))]
+    else:
+        index = data.draw(st.integers(0, len(body) - 1))
+        body[index] ^= data.draw(st.integers(1, 255))
+    try:
+        wire.decode_binary_args(opcode, bytes(body))
+    except wire.WireDecodeError:
+        pass  # the only acceptable exception
+
+
+def test_interval_object_sharing_survives_the_codec():
+    """Truncated entries reuse one Interval as effective *and* raw interval;
+    the decoder must reconstruct the sharing (transport parity compares
+    canonical re-pickles, where sharing changes the bytes)."""
+    shared = Interval(3, 9)
+    result = LookupResult(True, "k", value=1, interval=shared, raw_interval=shared)
+    decoded = round_trip(result)
+    assert decoded.interval is decoded.raw_interval
+    distinct = LookupResult(
+        True, "k", value=1, interval=Interval(3, 9), raw_interval=Interval(2, None)
+    )
+    decoded = round_trip(distinct)
+    assert decoded.interval is not decoded.raw_interval
+
+
+# ----------------------------------------------------------------------
+# Malformed frames: WireDecodeError or nothing
+# ----------------------------------------------------------------------
+@given(lookup_results(), st.data())
+@settings(deadline=None, max_examples=60)
+def test_truncated_bodies_never_raise_anything_else(result, data):
+    body = bytes(wire.encode_binary_body(("multi_lookup", result)))
+    cut = data.draw(st.integers(min_value=0, max_value=max(0, len(body) - 1)))
+    try:
+        wire.decode_binary_body(body[:cut])
+    except wire.WireDecodeError:
+        pass  # the only acceptable exception
+
+
+@given(lookup_results(), st.data())
+@settings(deadline=None, max_examples=60)
+def test_mutated_bodies_never_raise_anything_else(result, data):
+    body = bytearray(wire.encode_binary_body(result))
+    index = data.draw(st.integers(min_value=0, max_value=len(body) - 1))
+    flip = data.draw(st.integers(min_value=1, max_value=255))
+    body[index] ^= flip
+    try:
+        wire.decode_binary_body(bytes(body))
+    except wire.WireDecodeError:
+        pass  # a mutation may still decode by luck; it must never crash
+
+
+@given(st.binary(max_size=64))
+@settings(deadline=None, max_examples=60)
+def test_random_garbage_never_raises_anything_else(blob):
+    try:
+        wire.decode_binary_body(blob)
+    except wire.WireDecodeError:
+        pass
+
+
+def test_trailing_bytes_are_rejected():
+    body = bytes(wire.encode_binary_body(42)) + b"\x00"
+    with pytest.raises(wire.WireDecodeError):
+        wire.decode_binary_body(body)
+
+
+def test_empty_body_is_rejected():
+    with pytest.raises(wire.WireDecodeError):
+        wire.decode_binary_body(b"")
+
+
+def test_decode_error_is_a_value_error():
+    # The dispatch layer catches Exception; this pins the public contract
+    # that WireDecodeError is an ordinary (catchable) error type.
+    assert issubclass(wire.WireDecodeError, ValueError)
+
+
+# ----------------------------------------------------------------------
+# Reactor safety: garbage binary frames against a live server
+# ----------------------------------------------------------------------
+def _dial_binary(address):
+    sock = socket.create_connection(address)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    sock.sendall(bytes([wire.MUX_MAGIC_BINARY]))
+    reply = wire.recv_exactly(sock, 1)
+    assert reply[0] == wire.BINARY_ACK
+    return sock
+
+
+def _read_mux_response(sock):
+    header = wire.recv_exactly(sock, wire.MUX_HEADER.size)
+    request_id, opcode, length = wire.MUX_HEADER.unpack(header)
+    body = wire.recv_exactly(sock, length)
+    if opcode & wire.FLAG_BIN:
+        value = wire.decode_binary_body(body)
+    else:
+        value = wire.decode_body(opcode & wire.FLAG_OOB, body)
+    return request_id, opcode & wire.OPCODE_MASK, value
+
+
+@pytest.mark.parametrize("style", ["threaded", "eventloop"])
+def test_garbage_binary_body_yields_error_response_not_a_dead_server(style):
+    """A FLAG_BIN frame with an undecodable body must produce OP_ERR and
+    leave the connection (and the server) fully functional."""
+    with CacheServerProcess(make_server(), style=style, wire_codec="binary") as process:
+        sock = _dial_binary(process.address)
+        try:
+            garbage = b"\xff\xfe\xfd\xfc"
+            frame = wire.MUX_HEADER.pack(
+                7, wire.OPCODES["lookup"] | wire.FLAG_BIN, len(garbage)
+            )
+            sock.sendall(frame + garbage)
+            request_id, status, value = _read_mux_response(sock)
+            assert request_id == 7
+            assert status == (wire.OP_ERR & wire.OPCODE_MASK)
+            assert "WireDecodeError" in value
+            # Same connection, next request: still served.
+            buffers = wire.encode_binary_request_frame(
+                8, wire.OPCODES["probe"], ("k", 0, 5)
+            )
+            sock.sendall(b"".join(bytes(b) for b in buffers))
+            request_id, status, value = _read_mux_response(sock)
+            assert request_id == 8
+            assert status == (wire.OP_OK & wire.OPCODE_MASK)
+            assert value is False
+        finally:
+            sock.close()
+
+
+@pytest.mark.parametrize("style", ["threaded", "eventloop"])
+def test_binary_and_pickle_frames_interleave_on_one_connection(style):
+    """The server keeps no per-connection codec state: it answers in the
+    codec each request arrived in, even alternating on one socket."""
+    with CacheServerProcess(make_server(), style=style, wire_codec="binary") as process:
+        sock = _dial_binary(process.address)
+        try:
+            binary = wire.encode_binary_request_frame(
+                1, wire.OPCODES["probe"], ("k", 0, 5)
+            )
+            pickled = wire.encode_mux_frame(2, wire.OPCODES["keys"], ())
+            sock.sendall(
+                b"".join(bytes(b) for b in binary)
+                + b"".join(bytes(b) for b in pickled)
+            )
+            responses = {}
+            for _ in range(2):
+                request_id, status, value = _read_mux_response(sock)
+                assert status == (wire.OP_OK & wire.OPCODE_MASK)
+                responses[request_id] = value
+            assert responses == {1: False, 2: []}
+        finally:
+            sock.close()
+
+
+# ----------------------------------------------------------------------
+# Codec negotiation: mixed-version deployments fail fast
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("style", ["threaded", "eventloop"])
+def test_binary_client_against_pickle_only_server_fails_fast(style):
+    """The NAK path: a distinct, descriptive error — not 'unreachable',
+    which would make failure-aware routing degrade on a misconfiguration."""
+    with CacheServerProcess(make_server(), style=style, wire_codec="pickle") as process:
+        # The transport dials (and negotiates) eagerly at construction.
+        with pytest.raises(WireCodecMismatchError, match="refused the binary"):
+            SocketTransport(process.address, pipelined=True, wire_codec="binary")
+        assert not isinstance(WireCodecMismatchError("x"), CacheNodeUnreachableError)
+
+
+def test_binary_client_against_server_that_hangs_up_fails_fast():
+    """An old server that closes on the unknown 0xA8 magic byte (EOF before
+    any ACK/NAK) must also surface as a codec mismatch."""
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    address = listener.getsockname()
+
+    def accept_and_close():
+        conn, _ = listener.accept()
+        conn.recv(1)
+        conn.close()
+
+    acceptor = threading.Thread(target=accept_and_close)
+    acceptor.start()
+    try:
+        with pytest.raises(WireCodecMismatchError, match="handshake"):
+            SocketTransport(address, pipelined=True, wire_codec="binary")
+    finally:
+        acceptor.join(timeout=10)
+        listener.close()
+
+
+@pytest.mark.parametrize("style", ["threaded", "eventloop"])
+def test_pickle_and_legacy_clients_still_work_against_binary_servers(style):
+    """Upgrading the server first must not strand old clients: the pickle
+    mux framing and the legacy pooled framing are accepted unchanged."""
+    with CacheServerProcess(make_server(), style=style, wire_codec="binary") as process:
+        pickled = SocketTransport(process.address, pipelined=True, wire_codec="pickle")
+        legacy = SocketTransport(process.address, pipelined=False)
+        try:
+            pickled.put("a", 1, Interval(0))
+            legacy.put("b", 2, Interval(0))
+            assert pickled.lookup("b", 0, 5).value == 2
+            assert legacy.lookup("a", 0, 5).value == 1
+        finally:
+            pickled.close()
+            legacy.close()
+
+
+@pytest.mark.parametrize("codec", WIRE_CODECS)
+@pytest.mark.parametrize("style", ["threaded", "eventloop"])
+def test_matched_codec_serves_traffic(style, codec):
+    with CacheServerProcess(make_server(), style=style, wire_codec=codec) as process:
+        transport = SocketTransport(process.address, pipelined=True, wire_codec=codec)
+        try:
+            assert transport.probe("k", 0, 5) is False
+            transport.put("k", {"v": 1}, Interval(0), frozenset({InvalidationTag("t")}))
+            result = transport.lookup("k", 0, 5)
+            assert result.hit and result.value == {"v": 1}
+            assert result.tags == frozenset({InvalidationTag("t")})
+            results = transport.multi_lookup([LookupRequest("k", 0, 5)])
+            assert results[0].hit
+            # Maintenance ops ride the pickle fallback under both codecs.
+            assert transport.keys() == ["k"]
+        finally:
+            transport.close()
+
+
+# ----------------------------------------------------------------------
+# REPRO_WIRE_CODEC environment knob
+# ----------------------------------------------------------------------
+def test_codec_defaults_to_binary(monkeypatch):
+    monkeypatch.delenv("REPRO_WIRE_CODEC", raising=False)
+    assert wire.default_wire_codec() == "binary"
+    assert wire.resolve_wire_codec(None) == "binary"
+
+
+def test_env_knob_switches_the_default(monkeypatch):
+    monkeypatch.setenv("REPRO_WIRE_CODEC", "pickle")
+    assert wire.default_wire_codec() == "pickle"
+    assert wire.resolve_wire_codec(None) == "pickle"
+    # An explicit argument still wins over the environment.
+    assert wire.resolve_wire_codec("binary") == "binary"
+    assert wire_codecs_under_test() == ["pickle"]
+
+
+def test_env_knob_reaches_server_and_transport(monkeypatch):
+    monkeypatch.setenv("REPRO_WIRE_CODEC", "pickle")
+    with CacheServerProcess(make_server(), style="eventloop") as process:
+        assert process.wire_codec == "pickle"
+        transport = SocketTransport(process.address, pipelined=True)
+        try:
+            assert transport.wire_codec == "pickle"
+            transport.put("k", 1, Interval(0))
+            assert transport.lookup("k", 0, 5).hit
+        finally:
+            transport.close()
+
+
+def test_invalid_codec_is_rejected():
+    with pytest.raises(ValueError, match="wire codec"):
+        wire.resolve_wire_codec("msgpack")
+
+
+# ----------------------------------------------------------------------
+# Read lease
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("codec", WIRE_CODECS)
+@pytest.mark.parametrize("read_lease", [False, True])
+def test_concurrent_callers_under_lease_and_rendezvous(read_lease, codec):
+    """Many threads hammering one mux connection get their own answers back
+    under both reader arrangements (lease handoff and reader thread)."""
+    with CacheServerProcess(make_server(), style="eventloop", wire_codec=codec) as process:
+        transport = SocketTransport(
+            process.address,
+            pipelined=True,
+            wire_codec=codec,
+            mux_read_lease=read_lease,
+        )
+        try:
+            for i in range(16):
+                transport.put(f"k{i}", i, Interval(0))
+            errors = []
+
+            def worker(start):
+                try:
+                    for i in range(start, start + 50):
+                        index = i % 16
+                        result = transport.lookup(f"k{index}", 0, 5)
+                        assert result.hit and result.value == index
+                except Exception as exc:  # surfaced below
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=worker, args=(i * 50,)) for i in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+                assert not thread.is_alive()
+            assert errors == []
+        finally:
+            transport.close()
+
+
+@pytest.mark.parametrize("read_lease", [False, True])
+def test_timeout_poisons_connection_under_both_reader_arrangements(read_lease):
+    server = make_server()
+    release = threading.Event()
+    original = server.keys
+
+    def stalled_keys():
+        assert release.wait(timeout=30)
+        return original()
+
+    server.keys = stalled_keys
+    with CacheServerProcess(server, style="eventloop") as process:
+        transport = SocketTransport(
+            process.address,
+            pipelined=True,
+            timeout_seconds=0.3,
+            mux_read_lease=read_lease,
+        )
+        try:
+            with pytest.raises(CacheNodeUnreachableError, match="timed out"):
+                transport.keys()
+            release.set()
+            # Poisoned connection discarded; the next call re-dials.
+            assert transport.probe("k", 0, 5) is False
+        finally:
+            release.set()
+            transport.close()
+
+
+# ----------------------------------------------------------------------
+# Write coalescing
+# ----------------------------------------------------------------------
+def _pump_pings(process, count):
+    """Send ``count`` back-to-back mux pings in one segment, read every
+    response back."""
+    sock = socket.create_connection(process.address)
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        stream = bytearray([wire.MUX_MAGIC])
+        for request_id in range(count):
+            for buffer in wire.encode_mux_frame(request_id, wire.OPCODES["ping"], ()):
+                stream += bytes(buffer)
+        sock.sendall(bytes(stream))
+        seen = set()
+        for _ in range(count):
+            request_id, status, value = _read_mux_response(sock)
+            assert status == (wire.OP_OK & wire.OPCODE_MASK)
+            assert value == "node"
+            seen.add(request_id)
+        assert seen == set(range(count))
+    finally:
+        sock.close()
+
+
+def _sendmsg_calls_for_burst(write_coalescing, burst):
+    # The counter is read *after* shutdown joins the loop thread: the loop
+    # increments it after a client may already have seen the response, so a
+    # live read races by one either way.
+    with CacheServerProcess(
+        make_server(), style="eventloop", write_coalescing=write_coalescing
+    ) as process:
+        _pump_pings(process, burst)
+    return process.sendmsg_calls
+
+
+def test_write_coalescing_batches_responses_into_fewer_sendmsg_calls():
+    """Ping is served inline on the loop thread, so a burst arriving in one
+    read event produces one *coalesced* flush — against one sendmsg per
+    response with coalescing off."""
+    burst = 8
+    uncoalesced = _sendmsg_calls_for_burst(False, burst)
+    coalesced = _sendmsg_calls_for_burst(True, burst)
+    assert uncoalesced == burst
+    assert coalesced < uncoalesced
+
+
+# ----------------------------------------------------------------------
+# Cluster-level codec matrix
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("codec", WIRE_CODECS)
+def test_cluster_serves_traffic_under_each_codec(codec):
+    cluster = CacheCluster(
+        node_count=2,
+        capacity_bytes_per_node=1024 * 1024,
+        clock=ManualClock(),
+        transport="socket-pipelined",
+        wire_codec=codec,
+    )
+    try:
+        assert cluster.wire_codec == codec
+        for i in range(20):
+            cluster.put(f"key-{i}", {"row": i}, Interval(0))
+        for i in range(20):
+            result = cluster.lookup(f"key-{i}", 0, 5)
+            assert result.hit and result.value == {"row": i}
+    finally:
+        cluster.close()
