@@ -387,6 +387,111 @@ def test_binary_codec_beats_pickle_on_lookup_round_trips(benchmark, wire_counter
     assert aggregate >= 2.0, f"binary/pickle aggregate speedup: {aggregate:.2f}x"
 
 
+def _put_shapes():
+    """Representative put requests: what a miss-filling client stores."""
+    return [
+        (
+            "small-row",
+            (
+                "users:pk:42",
+                {"id": 42, "name": "alice", "region": "eu"},
+                Interval(10, 20),
+                frozenset({InvalidationTag("users", "id", 42)}),
+            ),
+        ),
+        (
+            "page-row",
+            (
+                "pages:pk:7",
+                {"id": 7, "payload": "x" * 128, "hits": 0},
+                Interval(3, None),
+                frozenset(),
+            ),
+        ),
+        (
+            "multi-tag",
+            (
+                "items:region:eu",
+                {"id": 9, "price": 13.5, "region": "eu"},
+                Interval(100, 250),
+                frozenset(
+                    {
+                        InvalidationTag("items", "region", "eu"),
+                        InvalidationTag("items", None, None),
+                    }
+                ),
+            ),
+        ),
+    ]
+
+
+def test_put_packed_layout_beats_pickle(benchmark):
+    """Satellite of the open-loop PR: ``put`` — the miss-fill op, last hot
+    op on the generic path — gets the fixed packed request layout.  One
+    request cycle (encode + decode) through the packed layout must beat
+    pickle; the delta lands in BENCH_wire.json as ``codec_put``."""
+    ROUNDS = 4000
+    opcode = wire.OPCODES["put"]
+
+    def timed_binary(args):
+        enc_args, dec_args = wire.encode_binary_args, wire.decode_binary_args
+        body = bytes(enc_args(opcode, args))
+        assert body[0] == 1  # the packed layout, not the tagged fallback
+        start = time.perf_counter()
+        for _ in range(ROUNDS):
+            enc_args(opcode, args)
+            dec_args(opcode, body)
+        return (time.perf_counter() - start) / ROUNDS
+
+    def timed_pickle(args):
+        protocol = wire.PICKLE_PROTOCOL
+        dumps, loads = pickle.dumps, pickle.loads
+        body = dumps(args, protocol)
+        start = time.perf_counter()
+        for _ in range(ROUNDS):
+            dumps(args, protocol)
+            loads(body)
+        return (time.perf_counter() - start) / ROUNDS
+
+    def run():
+        shapes = {}
+        for name, args in _put_shapes():
+            binary = min(timed_binary(args) for _ in range(3))
+            pickled = min(timed_pickle(args) for _ in range(3))
+            shapes[name] = (binary, pickled)
+        return shapes
+
+    shapes = run_once(benchmark, run)
+    report = {}
+    for name, (binary, pickled) in shapes.items():
+        report[name] = {
+            "binary_ns_per_cycle": round(binary * 1e9, 1),
+            "pickle_ns_per_cycle": round(pickled * 1e9, 1),
+            "speedup": round(pickled / binary, 2),
+        }
+        print(
+            f"\n{name:13s} binary {binary * 1e9:7.0f} ns  "
+            f"pickle {pickled * 1e9:7.0f} ns  ({pickled / binary:.2f}x)",
+            end="",
+        )
+    total_binary = sum(b for b, _ in shapes.values())
+    total_pickle = sum(p for _, p in shapes.values())
+    aggregate = total_pickle / total_binary
+    print(f"\nput aggregate speedup: {aggregate:.2f}x")
+    record_wire_benchmark(
+        "codec_put",
+        {
+            "cycle": "encode request + decode request (packed put layout)",
+            "shapes": report,
+            "aggregate_speedup": round(aggregate, 2),
+        },
+    )
+    # The packed layout must win in aggregate; the value itself still rides
+    # the tagged codec, so the win is bounded by the key/interval/tags
+    # share of the body (measured ~1.26x, asserted with noise margin).
+    assert aggregate >= 1.1, f"put packed/pickle aggregate speedup: {aggregate:.2f}x"
+
+
 def test_mux_read_lease_drops_rpc_round_trip_latency(benchmark):
     """Tentpole claim #2: a single caller on the leased mux connection
     (reading its own response, binary codec) completes lookups faster than

@@ -30,17 +30,18 @@ from repro.bench.experiments import (
     figure6,
     figure7,
     figure8,
+    figures_openloop,
     pipelined_clients,
     validity_tracking_overhead,
 )
 
 EXPERIMENTS = (
     "fig5a", "fig5b", "fig6a", "fig6b", "fig7", "fig8", "overhead",
-    "concurrency", "concurrent-churn", "pipelined",
+    "concurrency", "concurrent-churn", "pipelined", "figures-openloop",
 )
 
 
-def run_experiment(name: str, settings: ExperimentSettings) -> None:
+def run_experiment(name: str, settings: ExperimentSettings, smoke: bool = False) -> None:
     started = time.time()
     if name == "fig5a":
         print(figure5("in-memory", settings=settings).format_table())
@@ -76,6 +77,16 @@ def run_experiment(name: str, settings: ExperimentSettings) -> None:
             f"{result.process_counts[-1]} processes: "
             f"{result.speedup_at(result.process_counts[-1]):.2f}x"
         )
+    elif name == "figures-openloop":
+        # Figures 5-8 re-measured by the open-loop generator on the fast
+        # wire stack (socket-pipelined + binary codec): fixed offered rates,
+        # coordinated-omission-safe percentiles, results appended to
+        # BENCH_figures.json.  --smoke shrinks to one configuration per
+        # figure at one rate (CI schema validation, not benchmark numbers).
+        result = figures_openloop(settings=settings, smoke=smoke)
+        print(result.format_table())
+        if result.recorded_path:
+            print(f"recorded -> {result.recorded_path}")
     else:
         raise SystemExit(f"unknown experiment {name!r}")
     print(f"[{name} finished in {time.time() - started:.1f}s]\n")
@@ -94,12 +105,17 @@ def main() -> None:
         action="store_true",
         help="use the larger, slower experiment settings",
     )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shrink the open-loop figure run to a schema-validating smoke",
+    )
     args = parser.parse_args()
 
     settings = ExperimentSettings.full() if args.full else ExperimentSettings.quick()
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     for name in names:
-        run_experiment(name, settings)
+        run_experiment(name, settings, smoke=args.smoke)
 
 
 if __name__ == "__main__":

@@ -17,11 +17,31 @@ from repro.bench.experiments import (
     figure6,
     figure7,
     figure8,
+    figures_openloop,
     node_churn,
     validity_tracking_overhead,
 )
+from repro.bench.loadgen import (
+    ArrivalSchedule,
+    CapacityModel,
+    LatencyHistogram,
+    OpenLoopConfig,
+    OpenLoopResult,
+    capacity_report,
+    run_openloop_benchmark,
+    run_rate_sweep,
+)
 
 __all__ = [
+    "ArrivalSchedule",
+    "CapacityModel",
+    "LatencyHistogram",
+    "OpenLoopConfig",
+    "OpenLoopResult",
+    "capacity_report",
+    "figures_openloop",
+    "run_openloop_benchmark",
+    "run_rate_sweep",
     "CostModel",
     "CostParameters",
     "ClusterSpec",

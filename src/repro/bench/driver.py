@@ -60,10 +60,13 @@ __all__ = [
     "MultiprocessConfig",
     "MultiprocessResult",
     "TimedChurnEvent",
+    "build_worker_stack",
+    "fork_context",
     "rolling_restart_events",
     "run_benchmark",
     "run_concurrent_benchmark",
     "run_multiprocess_benchmark",
+    "start_pages_deployment",
 ]
 
 #: Smallest clock advance per interaction; keeps time moving even for
@@ -664,6 +667,136 @@ def _apply_timed_churn(deployment: TxCacheDeployment, event: TimedChurnEvent) ->
 
 
 # ----------------------------------------------------------------------
+# Shared bootstrap for the multi-process drivers (closed- and open-loop)
+# ----------------------------------------------------------------------
+def _pages_rows(rows: int) -> List[dict]:
+    """The hot table every multi-process worker replicates identically."""
+    return [{"id": i, "payload": "x" * 128, "hits": 0} for i in range(rows)]
+
+
+def start_pages_deployment(
+    *,
+    transport: str,
+    cache_nodes: int,
+    cache_capacity_bytes_per_node: int,
+    staleness: float,
+    simulated_rpc_latency_seconds: float,
+    rows: int,
+    socket_pipelined: Optional[bool] = None,
+    server_style: Optional[str] = None,
+    wire_codec: Optional[str] = None,
+    mux_read_lease: bool = True,
+    write_coalescing: bool = True,
+) -> TxCacheDeployment:
+    """Build, load, and warm the networked deployment the forked workers dial.
+
+    Shared by :func:`run_multiprocess_benchmark` and the open-loop runner
+    (:mod:`repro.bench.loadgen.runner`): one ``pages`` table, one warmup
+    pass so every worker starts from hits (the paper restores a cache
+    snapshot; the warmup plays the same role).  The deployment is shut down
+    on a bootstrap failure so a broken config never leaks server threads.
+    """
+    deployment = TxCacheDeployment(
+        clock=SystemClock(),
+        cache_nodes=cache_nodes,
+        cache_capacity_bytes_per_node=cache_capacity_bytes_per_node,
+        transport=transport,
+        socket_pipelined=socket_pipelined,
+        cache_server_style=server_style,
+        default_staleness=staleness,
+        simulated_rpc_latency_seconds=simulated_rpc_latency_seconds,
+        wire_codec=wire_codec,
+        mux_read_lease=mux_read_lease,
+        write_coalescing=write_coalescing,
+    )
+    try:
+        deployment.database.create_table(
+            TableSchema.build("pages", ["id", "payload", "hits"], primary_key="id")
+        )
+        deployment.database.bulk_load("pages", _pages_rows(rows))
+        warm_client = deployment.client(default_staleness=staleness)
+
+        @warm_client.cacheable(name="bench_get_row")
+        def warm_get_row(row_id):
+            return warm_client.query(Select("pages", Eq("id", row_id))).rows[0]
+
+        for row_id in range(rows):
+            with warm_client.read_only(staleness=staleness):
+                warm_get_row(row_id)
+    except BaseException:
+        deployment.shutdown()
+        raise
+    return deployment
+
+
+def build_worker_stack(
+    addresses,
+    *,
+    transport: str,
+    rows: int,
+    staleness: float,
+    clients: int,
+    socket_pipelined: Optional[bool] = None,
+    socket_pool_size: Optional[int] = None,
+    wire_codec: Optional[str] = None,
+    mux_read_lease: bool = True,
+):
+    """One forked worker's client-side stack: ``(cluster, client list)``.
+
+    Each worker process owns its own database replica, pincushion, and a
+    client-only :class:`~repro.cache.cluster.CacheCluster` dialled at the
+    coordinator's cache-node endpoints.  No invalidation bus — the
+    multi-process workload is read-only by construction (the reproduction's
+    database is an in-process object), so the stream stays silent and every
+    replica's identical ``pages`` load keeps the shared cache coherent.
+    The caller owns the cluster and must ``close()`` it.
+    """
+    from repro.cache.cluster import CacheCluster
+    from repro.core.api import TxCacheClient
+    from repro.db.database import Database
+    from repro.pincushion.pincushion import Pincushion
+
+    clock = SystemClock()
+    database = Database(clock=clock)
+    database.create_table(
+        TableSchema.build("pages", ["id", "payload", "hits"], primary_key="id")
+    )
+    database.bulk_load("pages", _pages_rows(rows))
+    cluster = CacheCluster(
+        node_addresses=addresses,
+        transport=transport,
+        socket_pipelined=socket_pipelined,
+        socket_pool_size=socket_pool_size,
+        clock=clock,
+        wire_codec=wire_codec,
+        mux_read_lease=mux_read_lease,
+    )
+    pincushion = Pincushion(clock=clock, unpin_callback=database.unpin)
+    client_list = [
+        TxCacheClient(
+            database=database,
+            cache=cluster,
+            pincushion=pincushion,
+            clock=clock,
+            default_staleness=staleness,
+        )
+        for _ in range(clients)
+    ]
+    return cluster, client_list
+
+
+def fork_context():
+    """The multiprocessing context the drivers fork workers with.
+
+    Fork keeps the already-imported interpreter (fast, Linux); spawn is the
+    portable fallback — worker entry points and their arguments are
+    picklable either way.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else methods[0])
+
+
+# ----------------------------------------------------------------------
 # Multi-process driver (no client GIL in the measurement)
 # ----------------------------------------------------------------------
 @dataclass
@@ -756,48 +889,21 @@ def _multiprocess_worker(index: int, addresses, config: MultiprocessConfig, barr
     failures are carried past it and reported through the queue instead of
     deadlocking the run.
     """
-    from repro.cache.cluster import CacheCluster
-    from repro.core.api import TxCacheClient
-    from repro.pincushion.pincushion import Pincushion
-    from repro.db.database import Database
-
     cluster = None
     bootstrap_error: Optional[str] = None
-    clients: List[TxCacheClient] = []
+    clients: List = []
     try:
-        clock = SystemClock()
-        database = Database(clock=clock)
-        database.create_table(
-            TableSchema.build("pages", ["id", "payload", "hits"], primary_key="id")
-        )
-        database.bulk_load(
-            "pages",
-            [{"id": i, "payload": "x" * 128, "hits": 0} for i in range(config.rows)],
-        )
-        # Client-only cluster: dial the coordinator's nodes.  No
-        # invalidation bus — the workload is read-only, so the stream stays
-        # silent and subscribing would only replay this replica's load-time
-        # invalidations at the shared servers.
-        cluster = CacheCluster(
-            node_addresses=addresses,
+        cluster, clients = build_worker_stack(
+            addresses,
             transport=config.transport,
+            rows=config.rows,
+            staleness=config.staleness,
+            clients=config.threads_per_process,
             socket_pipelined=config.socket_pipelined,
             socket_pool_size=config.socket_pool_size or max(1, config.threads_per_process),
-            clock=clock,
             wire_codec=config.wire_codec,
             mux_read_lease=config.mux_read_lease,
         )
-        pincushion = Pincushion(clock=clock, unpin_callback=database.unpin)
-        clients = [
-            TxCacheClient(
-                database=database,
-                cache=cluster,
-                pincushion=pincushion,
-                clock=clock,
-                default_staleness=config.staleness,
-            )
-            for _ in range(config.threads_per_process)
-        ]
     except Exception as exc:  # noqa: BLE001 - reported via the queue
         bootstrap_error = f"{type(exc).__name__}: {exc}"
 
@@ -866,50 +972,25 @@ def run_multiprocess_benchmark(config: MultiprocessConfig) -> MultiprocessResult
         raise ValueError("threads_per_process must be positive")
     if config.transport not in ("socket", "socket-pipelined"):
         raise ValueError("multi-process driver requires a socket transport")
-    deployment = TxCacheDeployment(
-        clock=SystemClock(),
+    deployment = start_pages_deployment(
+        transport=config.transport,
         cache_nodes=config.cache_nodes,
         cache_capacity_bytes_per_node=config.cache_capacity_bytes_per_node,
-        transport=config.transport,
-        socket_pipelined=config.socket_pipelined,
-        cache_server_style=config.server_style,
-        default_staleness=config.staleness,
+        staleness=config.staleness,
         simulated_rpc_latency_seconds=config.simulated_rpc_latency_seconds,
+        rows=config.rows,
+        socket_pipelined=config.socket_pipelined,
+        server_style=config.server_style,
         wire_codec=config.wire_codec,
         mux_read_lease=config.mux_read_lease,
         write_coalescing=config.write_coalescing,
     )
     try:
-        deployment.database.create_table(
-            TableSchema.build("pages", ["id", "payload", "hits"], primary_key="id")
-        )
-        deployment.database.bulk_load(
-            "pages",
-            [{"id": i, "payload": "x" * 128, "hits": 0} for i in range(config.rows)],
-        )
-        # Warm the shared cache once so every worker starts from hits (the
-        # paper restores a cache snapshot; this plays the same role).
-        warm_client = deployment.client(default_staleness=config.staleness)
-
-        @warm_client.cacheable(name="bench_get_row")
-        def warm_get_row(row_id):
-            return warm_client.query(Select("pages", Eq("id", row_id))).rows[0]
-
-        for row_id in range(config.rows):
-            with warm_client.read_only(staleness=config.staleness):
-                warm_get_row(row_id)
-
         addresses = {
             name: process.address
             for name, process in deployment.cache.processes.items()
         }
-        # Fork keeps the already-imported interpreter (fast, Linux); spawn
-        # is the portable fallback — the worker entry point and all its
-        # arguments are picklable either way.
-        methods = multiprocessing.get_all_start_methods()
-        context = multiprocessing.get_context(
-            "fork" if "fork" in methods else methods[0]
-        )
+        context = fork_context()
         barrier = context.Barrier(config.processes + 1)
         queue = context.Queue()
         workers = [

@@ -48,6 +48,13 @@ from repro.bench.driver import (
     run_concurrent_benchmark,
     run_multiprocess_benchmark,
 )
+from repro.bench.loadgen import (
+    CapacityModel,
+    OpenLoopConfig,
+    capacity_report,
+    run_rate_sweep,
+)
+from repro.bench.perflog import record_figures_benchmark
 from repro.bench.report import format_table
 from repro.cache.netserver import DEFAULT_POOL_SIZE
 from repro.clock import ManualClock
@@ -67,10 +74,12 @@ __all__ = [
     "ConcurrentClientsResult",
     "ConcurrentChurnResult",
     "PipelinedClientsResult",
+    "FigureOpenLoopResult",
     "figure5",
     "figure6",
     "figure7",
     "figure8",
+    "figures_openloop",
     "node_churn",
     "crash_churn",
     "rolling_restart",
@@ -1108,6 +1117,208 @@ def pipelined_clients(
         process_counts=list(process_counts),
         threads_per_process=threads_per_process,
         results=results,
+        elapsed_seconds=time.time() - started,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 5-8 re-measured open-loop on the fast wire stack
+# ----------------------------------------------------------------------
+#: Figure-5 cache-size points re-measured open-loop (paper labels; the
+#: in-memory MB points map through ``_cache_bytes``, disk GB through
+#: ``_disk_cache_bytes``, and the budget is split across the cache nodes).
+OPENLOOP_FIGURE5_CONFIGS: List[Tuple[str, int, float]] = [
+    ("in-mem 64MB", _cache_bytes(64), 30.0),
+    ("in-mem 512MB", _cache_bytes(512), 30.0),
+    ("in-mem 1024MB", _cache_bytes(1024), 30.0),
+    ("disk 1GB", _disk_cache_bytes(1), 30.0),
+    ("disk 9GB", _disk_cache_bytes(9), 30.0),
+]
+
+#: Figure-7 staleness points (seconds) at the 512MB cache label.
+OPENLOOP_FIGURE7_STALENESS = [1.0, 30.0, 120.0]
+
+#: Figure-8's four configurations (same labels as :func:`figure8`).
+OPENLOOP_FIGURE8_CONFIGS: List[Tuple[str, int, float]] = [
+    ("in-mem 512MB / 30s", _cache_bytes(512), 30.0),
+    ("in-mem 512MB / 15s", _cache_bytes(512), 15.0),
+    ("in-mem 64MB / 30s", _cache_bytes(64), 30.0),
+    ("disk 9GB / 30s", _disk_cache_bytes(9), 30.0),
+]
+
+#: Offered rates (ops/s) each configuration is measured at.
+OPENLOOP_DEFAULT_RATES = [1000.0, 2000.0, 4000.0]
+
+#: p99 SLO (seconds) the capacity model provisions against.
+OPENLOOP_P99_SLO_SECONDS = 0.05
+
+
+@dataclass
+class FigureOpenLoopResult:
+    """Figures 5-8 re-measured open-loop on socket-pipelined + binary.
+
+    ``points[section]`` (``"figure5"`` … ``"figure8"``) holds one dict per
+    (configuration, offered rate): offered rate, achieved goodput, merged
+    p50/p95/p99/p99.9 in milliseconds, hit rate, and errors.  Figure 6 is
+    the hit-rate view of the Figure 5 runs, as in the closed-loop
+    reproduction — same measurements, no re-run.  ``capacity`` is the
+    concurrent-user model derived from the 512MB sweep's p99-SLO point.
+
+    Honesty note: the open-loop re-measurement drives the multi-process
+    ``pages`` workload (read-only by construction — see
+    :class:`~repro.bench.driver.MultiprocessConfig`), so the staleness axis
+    (figure7) and the consistency-miss rows (figure8) measure the *wire
+    stack's* latency under those deployment settings, not invalidation
+    pressure; the cache-size axis does produce genuine capacity misses.
+    """
+
+    transport: str
+    points: Dict[str, List[Dict[str, object]]]
+    capacity: Optional[CapacityModel]
+    recorded_path: Optional[str] = None
+    elapsed_seconds: float = 0.0
+
+    def format_table(self) -> str:
+        rows = []
+        for section in ("figure5", "figure6", "figure7", "figure8"):
+            for point in self.points.get(section, []):
+                rows.append(
+                    [
+                        section,
+                        str(point["configuration"]),
+                        f"{point['offered_rate']:,.0f}",
+                        f"{point['achieved_goodput']:,.1f}",
+                        f"{point['p50_ms']:.2f}",
+                        f"{point['p95_ms']:.2f}",
+                        f"{point['p99_ms']:.2f}",
+                        f"{point['hit_rate']:.1%}",
+                    ]
+                )
+        table = format_table(
+            ["figure", "configuration", "offered/s", "achieved/s", "p50 ms", "p95 ms", "p99 ms", "hit rate"],
+            rows,
+            title=f"Figures 5-8, open-loop on {self.transport}",
+        )
+        if self.capacity is not None:
+            table = table + "\n\n" + self.capacity.format_table()
+        return table
+
+
+def _openloop_points(sweep, configuration: str) -> List[Dict[str, object]]:
+    """Flatten one sweep into the per-point dicts BENCH_figures.json stores."""
+    return [
+        {
+            "configuration": configuration,
+            "offered_rate": point.offered_rate,
+            "achieved_goodput": point.achieved_goodput,
+            "p50_ms": point.p50 * 1e3,
+            "p95_ms": point.p95 * 1e3,
+            "p99_ms": point.p99 * 1e3,
+            "p99_9_ms": point.p999 * 1e3,
+            "hit_rate": point.hit_rate,
+            "errors": point.errors,
+        }
+        for point in sweep.points
+    ]
+
+
+def figures_openloop(
+    settings: Optional[ExperimentSettings] = None,
+    *,
+    rates: Optional[Sequence[float]] = None,
+    processes: int = 2,
+    threads_per_process: int = 4,
+    cache_nodes: int = 2,
+    seconds_per_point: float = 2.0,
+    smoke: bool = False,
+    record: bool = True,
+    path: Optional[str] = None,
+) -> FigureOpenLoopResult:
+    """Re-measure Figures 5-8 open-loop on the fast wire stack.
+
+    Every configuration runs on ``transport="socket-pipelined"`` with the
+    binary codec, driven by the coordinated-omission-safe open-loop
+    generator at each offered rate in ``rates`` — so alongside the
+    throughput each point reports what the *tail* did at that offered
+    load, which the closed-loop figures cannot show.  Results are appended
+    to ``BENCH_figures.json`` (sections ``figure5`` … ``figure8`` plus
+    ``capacity``) unless ``record=False``.
+
+    ``smoke=True`` shrinks the run to one configuration per figure at one
+    rate — enough to validate the emitted document's schema in CI without
+    benchmark-grade timings.
+    """
+    settings = settings or ExperimentSettings.quick()
+    started = time.time()
+    if rates is None:
+        rates = [800.0] if smoke else list(OPENLOOP_DEFAULT_RATES)
+    duration = 1.0 if smoke else seconds_per_point
+
+    figure5_configs = OPENLOOP_FIGURE5_CONFIGS[1:2] if smoke else OPENLOOP_FIGURE5_CONFIGS
+    figure7_staleness = OPENLOOP_FIGURE7_STALENESS[1:2] if smoke else OPENLOOP_FIGURE7_STALENESS
+    figure8_configs = OPENLOOP_FIGURE8_CONFIGS[:1] if smoke else OPENLOOP_FIGURE8_CONFIGS
+
+    def sweep(label: str, cache_bytes: int, staleness: float):
+        config = OpenLoopConfig(
+            processes=processes,
+            threads_per_process=threads_per_process,
+            cache_nodes=cache_nodes,
+            cache_capacity_bytes_per_node=max(16 * 1024, cache_bytes // cache_nodes),
+            staleness=staleness,
+            transport="socket-pipelined",
+            wire_codec="binary",
+            seed=settings.seed,
+            label=label,
+        )
+        return run_rate_sweep(config, rates=rates, seconds_per_point=duration)
+
+    transport = ""
+    points: Dict[str, List[Dict[str, object]]] = {}
+
+    figure5_points: List[Dict[str, object]] = []
+    capacity: Optional[CapacityModel] = None
+    for label, cache_bytes, staleness in figure5_configs:
+        result = sweep(f"fig5-openloop-{label}", cache_bytes, staleness)
+        transport = result.transport
+        figure5_points.extend(_openloop_points(result, label))
+        if capacity is None and "512MB" in label:
+            capacity = capacity_report(
+                result,
+                cache_nodes=cache_nodes,
+                driver_cores=processes,
+                slo_seconds=OPENLOOP_P99_SLO_SECONDS,
+            )
+    points["figure5"] = figure5_points
+    # Figure 6 is the hit-rate view of the same runs (no re-measurement).
+    points["figure6"] = [dict(point) for point in figure5_points]
+
+    points["figure7"] = []
+    for staleness in figure7_staleness:
+        result = sweep(f"fig7-openloop-{staleness:g}s", _cache_bytes(512), staleness)
+        points["figure7"].extend(_openloop_points(result, f"512MB / {staleness:g}s"))
+
+    points["figure8"] = []
+    for label, cache_bytes, staleness in figure8_configs:
+        result = sweep(f"fig8-openloop-{label}", cache_bytes, staleness)
+        points["figure8"].extend(_openloop_points(result, label))
+
+    recorded_path: Optional[str] = None
+    if record:
+        for section in ("figure5", "figure6", "figure7", "figure8"):
+            recorded_path = record_figures_benchmark(
+                section,
+                {"transport": transport, "rates": list(rates), "points": points[section]},
+                path=path,
+            )
+        if capacity is not None:
+            recorded_path = record_figures_benchmark(
+                "capacity", capacity.to_dict(), path=path
+            )
+    return FigureOpenLoopResult(
+        transport=transport,
+        points=points,
+        capacity=capacity,
+        recorded_path=recorded_path,
         elapsed_seconds=time.time() - started,
     )
 

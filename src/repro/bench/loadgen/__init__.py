@@ -1,0 +1,50 @@
+"""Open-loop load generation: offered rates, CO-safe tails, capacity.
+
+The subsystem in four layers, bottom up:
+
+* :mod:`~repro.bench.loadgen.schedule` — seeded Poisson / deterministic
+  arrival schedules that split across worker processes;
+* :mod:`~repro.bench.loadgen.histogram` — log-bucketed mergeable latency
+  histograms with bounded relative quantile error;
+* :mod:`~repro.bench.loadgen.runner` — the coordinated-omission-safe
+  engine and the multi-process open-loop benchmark;
+* :mod:`~repro.bench.loadgen.sweep` / :mod:`~repro.bench.loadgen.capacity`
+  — offered-rate sweeps (goodput knee, p99-SLO ceiling) and the
+  concurrent-user capacity model.
+"""
+
+from repro.bench.loadgen.capacity import CapacityModel, capacity_report
+from repro.bench.loadgen.histogram import DEFAULT_PERCENTILES, LatencyHistogram
+from repro.bench.loadgen.runner import (
+    OpenLoopConfig,
+    OpenLoopResult,
+    OpenLoopStats,
+    run_open_loop,
+    run_openloop_benchmark,
+)
+from repro.bench.loadgen.schedule import (
+    ARRIVAL_KINDS,
+    ArrivalSchedule,
+    poisson_arrivals,
+    uniform_arrivals,
+)
+from repro.bench.loadgen.sweep import RatePoint, SweepResult, run_rate_sweep
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "ArrivalSchedule",
+    "CapacityModel",
+    "DEFAULT_PERCENTILES",
+    "LatencyHistogram",
+    "OpenLoopConfig",
+    "OpenLoopResult",
+    "OpenLoopStats",
+    "RatePoint",
+    "SweepResult",
+    "capacity_report",
+    "poisson_arrivals",
+    "run_open_loop",
+    "run_openloop_benchmark",
+    "run_rate_sweep",
+    "uniform_arrivals",
+]

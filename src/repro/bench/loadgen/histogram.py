@@ -1,0 +1,212 @@
+"""Log-bucketed latency histogram (HDR-style), mergeable across workers.
+
+Recording a latency costs one ``math.log10`` and one list increment; memory
+is a fixed array of buckets, never a per-operation list — a worker can
+record millions of samples without its footprint or record cost growing.
+Buckets are spaced geometrically (``buckets_per_decade`` per factor of 10),
+so the *relative* error of any reported quantile is bounded by one bucket
+width (≈2.6% at the default 90 buckets/decade) across the whole range from
+microseconds to minutes — the same trade HdrHistogram makes with
+significant figures.
+
+Histograms from different workers (threads or forked processes) merge by
+bucket-wise addition, provided they share a bucket layout; :meth:`to_dict`
+and :meth:`from_dict` carry one across a process boundary as a small sparse
+dict, so the multi-process driver's result queue stays cheap.  The true
+maximum is tracked exactly and caps every reported quantile, so p99.9 of a
+run never exceeds the worst latency that actually happened.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["LatencyHistogram"]
+
+#: Quantiles the benchmark reports persist by default.
+DEFAULT_PERCENTILES = (50.0, 95.0, 99.0, 99.9)
+
+
+class LatencyHistogram:
+    """Fixed-size log-bucketed histogram of latencies in seconds."""
+
+    __slots__ = (
+        "min_latency",
+        "max_latency",
+        "buckets_per_decade",
+        "_scale",
+        "_counts",
+        "_total",
+        "_sum",
+        "_max",
+    )
+
+    def __init__(
+        self,
+        min_latency: float = 1e-6,
+        max_latency: float = 1000.0,
+        buckets_per_decade: int = 90,
+    ) -> None:
+        if min_latency <= 0 or max_latency <= min_latency:
+            raise ValueError(
+                f"need 0 < min_latency < max_latency, got {min_latency}, {max_latency}"
+            )
+        if buckets_per_decade < 1:
+            raise ValueError(f"buckets_per_decade must be positive, got {buckets_per_decade}")
+        self.min_latency = min_latency
+        self.max_latency = max_latency
+        self.buckets_per_decade = buckets_per_decade
+        #: Bucket index = floor(log10(v / min) * scale); +1 bucket catches
+        #: the values rounding exactly onto the top edge.
+        self._scale = float(buckets_per_decade)
+        decades = math.log10(max_latency / min_latency)
+        self._counts = [0] * (int(math.ceil(decades * buckets_per_decade)) + 2)
+        self._total = 0
+        self._sum = 0.0
+        self._max = 0.0
+
+    # ------------------------------------------------------------------
+    # Recording and merging
+    # ------------------------------------------------------------------
+    def record(self, seconds: float) -> None:
+        """Record one latency sample (negative values clamp to zero)."""
+        if seconds < 0.0:
+            seconds = 0.0
+        counts = self._counts
+        if seconds <= self.min_latency:
+            index = 0
+        else:
+            index = int(math.log10(seconds / self.min_latency) * self._scale) + 1
+            last = len(counts) - 1
+            if index > last:
+                index = last  # clamped: beyond max_latency
+        counts[index] += 1
+        self._total += 1
+        self._sum += seconds
+        if seconds > self._max:
+            self._max = seconds
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Add ``other``'s samples into this histogram (same layout required)."""
+        if (
+            other.min_latency != self.min_latency
+            or other.max_latency != self.max_latency
+            or other.buckets_per_decade != self.buckets_per_decade
+        ):
+            raise ValueError(
+                "cannot merge histograms with different bucket layouts: "
+                f"({self.min_latency}, {self.max_latency}, {self.buckets_per_decade}) vs "
+                f"({other.min_latency}, {other.max_latency}, {other.buckets_per_decade})"
+            )
+        counts = self._counts
+        for index, count in enumerate(other._counts):
+            counts[index] += count
+        self._total += other._total
+        self._sum += other._sum
+        if other._max > self._max:
+            self._max = other._max
+        return self
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return self._total
+
+    @property
+    def max(self) -> float:
+        """The exact largest recorded sample."""
+        return self._max
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._total if self._total else 0.0
+
+    def _bucket_upper_bound(self, index: int) -> float:
+        """Largest value a bucket can hold (bucket 0 is ``<= min_latency``)."""
+        if index == 0:
+            return self.min_latency
+        return self.min_latency * 10.0 ** (index / self._scale)
+
+    def percentile(self, p: float) -> float:
+        """The latency at percentile ``p`` (0-100], biased at most one bucket up.
+
+        Returns the upper edge of the bucket where the cumulative count
+        crosses ``p`` percent of samples — conservative for tail quantiles —
+        capped by the exact maximum.  Returns 0.0 for an empty histogram.
+        """
+        if not 0.0 < p <= 100.0:
+            raise ValueError(f"percentile must be in (0, 100], got {p}")
+        if self._total == 0:
+            return 0.0
+        target = int(math.ceil(self._total * (p / 100.0)))
+        cumulative = 0
+        last = len(self._counts) - 1
+        for index, count in enumerate(self._counts):
+            cumulative += count
+            if cumulative >= target:
+                if index == last:
+                    # Overflow bucket (samples clamped past max_latency): its
+                    # edge understates, the exact max is the honest answer.
+                    return self._max
+                return min(self._bucket_upper_bound(index), self._max)
+        return self._max  # unreachable unless counts drifted; stay safe
+
+    def percentiles(
+        self, points: Sequence[float] = DEFAULT_PERCENTILES
+    ) -> Dict[float, float]:
+        """Several percentiles in one pass-per-point (the list is short)."""
+        return {p: self.percentile(p) for p in points}
+
+    # ------------------------------------------------------------------
+    # Serialization (cross-process transfer, BENCH_*.json persistence)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """A sparse, JSON-safe form: layout + ``[index, count]`` pairs."""
+        return {
+            "min_latency": self.min_latency,
+            "max_latency": self.max_latency,
+            "buckets_per_decade": self.buckets_per_decade,
+            "buckets": [
+                [index, count] for index, count in enumerate(self._counts) if count
+            ],
+            "total": self._total,
+            "sum": self._sum,
+            "max": self._max,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "LatencyHistogram":
+        histogram = cls(
+            min_latency=data["min_latency"],  # type: ignore[arg-type]
+            max_latency=data["max_latency"],  # type: ignore[arg-type]
+            buckets_per_decade=data["buckets_per_decade"],  # type: ignore[arg-type]
+        )
+        counts = histogram._counts
+        for index, count in data["buckets"]:  # type: ignore[union-attr]
+            counts[index] = count
+        histogram._total = data["total"]  # type: ignore[assignment]
+        histogram._sum = data["sum"]  # type: ignore[assignment]
+        histogram._max = data["max"]  # type: ignore[assignment]
+        return histogram
+
+    @classmethod
+    def merged(cls, shards: Iterable["LatencyHistogram"]) -> "LatencyHistogram":
+        """Merge worker shards into one histogram (empty default layout if none)."""
+        result: Optional[LatencyHistogram] = None
+        for shard in shards:
+            if result is None:
+                result = cls(
+                    min_latency=shard.min_latency,
+                    max_latency=shard.max_latency,
+                    buckets_per_decade=shard.buckets_per_decade,
+                )
+            result.merge(shard)
+        return result if result is not None else cls()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        points: List[Tuple[float, float]] = sorted(self.percentiles().items())
+        summary = ", ".join(f"p{p:g}={v * 1e3:.2f}ms" for p, v in points)
+        return f"LatencyHistogram(n={self._total}, {summary})"

@@ -1,0 +1,395 @@
+"""The open-loop engine and the multi-process open-loop benchmark.
+
+:func:`run_open_loop` is the measurement core: worker threads pull
+operations off a *pre-computed arrival schedule* and charge each
+operation's latency from its **scheduled** arrival time, not from the
+moment a worker got around to issuing it.  A stalled system therefore
+accumulates queueing delay in the recorded tail instead of silently
+thinning the arrivals — the coordinated-omission fix (wrk2/HdrHistogram
+style).  The same engine runs a ``"closed"`` mode that issues
+back-to-back and times only service, purely so tests and reports can
+show the two distributions diverge under a stall.
+
+:func:`run_openloop_benchmark` wires the engine on top of the
+multi-process driver's bootstrap (:mod:`repro.bench.driver`): the
+coordinator starts the networked deployment, forks worker processes,
+and each worker generates its own share of the arrival schedule
+(Poisson splitting keeps the superposed offered rate exact) and drives
+it with its own thread pool against the shared cache nodes.  Latency
+histograms merge across threads and processes; the result reports
+offered rate vs achieved goodput and the merged percentiles.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.bench.driver import (
+    _transport_label,
+    build_worker_stack,
+    fork_context,
+    start_pages_deployment,
+)
+from repro.bench.loadgen.histogram import DEFAULT_PERCENTILES, LatencyHistogram
+from repro.bench.loadgen.schedule import ArrivalSchedule
+from repro.db.query import Eq, Select
+
+__all__ = [
+    "OpenLoopConfig",
+    "OpenLoopResult",
+    "OpenLoopStats",
+    "run_open_loop",
+    "run_openloop_benchmark",
+]
+
+#: Engine modes: ``"open"`` charges latency from the scheduled arrival,
+#: ``"closed"`` issues back-to-back and times only service (the
+#: coordinated-omission-prone baseline, kept for contrast).
+LOOP_MODES = ("open", "closed")
+
+
+@dataclass
+class OpenLoopStats:
+    """What one :func:`run_open_loop` call measured."""
+
+    completed: int
+    errors: int
+    wall_seconds: float
+    histogram: LatencyHistogram
+
+    @property
+    def achieved_rate(self) -> float:
+        """Operations completed per wall-clock second (goodput)."""
+        return self.completed / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+
+def run_open_loop(
+    times: Sequence[float],
+    make_executor: Callable[[int], Callable[[int], object]],
+    threads: int = 1,
+    mode: str = "open",
+) -> OpenLoopStats:
+    """Drive a pre-computed arrival schedule with a pool of worker threads.
+
+    ``times`` are scheduled arrival offsets (seconds from run start,
+    ascending); ``make_executor(thread_index)`` returns the callable one
+    thread uses to execute operations (each thread gets its own, so
+    executors can own non-thread-safe state like a client or an RNG).
+
+    In ``"open"`` mode a thread claims the next arrival, sleeps until its
+    scheduled time if early, executes, and records
+    ``completion - scheduled`` — so when all threads are busy, operations
+    queue and the wait is *charged to the tail* rather than deferring the
+    schedule.  In ``"closed"`` mode threads issue back-to-back and record
+    only ``completion - issue``: the loop that coordinated omission makes
+    look deceptively fast.
+
+    Failed operations count as errors and record no latency sample (they
+    produced no result; goodput already reflects the loss).
+    """
+    if mode not in LOOP_MODES:
+        raise ValueError(f"unknown mode {mode!r}; expected one of {list(LOOP_MODES)}")
+    if threads < 1:
+        raise ValueError(f"threads must be positive, got {threads}")
+    total = len(times)
+    histograms = [LatencyHistogram() for _ in range(threads)]
+    errors = [0] * threads
+    completed = [0] * threads
+    if total == 0:
+        return OpenLoopStats(0, 0, 0.0, LatencyHistogram())
+
+    next_index = [0]
+    index_lock = threading.Lock()
+    start_box = [0.0]
+    open_mode = mode == "open"
+
+    def set_start() -> None:
+        start_box[0] = time.perf_counter()
+
+    barrier = threading.Barrier(threads, action=set_start)
+
+    def run_thread(thread_index: int) -> None:
+        execute = make_executor(thread_index)
+        histogram = histograms[thread_index]
+        barrier.wait()
+        start = start_box[0]
+        while True:
+            with index_lock:
+                op_index = next_index[0]
+                if op_index >= total:
+                    return
+                next_index[0] = op_index + 1
+            if open_mode:
+                scheduled = start + times[op_index]
+                delay = scheduled - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+            else:
+                scheduled = time.perf_counter()
+            try:
+                execute(op_index)
+            except Exception:  # noqa: BLE001 - counted, the run continues
+                errors[thread_index] += 1
+                continue
+            histogram.record(time.perf_counter() - scheduled)
+            completed[thread_index] += 1
+
+    if threads == 1:
+        run_thread(0)
+    else:
+        pool = [
+            threading.Thread(target=run_thread, args=(i,), daemon=True)
+            for i in range(threads)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+    wall = time.perf_counter() - start_box[0]
+    return OpenLoopStats(
+        completed=sum(completed),
+        errors=sum(errors),
+        wall_seconds=wall,
+        histogram=LatencyHistogram.merged(histograms),
+    )
+
+
+# ----------------------------------------------------------------------
+# Multi-process open-loop benchmark (shares the driver's bootstrap)
+# ----------------------------------------------------------------------
+@dataclass
+class OpenLoopConfig:
+    """One open-loop measurement: an offered rate against one deployment.
+
+    The deployment knobs mirror :class:`repro.bench.driver.MultiprocessConfig`
+    — same forked-worker topology, same read-only ``pages`` workload — but
+    the load is driven by an arrival schedule at ``offered_rate`` ops/s
+    instead of a fixed per-thread interaction count.  Defaults select the
+    fast wire stack (pipelined multiplexed transport, binary codec), the
+    configuration the paper figures are re-measured on.
+    """
+
+    offered_rate: float = 2000.0
+    #: Operations in the schedule; duration ≈ total_ops / offered_rate.
+    total_ops: int = 4000
+    arrival: str = "poisson"  # "poisson" | "uniform"
+    mode: str = "open"  # "open" | "closed" (CO-prone contrast)
+    processes: int = 2
+    threads_per_process: int = 4
+    transport: str = "socket-pipelined"
+    socket_pipelined: Optional[bool] = None
+    server_style: Optional[str] = None
+    cache_nodes: int = 2
+    cache_capacity_bytes_per_node: int = 8 * 1024 * 1024
+    rows: int = 256
+    staleness: float = 30.0
+    socket_pool_size: Optional[int] = None
+    #: Modelled LAN round trip per cache RPC (see CacheServerProcess).
+    simulated_rpc_latency_seconds: float = 4e-4
+    wire_codec: Optional[str] = "binary"
+    mux_read_lease: bool = True
+    write_coalescing: bool = True
+    seed: int = 1
+    label: str = ""
+
+
+@dataclass
+class OpenLoopResult:
+    """Outcome of one multi-process open-loop measurement."""
+
+    label: str
+    offered_rate: float
+    mode: str
+    arrival: str
+    processes: int
+    threads_per_process: int
+    transport: str
+    completed: int
+    errors: int
+    wall_seconds: float
+    achieved_goodput: float
+    hit_rate: float
+    histogram: LatencyHistogram
+
+    def percentiles(self, points: Sequence[float] = DEFAULT_PERCENTILES) -> Dict[float, float]:
+        return self.histogram.percentiles(points)
+
+    def summary(self) -> str:
+        p = self.percentiles()
+        return (
+            f"{self.label or 'run'}: offered {self.offered_rate:8.0f} ops/s -> "
+            f"achieved {self.achieved_goodput:8.1f} ops/s  "
+            f"p50 {p[50.0] * 1e3:6.2f}ms  p99 {p[99.0] * 1e3:7.2f}ms  "
+            f"hit rate {self.hit_rate:5.1%}"
+        )
+
+
+def _openloop_worker(
+    index: int,
+    addresses,
+    schedule: ArrivalSchedule,
+    ops: int,
+    config: OpenLoopConfig,
+    barrier,
+    queue,
+) -> None:
+    """One forked worker: generate this process's arrivals and drive them.
+
+    Runs in a child process.  Like the closed-loop driver's worker, it must
+    always reach the barrier, so bootstrap failures are carried past it and
+    reported through the queue instead of deadlocking the coordinator.
+    """
+    cluster = None
+    bootstrap_error: Optional[str] = None
+    clients: List = []
+    try:
+        cluster, clients = build_worker_stack(
+            addresses,
+            transport=config.transport,
+            rows=config.rows,
+            staleness=config.staleness,
+            clients=config.threads_per_process,
+            socket_pipelined=config.socket_pipelined,
+            socket_pool_size=config.socket_pool_size or max(1, config.threads_per_process),
+            wire_codec=config.wire_codec,
+            mux_read_lease=config.mux_read_lease,
+        )
+    except Exception as exc:  # noqa: BLE001 - reported via the queue
+        bootstrap_error = f"{type(exc).__name__}: {exc}"
+
+    def make_executor(thread_index: int) -> Callable[[int], object]:
+        client = clients[thread_index]
+        rng = random.Random(config.seed * 100_000 + index * 100 + thread_index)
+
+        @client.cacheable(name="bench_get_row")
+        def get_row(row_id):
+            return client.query(Select("pages", Eq("id", row_id))).rows[0]
+
+        def execute(op_index: int) -> object:
+            with client.read_only(staleness=config.staleness):
+                return get_row(rng.randrange(config.rows))
+
+        return execute
+
+    try:
+        barrier.wait(timeout=60)
+    except Exception:
+        bootstrap_error = bootstrap_error or "coordination barrier broke"
+    if bootstrap_error is None:
+        stats = run_open_loop(
+            schedule.times(ops),
+            make_executor,
+            threads=config.threads_per_process,
+            mode=config.mode,
+        )
+    else:
+        stats = OpenLoopStats(0, 0, 0.0, LatencyHistogram())
+    hits = misses = 0
+    for client in clients:
+        hits += client.stats.hits
+        misses += client.stats.misses
+    queue.put(
+        {
+            "index": index,
+            "completed": stats.completed,
+            "errors": stats.errors + (1 if bootstrap_error else 0),
+            "hits": hits,
+            "misses": misses,
+            "histogram": stats.histogram.to_dict(),
+            "bootstrap_error": bootstrap_error,
+        }
+    )
+    if cluster is not None:
+        cluster.close()
+
+
+def run_openloop_benchmark(config: OpenLoopConfig) -> OpenLoopResult:
+    """Offer a fixed rate to one deployment from forked worker processes.
+
+    The coordinator starts the deployment (loaded and warmed), splits the
+    arrival schedule across ``processes`` workers (rate divides; Poisson
+    superposition restores the offered rate exactly), forks them, and times
+    the run from the start-barrier release to the last worker's report —
+    the wall clock the achieved goodput is computed against.
+    """
+    if config.processes < 1:
+        raise ValueError("processes must be positive")
+    if config.threads_per_process < 1:
+        raise ValueError("threads_per_process must be positive")
+    if config.total_ops < 1:
+        raise ValueError("total_ops must be positive")
+    if config.transport not in ("socket", "socket-pipelined"):
+        raise ValueError("open-loop benchmark requires a socket transport")
+    schedule = ArrivalSchedule(
+        rate=config.offered_rate, kind=config.arrival, seed=config.seed
+    )
+    shares = schedule.split(config.processes)
+    base, extra = divmod(config.total_ops, config.processes)
+    ops_shares = [base + (1 if i < extra else 0) for i in range(config.processes)]
+
+    deployment = start_pages_deployment(
+        transport=config.transport,
+        cache_nodes=config.cache_nodes,
+        cache_capacity_bytes_per_node=config.cache_capacity_bytes_per_node,
+        staleness=config.staleness,
+        simulated_rpc_latency_seconds=config.simulated_rpc_latency_seconds,
+        rows=config.rows,
+        socket_pipelined=config.socket_pipelined,
+        server_style=config.server_style,
+        wire_codec=config.wire_codec,
+        mux_read_lease=config.mux_read_lease,
+        write_coalescing=config.write_coalescing,
+    )
+    try:
+        addresses = {
+            name: process.address
+            for name, process in deployment.cache.processes.items()
+        }
+        context = fork_context()
+        barrier = context.Barrier(config.processes + 1)
+        queue = context.Queue()
+        workers = [
+            context.Process(
+                target=_openloop_worker,
+                args=(i, addresses, shares[i], ops_shares[i], config, barrier, queue),
+                daemon=True,
+            )
+            for i in range(config.processes)
+        ]
+        for worker in workers:
+            worker.start()
+        barrier.wait(timeout=120)
+        started = time.perf_counter()
+        reports = [queue.get(timeout=600) for _ in workers]
+        wall = time.perf_counter() - started
+        for worker in workers:
+            worker.join(timeout=30)
+
+        completed = sum(report["completed"] for report in reports)
+        hits = sum(report["hits"] for report in reports)
+        misses = sum(report["misses"] for report in reports)
+        looked_up = hits + misses
+        histogram = LatencyHistogram.merged(
+            LatencyHistogram.from_dict(report["histogram"]) for report in reports
+        )
+        return OpenLoopResult(
+            label=config.label,
+            offered_rate=config.offered_rate,
+            mode=config.mode,
+            arrival=config.arrival,
+            processes=config.processes,
+            threads_per_process=config.threads_per_process,
+            transport=_transport_label(config),
+            completed=completed,
+            errors=sum(report["errors"] for report in reports),
+            wall_seconds=wall,
+            achieved_goodput=completed / wall if wall > 0 else 0.0,
+            hit_rate=hits / looked_up if looked_up else 0.0,
+            histogram=histogram,
+        )
+    finally:
+        deployment.shutdown()

@@ -1,0 +1,112 @@
+"""Arrival schedules for the open-loop load generator.
+
+A closed-loop driver issues the next operation when the previous one
+completes, so a slow system *slows its own load down* and the measured
+latency distribution silently omits exactly the samples that would have
+shown the queueing — the coordinated-omission failure mode.  An open-loop
+generator fixes the *offered* rate instead: operations arrive on a schedule
+decided before the run starts, independent of how the system responds.
+
+This module produces those schedules.  Two arrival processes are supported:
+
+* ``"poisson"`` — exponentially distributed inter-arrival gaps from a seeded
+  RNG: the memoryless arrival process of real user traffic, and the one the
+  queueing results (M/G/k) assume.  Same seed, same schedule — runs are
+  reproducible.
+* ``"uniform"`` — deterministic fixed gaps of ``1/rate``: no burstiness at
+  all, useful for isolating service-time effects from arrival variance.
+
+Schedules *split* across worker processes by dividing the rate: the
+superposition of k independent Poisson processes at ``rate/k`` is a Poisson
+process at ``rate``, so per-worker generation preserves the offered-load
+semantics without any cross-process coordination.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["ARRIVAL_KINDS", "ArrivalSchedule", "poisson_arrivals", "uniform_arrivals"]
+
+#: Supported arrival processes.
+ARRIVAL_KINDS = ("poisson", "uniform")
+
+#: Seed stride between split sub-schedules (a prime, so derived seeds never
+#: collide across nearby base seeds and worker counts).
+_SEED_STRIDE = 7919
+
+
+def poisson_arrivals(rate: float, count: int, seed: int) -> List[float]:
+    """``count`` cumulative Poisson arrival times (seconds) at ``rate`` ops/s.
+
+    Inter-arrival gaps are exponential with mean ``1/rate``, drawn from a
+    private ``random.Random(seed)`` — the sequence is a pure function of
+    ``(rate, count, seed)``.
+    """
+    if rate <= 0:
+        raise ValueError(f"offered rate must be positive, got {rate}")
+    if count < 0:
+        raise ValueError(f"arrival count must be non-negative, got {count}")
+    rng = random.Random(seed)
+    expovariate = rng.expovariate
+    now = 0.0
+    times: List[float] = []
+    append = times.append
+    for _ in range(count):
+        now += expovariate(rate)
+        append(now)
+    return times
+
+
+def uniform_arrivals(rate: float, count: int) -> List[float]:
+    """``count`` deterministic arrival times spaced exactly ``1/rate`` apart."""
+    if rate <= 0:
+        raise ValueError(f"offered rate must be positive, got {rate}")
+    if count < 0:
+        raise ValueError(f"arrival count must be non-negative, got {count}")
+    gap = 1.0 / rate
+    return [(index + 1) * gap for index in range(count)]
+
+
+@dataclass(frozen=True)
+class ArrivalSchedule:
+    """One worker's offered load: an arrival process, a rate, and a seed."""
+
+    rate: float
+    kind: str = "poisson"
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ARRIVAL_KINDS:
+            raise ValueError(
+                f"unknown arrival kind {self.kind!r}; expected one of {list(ARRIVAL_KINDS)}"
+            )
+        if self.rate <= 0:
+            raise ValueError(f"offered rate must be positive, got {self.rate}")
+
+    def times(self, count: int) -> List[float]:
+        """The first ``count`` arrival times (seconds since run start)."""
+        if self.kind == "poisson":
+            return poisson_arrivals(self.rate, count, self.seed)
+        return uniform_arrivals(self.rate, count)
+
+    def split(self, workers: int) -> List["ArrivalSchedule"]:
+        """Divide this schedule across ``workers`` independent generators.
+
+        Each sub-schedule offers ``rate/workers`` with a distinct derived
+        seed; their superposition offers the original rate (exactly, for
+        Poisson arrivals — splitting a Poisson process yields independent
+        Poisson processes).
+        """
+        if workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        return [
+            ArrivalSchedule(
+                rate=self.rate / workers,
+                kind=self.kind,
+                seed=self.seed * _SEED_STRIDE + index,
+            )
+            for index in range(workers)
+        ]

@@ -1,0 +1,168 @@
+"""Offered-rate sweeps: find the goodput knee and the p99-SLO ceiling.
+
+An open-loop point at one rate tells you whether the system kept up *at
+that rate*; capacity questions need the curve.  :func:`run_rate_sweep`
+walks offered rates (a caller-provided list, or a geometric ramp) and
+re-measures the same configuration at each, stopping once goodput
+saturates — achieved falls below ``saturation_fraction`` of offered —
+because past the knee an open-loop generator only builds an unbounded
+queue and every later percentile is a function of run length, not of
+the system.
+
+Two summary numbers come out of a sweep:
+
+* the **knee** — the highest measured rate the system still absorbed
+  (achieved ≥ fraction × offered): the classic throughput capacity;
+* the **max rate under a p99 SLO** — the highest rate whose tail stayed
+  within a latency budget: the number a capacity planner actually
+  provisions to, and always ≤ the knee.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.bench.loadgen.runner import OpenLoopConfig, OpenLoopResult, run_openloop_benchmark
+from repro.bench.report import format_table
+
+__all__ = ["RatePoint", "SweepResult", "run_rate_sweep"]
+
+#: Achieved/offered ratio below which a rate counts as past saturation.
+DEFAULT_SATURATION_FRACTION = 0.9
+
+
+@dataclass(frozen=True)
+class RatePoint:
+    """One measured rate on the sweep curve (latencies in seconds)."""
+
+    offered_rate: float
+    achieved_goodput: float
+    p50: float
+    p95: float
+    p99: float
+    p999: float
+    errors: int
+    hit_rate: float
+
+    @property
+    def saturation(self) -> float:
+        """Achieved as a fraction of offered (1.0 = fully absorbed)."""
+        return self.achieved_goodput / self.offered_rate if self.offered_rate > 0 else 0.0
+
+    @classmethod
+    def from_result(cls, result: OpenLoopResult) -> "RatePoint":
+        p = result.percentiles((50.0, 95.0, 99.0, 99.9))
+        return cls(
+            offered_rate=result.offered_rate,
+            achieved_goodput=result.achieved_goodput,
+            p50=p[50.0],
+            p95=p[95.0],
+            p99=p[99.0],
+            p999=p[99.9],
+            errors=result.errors,
+            hit_rate=result.hit_rate,
+        )
+
+
+@dataclass
+class SweepResult:
+    """A measured offered-rate curve for one configuration."""
+
+    label: str
+    transport: str
+    points: List[RatePoint]
+    saturation_fraction: float = DEFAULT_SATURATION_FRACTION
+
+    def knee(self, fraction: Optional[float] = None) -> Optional[RatePoint]:
+        """The highest-rate point the system still absorbed, if any.
+
+        A point is "absorbed" when achieved goodput is at least
+        ``fraction`` of the offered rate; the knee is the last such point
+        in offered-rate order — beyond it, queueing, not service, sets
+        the curve.
+        """
+        threshold = self.saturation_fraction if fraction is None else fraction
+        absorbed = [p for p in self.points if p.saturation >= threshold]
+        return max(absorbed, key=lambda p: p.offered_rate) if absorbed else None
+
+    def max_rate_under_slo(self, slo_seconds: float) -> Optional[RatePoint]:
+        """The highest absorbed rate whose p99 stayed within ``slo_seconds``."""
+        threshold = self.saturation_fraction
+        within = [
+            p
+            for p in self.points
+            if p.saturation >= threshold and p.p99 <= slo_seconds
+        ]
+        return max(within, key=lambda p: p.offered_rate) if within else None
+
+    def format_table(self) -> str:
+        header = ["offered ops/s", "achieved", "ratio", "p50 ms", "p95 ms", "p99 ms", "p99.9 ms"]
+        rows = [
+            [
+                f"{p.offered_rate:,.0f}",
+                f"{p.achieved_goodput:,.1f}",
+                f"{p.saturation:.2f}",
+                f"{p.p50 * 1e3:.2f}",
+                f"{p.p95 * 1e3:.2f}",
+                f"{p.p99 * 1e3:.2f}",
+                f"{p.p999 * 1e3:.2f}",
+            ]
+            for p in self.points
+        ]
+        title = f"{self.label or 'sweep'} ({self.transport})"
+        return format_table(header, rows, title=title)
+
+
+def run_rate_sweep(
+    config: OpenLoopConfig,
+    rates: Optional[Sequence[float]] = None,
+    *,
+    start_rate: float = 500.0,
+    growth: float = 1.6,
+    max_points: int = 8,
+    seconds_per_point: float = 2.0,
+    saturation_fraction: float = DEFAULT_SATURATION_FRACTION,
+    runner: Callable[[OpenLoopConfig], OpenLoopResult] = run_openloop_benchmark,
+) -> SweepResult:
+    """Measure ``config`` across offered rates until goodput saturates.
+
+    ``config`` is a template: each point re-runs it with ``offered_rate``
+    set and ``total_ops`` sized so the point lasts ≈ ``seconds_per_point``
+    (fixed *duration* per point, not fixed ops — otherwise high-rate
+    points would be over in milliseconds and measure warmup, not steady
+    state).  With explicit ``rates`` every listed rate is measured; with
+    the geometric ramp the sweep stops one point after saturation, so the
+    knee is bracketed from above.  ``runner`` is injectable for tests.
+    """
+    if rates is None:
+        if start_rate <= 0 or growth <= 1.0 or max_points < 1:
+            raise ValueError("geometric ramp needs start_rate > 0, growth > 1, max_points >= 1")
+        schedule: List[float] = [start_rate * growth**i for i in range(max_points)]
+        stop_on_saturation = True
+    else:
+        schedule = sorted(float(rate) for rate in rates)
+        if not schedule or schedule[0] <= 0:
+            raise ValueError(f"rates must be positive, got {rates!r}")
+        stop_on_saturation = False
+    points: List[RatePoint] = []
+    transport = ""
+    for rate in schedule:
+        point_config = dataclasses.replace(
+            config,
+            offered_rate=rate,
+            total_ops=max(1, int(rate * seconds_per_point)),
+        )
+        result = runner(point_config)
+        transport = result.transport
+        point = RatePoint.from_result(result)
+        points.append(point)
+        if stop_on_saturation and point.saturation < saturation_fraction:
+            break
+    return SweepResult(
+        label=config.label,
+        transport=transport,
+        points=points,
+        saturation_fraction=saturation_fraction,
+    )

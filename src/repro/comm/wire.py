@@ -840,6 +840,10 @@ def decode_binary_body(body: Buffer) -> object:
 #: :func:`encode_binary_args` instead of a tagged value walk.
 _SINGLE_KEY_OPCODES = frozenset((OPCODES["lookup"], OPCODES["probe"]))
 
+#: ``put`` gets its own fixed layout: key, packed interval, tag list,
+#: then the value — everything but the value dodges the tagged walk.
+_PUT_OPCODE = OPCODES["put"]
+
 #: Request-body markers: a packed single-key layout, or a generic tagged
 #: body for arguments the packed layout cannot carry.
 _ARGS_PACKED = 1
@@ -890,6 +894,42 @@ def encode_binary_args(opcode: int, args: object) -> bytearray:
         out.append(_ARGS_TAGGED)
         _enc_value(out, args)
         return out
+    if opcode == _PUT_OPCODE:
+        if _Interval is None:
+            _bind_record_types()
+        if (
+            type(args) is tuple
+            and len(args) == 4
+            and type(args[0]) is str
+            and type(args[2]) is _Interval
+            and type(args[3]) is frozenset
+            and len(args[3]) < 255
+        ):
+            key, value, interval, tags = args
+            try:
+                raw = key.encode("utf-8")
+                out = bytearray()
+                append = out.append
+                append(_ARGS_PACKED)
+                size = len(raw)
+                if size < 255:
+                    append(size)
+                else:
+                    append(255)
+                    out += _pack_u32(size)
+                out += raw
+                interval.pack_into(out)
+                append(len(tags))
+                for tag in tags:
+                    _enc_value(out, tag)
+                _enc_value(out, value)
+                return out
+            except (UnicodeEncodeError, struct.error, OverflowError, TypeError):
+                pass  # fall back to the tagged body below
+        out = bytearray()
+        out.append(_ARGS_TAGGED)
+        _enc_value(out, args)
+        return out
     return encode_binary_body(args)
 
 
@@ -899,7 +939,8 @@ def decode_binary_args(opcode: int, body: Buffer) -> object:
     The inverse of :func:`encode_binary_args`; malformed input raises
     :class:`WireDecodeError` exactly like :func:`decode_binary_body`.
     """
-    if opcode not in _SINGLE_KEY_OPCODES:
+    is_put = opcode == _PUT_OPCODE
+    if opcode not in _SINGLE_KEY_OPCODES and not is_put:
         return decode_binary_body(body)
     if type(body) is bytes:
         buf = body
@@ -922,12 +963,28 @@ def decode_binary_args(opcode: int, body: Buffer) -> object:
                 key = raw.decode("utf-8")
             except UnicodeDecodeError:
                 key = raw.decode("utf-8", "surrogatepass")
-            lo, hi = _unpack_qq(buf, end)
-            if end + 16 != len(buf):
+            if not is_put:
+                lo, hi = _unpack_qq(buf, end)
+                if end + 16 != len(buf):
+                    raise WireDecodeError(
+                        f"malformed binary request: {len(buf) - end - 16} trailing bytes"
+                    )
+                return key, lo, hi
+            if _Interval is None:
+                _bind_record_types()
+            interval, offset = _Interval.unpack_from(buf, end)
+            count = buf[offset]
+            offset += 1
+            tags = []
+            for _ in range(count):
+                tag, offset = _dec_value(buf, offset)
+                tags.append(tag)
+            value, offset = _dec_value(buf, offset)
+            if offset != len(buf):
                 raise WireDecodeError(
-                    f"malformed binary request: {len(buf) - end - 16} trailing bytes"
+                    f"malformed binary request: {len(buf) - offset} trailing bytes"
                 )
-            return key, lo, hi
+            return key, value, interval, frozenset(tags)
         if marker == _ARGS_TAGGED:
             if _Interval is None:
                 _bind_record_types()

@@ -17,7 +17,6 @@ clients keep working against binary servers unchanged.
 from __future__ import annotations
 
 import socket
-import struct
 import threading
 
 import pytest
@@ -247,6 +246,62 @@ def test_malformed_request_args_never_raise_anything_else(key, lo, span, data):
         wire.decode_binary_args(opcode, bytes(body))
     except wire.WireDecodeError:
         pass  # the only acceptable exception
+
+
+@given(keys, values, intervals, tags)
+@settings(deadline=None)
+def test_put_request_args_round_trip_packed(key, value, interval, tag_set):
+    """``put``'s fixed layout is exact for every key, value, interval, and
+    tag set the cache layer can send (the value rides the tagged codec
+    inside the packed frame, so arbitrary values still round-trip)."""
+    args = (key, value, interval, tag_set)
+    opcode = wire.OPCODES["put"]
+    body = bytes(wire.encode_binary_args(opcode, args))
+    assert body[0] == 1  # packed-layout marker
+    assert wire.decode_binary_args(opcode, body) == args
+
+
+def test_put_request_args_fall_back_to_tagged_bodies():
+    """Arguments the packed put layout cannot carry (non-str key, a plain
+    set instead of a frozenset, a missing interval, wrong arity) still
+    round-trip via the tagged fallback."""
+    opcode = wire.OPCODES["put"]
+    for args in [
+        (b"raw-key", 1, Interval(0), frozenset()),
+        ("k", 1, None, frozenset()),
+        ("k", 1, Interval(0), {InvalidationTag("t")}),  # set, not frozenset
+        ("k", 1, Interval(0)),
+        ("k",),
+    ]:
+        body = bytes(wire.encode_binary_args(opcode, args))
+        assert body[0] == 0  # tagged-body marker
+        assert wire.decode_binary_args(opcode, body) == args
+
+
+@given(keys, intervals, tags, st.data())
+@settings(deadline=None, max_examples=60)
+def test_malformed_put_args_never_raise_anything_else(key, interval, tag_set, data):
+    opcode = wire.OPCODES["put"]
+    args = (key, {"row": 1}, interval, tag_set)
+    body = bytearray(wire.encode_binary_args(opcode, args))
+    if data.draw(st.booleans()):
+        body = body[: data.draw(st.integers(0, max(0, len(body) - 1)))]
+    else:
+        index = data.draw(st.integers(0, len(body) - 1))
+        body[index] ^= data.draw(st.integers(1, 255))
+    try:
+        wire.decode_binary_args(opcode, bytes(body))
+    except wire.WireDecodeError:
+        pass  # the only acceptable exception
+
+
+def test_put_trailing_bytes_are_rejected():
+    opcode = wire.OPCODES["put"]
+    body = bytes(
+        wire.encode_binary_args(opcode, ("k", 1, Interval(0, 5), frozenset()))
+    )
+    with pytest.raises(wire.WireDecodeError):
+        wire.decode_binary_args(opcode, body + b"\x00")
 
 
 def test_interval_object_sharing_survives_the_codec():
