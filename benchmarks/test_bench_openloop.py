@@ -16,7 +16,7 @@ are appended to ``BENCH_figures.json`` by the experiment.
 from __future__ import annotations
 
 from benchmarks.conftest import run_once
-from repro.bench.experiments import figures_openloop
+from repro.bench.experiments import figures_openloop, repair_openloop
 from repro.bench.loadgen import OpenLoopConfig, capacity_report, run_rate_sweep
 from repro.bench.perflog import (
     BENCH_FIGURES_FILENAME,
@@ -93,3 +93,40 @@ def test_figures_openloop_smoke_emits_valid_document(benchmark, tmp_path):
     assert problems == [], f"schema problems: {problems}"
     # The capacity model rode along from the 512MB sweep.
     assert document["sections"]["capacity"]["entries"][-1]["data"]["concurrent_users"] > 0
+
+
+def test_repair_openloop_smoke_budgeted_plane_matches_the_sweep(benchmark):
+    """The repair-interference experiment runs end to end at smoke scale.
+
+    Structural contract only — the p99 ratios are machine-sensitive and are
+    asserted nowhere; what must hold everywhere is that all three scenarios
+    complete the full schedule without errors, both repair scenarios
+    re-replicate exactly the same damaged entries, and the budgeted run
+    actually went through the maintenance plane (windows elapsed, repair
+    spread over real time) rather than degenerating into a synchronous
+    sweep.
+    """
+
+    def run():
+        return repair_openloop(smoke=True)
+
+    result = run_once(benchmark, run)
+    print("\n" + result.format_table())
+    assert [r.label for r in result.runs] == [
+        "no repair", "synchronous sweep", "budgeted plane",
+    ]
+    assert result.damaged > 0
+    expected_arrivals = int(result.offered_rate * 1.5)  # the smoke schedule
+    for scenario in result.runs:
+        assert scenario.stats.errors == 0
+        assert scenario.stats.completed == expected_arrivals
+        assert scenario.p50 > 0.0
+    baseline = result.run_named("no repair")
+    sync = result.run_named("synchronous sweep")
+    budgeted = result.run_named("budgeted plane")
+    assert baseline.repaired == 0
+    assert sync.repaired == budgeted.repaired == result.damaged
+    # The budgeted run really was budgeted: the plane's clock saw multiple
+    # refill windows and the repair stretched past the sweep's duration.
+    assert budgeted.budget_windows > 1
+    assert budgeted.repair_seconds > sync.repair_seconds > 0.0

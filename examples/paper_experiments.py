@@ -32,12 +32,14 @@ from repro.bench.experiments import (
     figure8,
     figures_openloop,
     pipelined_clients,
+    repair_openloop,
     validity_tracking_overhead,
 )
 
 EXPERIMENTS = (
     "fig5a", "fig5b", "fig6a", "fig6b", "fig7", "fig8", "overhead",
     "concurrency", "concurrent-churn", "pipelined", "figures-openloop",
+    "repair-openloop",
 )
 
 
@@ -87,6 +89,18 @@ def run_experiment(name: str, settings: ExperimentSettings, smoke: bool = False)
         print(result.format_table())
         if result.recorded_path:
             print(f"recorded -> {result.recorded_path}")
+    elif name == "repair-openloop":
+        # Repair interference under fixed offered load: the budgeted
+        # maintenance plane must re-replicate everything the synchronous
+        # sweep does while keeping the foreground p99 near the no-repair
+        # baseline.  --smoke shrinks the run (structure, not numbers).
+        result = repair_openloop(smoke=smoke)
+        print(result.format_table())
+        print(
+            "p99 vs no-repair baseline: synchronous sweep "
+            f"{result.p99_ratio('synchronous sweep'):.2f}x, budgeted plane "
+            f"{result.p99_ratio('budgeted plane'):.2f}x"
+        )
     else:
         raise SystemExit(f"unknown experiment {name!r}")
     print(f"[{name} finished in {time.time() - started:.1f}s]\n")

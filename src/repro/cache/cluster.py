@@ -801,6 +801,21 @@ class CacheCluster:
         return self._transports[node].watermark()
 
     # ------------------------------------------------------------------
+    # Autonomous cluster plane (gossip membership + digest repair)
+    # ------------------------------------------------------------------
+    def gossip(self, node: str, digest: dict) -> dict:
+        """Push-pull membership-digest exchange with ``node``'s agent."""
+        return self._transports[node].gossip(digest)
+
+    def key_digest(self, node: str, arcs) -> List[Tuple[int, int, int]]:
+        """Per-arc interval-set digests of ``node``'s stored keys."""
+        return self._transports[node].key_digest(list(arcs))
+
+    def keys_in_range(self, node: str, arcs) -> List[str]:
+        """``node``'s stored keys inside the given hash-space arcs."""
+        return self._transports[node].keys_in_range(list(arcs))
+
+    # ------------------------------------------------------------------
     # Statistics
     # ------------------------------------------------------------------
     def aggregate_stats(self) -> CacheServerStats:

@@ -49,9 +49,14 @@ entries to every member of each key's new replica set (installs on nodes
 that already hold a copy are rejected as duplicates, so this is idempotent).
 After a *failure* eviction the crashed node's arcs are under-replicated —
 the surviving copies serve reads, but a second crash would lose them — so
-the coordinator runs an **anti-entropy repair** (:meth:`repair`): every node
-streams its entries (the same ``extract_entries``/``install_entries`` ops as
-migration) to the replicas of each key that lack a copy.  Repair never
+the coordinator runs an **anti-entropy repair** (:meth:`repair`): replicas
+first compare cheap per-arc key digests, then live holders stream entries
+(the same ``extract_entries``/``install_entries`` ops as migration) to the
+replicas of each key that lack a copy — and only for the arcs whose digests
+actually disagree.  When the coordinator carries a
+:class:`repro.cache.maintenance.MaintenancePlane`, the whole sweep runs as a
+resumable chunked background job under the plane's op/byte budget instead of
+synchronously at the epoch boundary.  Repair never
 advances a destination's invalidation watermark: established members are
 already current, and force-advancing a node that *missed* messages (a healed
 partition) would let its un-truncated still-valid entries claim validity
@@ -63,14 +68,16 @@ advance per the paper's staleness rules.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Generator, List, Optional, Set, Tuple
 
 # _FAILURE_EXCEPTIONS: the cluster's definition of "node unreachable";
 # migration treats a vanished source/target the same way routing does.
 from repro.cache.cluster import _FAILURE_EXCEPTIONS, CacheCluster
 from repro.cache.entry import EntryRecord
 from repro.cache.hashring import ConsistentHashRing, diff_replica_ownership
+from repro.cache.maintenance import ChunkedJob, MaintenancePlane
 from repro.cache.server import CacheServer
 
 __all__ = ["ClusterMembership", "MembershipStats", "EpochRecord"]
@@ -108,6 +115,14 @@ class MembershipStats:
     #: Entry versions actually (re-)stored on an under-replicated node by
     #: repair sweeps (duplicate installs on up-to-date replicas don't count).
     entries_re_replicated: int = 0
+    #: ``key_digest`` round trips issued by repair sweeps (one per node).
+    repair_digest_rpcs: int = 0
+    #: ``keys_in_range`` round trips issued for arcs whose digests disagreed.
+    repair_key_fetches: int = 0
+    #: Ring arcs whose replica digests all matched (no key traffic at all).
+    repair_arcs_clean: int = 0
+    #: Ring arcs whose replica digests disagreed (key lists were fetched).
+    repair_arcs_dirty: int = 0
 
 
 @dataclass(frozen=True)
@@ -131,6 +146,10 @@ class ClusterMembership:
     #: Run an anti-entropy repair sweep automatically after a failure-driven
     #: eviction leaves key ranges under-replicated (replicated clusters only).
     auto_repair: bool = True
+    #: Background maintenance plane.  When set, :meth:`repair` submits a
+    #: resumable chunked job to it (drained by the plane's pump under its
+    #: op/byte budget) instead of sweeping synchronously.
+    plane: Optional[MaintenancePlane] = None
 
     epoch: int = field(init=False, default=0)
     history: List[EpochRecord] = field(init=False, default_factory=list)
@@ -263,25 +282,108 @@ class ClusterMembership:
     def repair(self) -> int:
         """Restore the replication factor from the surviving copies.
 
-        Two passes.  An *inventory* pass fetches every member's key list
-        (one ``keys`` round trip per node) and plans, per key, which
-        replicas lack a copy and which live holder should supply it — so the
-        steady-state sweep costs N round trips and ships nothing.  A
-        *shipping* pass then streams only the missing copies (bounded
+        Three passes, all resumable at chunk granularity.  A *digest* pass
+        fetches every member's per-arc key digests (one ``key_digest`` round
+        trip per node; see :meth:`repro.cache.server.CacheServer.key_digest`)
+        and compares the replicas of each arc — an arc whose digests all
+        match is provably in sync and generates **no key traffic at all**,
+        so the steady-state sweep costs N digest round trips and ships
+        nothing.  A *key* pass then fetches key lists only for the arcs
+        whose digests disagreed (``keys_in_range``) and plans, per key,
+        which replicas lack a copy and which live holder should supply it.
+        A *shipping* pass streams exactly the missing copies (bounded
         chunks, the same migration ops); installs go through the server's
         put semantics, so anything invalidated meanwhile is truncated on
         insert.  Reconciliation is key-granular: a replica that holds *any*
         version of a key is considered current (finer, per-version
-        divergence ages out or is refilled by traffic).  Returns the number
-        of entry versions actually re-stored.  A no-op for unreplicated
-        clusters and rings too small to replicate.
+        divergence ages out or is refilled by traffic).
+
+        Without a :attr:`plane` the sweep runs synchronously and returns
+        the number of entry versions actually re-stored.  With one, the
+        sweep is submitted as a chunked background job — drained by the
+        plane's pump under its op/byte budget — and this returns 0
+        immediately; ``stats.entries_re_replicated`` advances as the job
+        completes.  A no-op for unreplicated clusters and rings too small
+        to replicate.
         """
+        job = ChunkedJob("repair", self._repair_chunks())
+        if self.plane is not None:
+            self.plane.submit(job)
+            return 0
+        job.drain()
+        return int(job.result or 0)
+
+    def _repair_chunks(self) -> Generator[Tuple[int, int], None, int]:
+        """The repair sweep as a chunk generator (one yield per RPC page)."""
         factor = self.cluster.replication_factor
         ring = self.cluster.ring
         if factor <= 1 or len(ring) <= 1:
             return 0
         self.stats.repairs += 1
-        held = self._key_inventory(ring.nodes)
+        nodes = sorted(ring.nodes)
+        # Replicas of one ring segment report the segment under the *same*
+        # (start, end) arc tuple (see ``replica_ranges``), so digests are
+        # directly comparable per arc across nodes.
+        arcs_of: Dict[str, List[Tuple[int, int]]] = {
+            node: ring.replica_ranges(node, factor) for node in nodes
+        }
+        replicas_of: Dict[Tuple[int, int], List[str]] = {}
+        for node in nodes:
+            for arc in arcs_of[node]:
+                replicas_of.setdefault(arc, []).append(node)
+        # Digest pass: one cheap round trip per node.
+        arc_digest: Dict[Tuple[str, Tuple[int, int]], Tuple[int, int, int]] = {}
+        reachable: Dict[str, bool] = {}
+        for node in nodes:
+            try:
+                digests = self.cluster.key_digest(node, arcs_of[node])
+            except _FAILURE_EXCEPTIONS:
+                self.cluster.note_transport_failure(node)
+                reachable[node] = False
+                continue
+            finally:
+                self.stats.repair_digest_rpcs += 1
+            reachable[node] = True
+            for arc, digest in zip(arcs_of[node], digests):
+                arc_digest[(node, arc)] = tuple(digest)
+            yield (1, 24 * max(1, len(arcs_of[node])))
+        # An arc is dirty when its reachable replicas disagree; unreachable
+        # replicas are neither repair sources nor targets (same stance as
+        # the old full-inventory sweep).
+        dirty_arcs: Set[Tuple[int, int]] = set()
+        for arc, replicas in sorted(replicas_of.items()):
+            seen = {
+                arc_digest[(node, arc)] for node in replicas if (node, arc) in arc_digest
+            }
+            if len(seen) > 1:
+                dirty_arcs.add(arc)
+                self.stats.repair_arcs_dirty += 1
+            else:
+                self.stats.repair_arcs_clean += 1
+        if not dirty_arcs:
+            return 0
+        # Key pass: fetch key lists only for the arcs that disagreed.  Every
+        # replica of a dirty-arc key replicates that arc, so nodes with no
+        # dirty arcs can never be a source or target and are skipped.
+        held: Dict[str, Optional[set]] = {}
+        for node in nodes:
+            if not reachable[node]:
+                held[node] = None
+                continue
+            node_dirty = [arc for arc in arcs_of[node] if arc in dirty_arcs]
+            if not node_dirty:
+                held[node] = set()
+                continue
+            try:
+                keys = self.cluster.keys_in_range(node, node_dirty)
+            except _FAILURE_EXCEPTIONS:
+                self.cluster.note_transport_failure(node)
+                held[node] = None
+                continue
+            finally:
+                self.stats.repair_key_fetches += 1
+            held[node] = set(keys)
+            yield (1, sum(len(key) for key in keys))
         # source -> destination -> the keys the destination is missing.
         plan: Dict[str, Dict[str, set]] = {}
         key_sets = [keys for keys in held.values() if keys]
@@ -296,7 +398,9 @@ class ClusterMembership:
                     plan.setdefault(source, {}).setdefault(destination, set()).add(key)
         installed = 0
         for source in sorted(plan):
-            installed += self._ship_missing(source, plan[source], held[source] or set())
+            installed += yield from self._ship_missing(
+                source, plan[source], held[source] or set()
+            )
         self.stats.entries_re_replicated += installed
         return installed
 
@@ -313,8 +417,13 @@ class ClusterMembership:
 
     def _ship_missing(
         self, source: str, missing_by_dest: Dict[str, set], held_keys: set
-    ) -> int:
-        """Stream exactly the planned missing copies out of ``source``."""
+    ) -> Generator[Tuple[int, int], None, int]:
+        """Stream exactly the planned missing copies out of ``source``.
+
+        A chunk generator: yields ``(ops, approx_bytes)`` after each extract
+        page (the page plus its install fan-out) and returns the number of
+        entry versions installed.
+        """
         wanted = set().union(*missing_by_dest.values())
         installed = 0
         # Pages arrive in ascending key order, so seed the cursor with the
@@ -351,6 +460,15 @@ class ClusterMembership:
                 except _FAILURE_EXCEPTIONS:
                     self.stats.migration_install_failures += 1
                     self.cluster.note_transport_failure(destination)
+            yield (
+                1 + len(by_target),
+                sum(
+                    len(record.key) + sys.getsizeof(record.value) + 48
+                    for batch in by_target.values()
+                    for record in batch
+                )
+                or 64,
+            )
             # Pages arrive in ascending key order, so once the cursor passes
             # the last wanted key the remaining pages ship nothing.
             if cursor is None or cursor >= max(wanted):

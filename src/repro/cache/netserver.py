@@ -490,6 +490,12 @@ class CacheServerProcess:
             return server.note_timestamp(*args)
         if op == "ping":
             return server.name
+        if op == "gossip":
+            return server.gossip_exchange(*args)
+        if op == "key_digest":
+            return server.key_digest(*args)
+        if op == "keys_in_range":
+            return server.keys_in_range(*args)
         raise ValueError(f"unknown cache operation {op!r}")
 
     # ------------------------------------------------------------------
@@ -600,7 +606,7 @@ class _EventLoopEngine:
     #: connection.
     _POOLED_OPS = frozenset(
         {"extract_entries", "install_entries", "discard_keys", "keys", "clear",
-         "evict_stale"}
+         "evict_stale", "key_digest", "keys_in_range"}
     )
     _POOLED_OPCODES = frozenset(OPCODES[op] for op in _POOLED_OPS)
 
@@ -1367,6 +1373,12 @@ class SocketTransport:
         self._mux: List[Optional[_MuxConnection]] = [None] * mux_connections
         self._mux_rr = itertools.count()
         self._closed = False
+        #: RPCs issued per operation name (mirrors InProcessTransport's
+        #: counter, so wire-op-cost tests pin the same numbers under every
+        #: transport kind).  Guarded by ``_count_lock``: ``_call`` runs
+        #: concurrently from many client threads.
+        self.op_counts: dict = {}
+        self._count_lock = threading.Lock()
         # Eager first dial: verify the endpoint now (the cluster relies on
         # construction failing fast for an unreachable node) and learn (or
         # verify) the node's name from the server itself.
@@ -1440,6 +1452,8 @@ class SocketTransport:
         _close_quietly(sock)  # closed while this call was in flight
 
     def _call(self, op: str, *args: object) -> object:
+        with self._count_lock:
+            self.op_counts[op] = self.op_counts.get(op, 0) + 1
         if self.pipelined:
             ok, value = self._mux_connection().call(op, args)
             if not ok:
@@ -1523,6 +1537,16 @@ class SocketTransport:
 
     def watermark(self) -> int:
         return self._call("watermark")
+
+    # -- autonomous cluster plane ---------------------------------------
+    def gossip(self, digest: dict) -> dict:
+        return self._call("gossip", dict(digest))
+
+    def key_digest(self, arcs) -> List[Tuple[int, int, int]]:
+        return self._call("key_digest", [tuple(arc) for arc in arcs])
+
+    def keys_in_range(self, arcs) -> List[str]:
+        return self._call("keys_in_range", [tuple(arc) for arc in arcs])
 
     # -- invalidation stream -------------------------------------------
     def process_invalidation(self, message: InvalidationMessage) -> None:

@@ -51,6 +51,7 @@ from repro.cache.entry import (
     LookupResult,
     estimate_size,
 )
+from repro.cache.hashring import HASH_SPACE, _hash as _ring_hash
 from repro.clock import Clock, SystemClock
 from repro.comm.multicast import InvalidationMessage
 from repro.db.invalidation import InvalidationTag
@@ -68,6 +69,36 @@ def _locked(method):
             return method(self, *args, **kwargs)
 
     return wrapper
+
+
+def _index_arcs(arcs: Sequence[Tuple[int, int]]):
+    """Prepare hash-space arcs for point location by bisect.
+
+    Wrapping arcs split into two flat segments; ``lo == hi`` (the full
+    circle) is kept aside and matches every point.  Returns
+    ``(segments, starts, full_circle)`` where ``segments`` is sorted
+    ``(lo, hi, original_index)`` and ``starts`` the parallel ``lo`` list.
+    """
+    segments: List[Tuple[int, int, int]] = []
+    full_circle: List[int] = []
+    for index, (lo, hi) in enumerate(arcs):
+        if lo == hi:
+            full_circle.append(index)
+        elif lo < hi:
+            segments.append((lo, hi, index))
+        else:
+            segments.append((lo, HASH_SPACE, index))
+            segments.append((0, hi, index))
+    segments.sort()
+    return segments, [segment[0] for segment in segments], tuple(full_circle)
+
+
+def _locate_arc(segments, starts, point: int) -> Optional[int]:
+    """The original arc index containing ``point`` (arcs are disjoint)."""
+    index = bisect.bisect_right(starts, point) - 1
+    if index >= 0 and point < segments[index][1]:
+        return segments[index][2]
+    return None
 
 
 @dataclass
@@ -156,6 +187,14 @@ class CacheServer:
         self._tag_invalidations: Dict[InvalidationTag, List[int]] = {}
         self._table_invalidations: Dict[str, List[int]] = {}
         self._used_bytes = 0
+        #: Resident gossip-membership agent (attached by the deployment's
+        #: GossipRunner; None on nodes not participating in gossip).  The
+        #: ``gossip`` wire op delegates to it, which is how membership
+        #: digests piggyback on the cache transport under every deployment
+        #: style.  The agent carries its own lock — digest exchange never
+        #: takes the server lock, so gossip keeps flowing while a
+        #: maintenance scan holds it.
+        self.gossip_agent = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -190,6 +229,68 @@ class CacheServer:
         """
         with self._lock:
             return sorted(self._entries)
+
+    @_locked
+    def key_digest(self, arcs: Sequence[Tuple[int, int]]) -> List[Tuple[int, int, int]]:
+        """Per-arc interval-set digests of the stored keys (anti-entropy).
+
+        For each hash-space arc ``[lo, hi)`` (wrapping allowed; ``lo == hi``
+        is the full circle) this folds every stored key whose ring point
+        falls inside the arc into an order-independent triple
+        ``(count, xor, sum mod 2^64)`` of the keys' 64-bit ring hashes — a
+        Merkle-style leaf digest over the arc's key *set*.  Two replicas of
+        an arc that hold the same key set report the same triple, so repair
+        planning can prove an arc clean from one small round trip per node
+        instead of shipping full ``keys()`` inventories.  Reconciliation
+        stays key-granular (matching :meth:`install_entries` semantics), so
+        keys — not values or versions — are what the digest covers.
+
+        Arcs within one call must be disjoint (ring segments are); a key on
+        an arc boundary belongs to the arc it opens, mirroring
+        :func:`repro.cache.hashring.range_contains`.
+        """
+        segments, starts, full_circle = _index_arcs(arcs)
+        digests = [[0, 0, 0] for _ in arcs]
+        for key in self._entries:
+            point = _ring_hash(key)
+            index = _locate_arc(segments, starts, point)
+            for target in full_circle if index is None else (*full_circle, index):
+                bucket = digests[target]
+                bucket[0] += 1
+                bucket[1] ^= point
+                bucket[2] = (bucket[2] + point) % HASH_SPACE
+        return [tuple(bucket) for bucket in digests]
+
+    @_locked
+    def keys_in_range(self, arcs: Sequence[Tuple[int, int]]) -> List[str]:
+        """The stored keys whose ring points fall inside the given arcs.
+
+        The targeted follow-up to :meth:`key_digest`: once a digest
+        mismatch marks an arc dirty, repair fetches only that arc's keys —
+        never the whole store.  Sorted, stats-free, LRU-free.
+        """
+        segments, starts, full_circle = _index_arcs(arcs)
+        if full_circle:
+            return sorted(self._entries)
+        return sorted(
+            key
+            for key in self._entries
+            if _locate_arc(segments, starts, _ring_hash(key)) is not None
+        )
+
+    def gossip_exchange(self, digest: dict) -> dict:
+        """Merge a membership digest into the resident agent; answer with ours.
+
+        Deliberately *not* ``@_locked``: the agent synchronizes itself, so
+        membership traffic is never queued behind a store scan — a wedged
+        maintenance op must not stall failure detection.  Returns an empty
+        digest when no agent is attached (gossip disabled), which merges as
+        a no-op on the caller.
+        """
+        agent = self.gossip_agent
+        if agent is None:
+            return {}
+        return agent.exchange(digest)
 
     @_locked
     def was_ever_stored(self, key: str) -> bool:

@@ -24,7 +24,9 @@ The operations mirror the cache server's public surface: ``lookup``,
 ``put``, ``probe``, ``was_ever_stored``, ``evict_stale``, ``clear`` and
 ``stats``, plus the key-migration operations used by the membership
 subsystem (``extract_entries``, ``install_entries``, ``discard_keys``,
-``keys``, ``watermark``), the invalidation-stream entry points
+``keys``, ``watermark``), the autonomous-cluster-plane operations
+(``gossip`` digest exchange, ``key_digest``/``keys_in_range`` for per-arc
+anti-entropy planning), the invalidation-stream entry points
 (``process_invalidation``, ``note_timestamp``) and lifecycle helpers
 (``reset_stats``, ``close``).
 
@@ -126,6 +128,18 @@ class CacheTransport(Protocol):
         """The node's highest processed invalidation timestamp."""
 
     # ------------------------------------------------------------------
+    # Autonomous cluster plane (gossip membership + digest repair)
+    # ------------------------------------------------------------------
+    def gossip(self, digest: dict) -> dict:
+        """Push-pull membership-digest exchange with the node's agent."""
+
+    def key_digest(self, arcs: Sequence[Tuple[int, int]]) -> List[Tuple[int, int, int]]:
+        """Per-arc interval-set digests of the node's stored keys."""
+
+    def keys_in_range(self, arcs: Sequence[Tuple[int, int]]) -> List[str]:
+        """The stored keys whose hash points fall inside the given arcs."""
+
+    # ------------------------------------------------------------------
     # Invalidation stream (InvalidationBus subscriber surface)
     # ------------------------------------------------------------------
     def process_invalidation(self, message: InvalidationMessage) -> None:
@@ -151,12 +165,22 @@ class InProcessTransport:
     def __init__(self, server: CacheServer) -> None:
         self.server = server
         self.name = server.name
+        #: Calls per operation name — what *would* have crossed the wire.
+        #: The socket transport counts the same way, so tests can pin a
+        #: code path's RPC cost (e.g. "a clean repair sends only digests")
+        #: identically under every transport kind.
+        self.op_counts: dict = {}
+
+    def _count(self, op: str) -> None:
+        self.op_counts[op] = self.op_counts.get(op, 0) + 1
 
     # -- cache operations ----------------------------------------------
     def lookup(self, key: str, lo: int, hi: int) -> LookupResult:
+        self._count("lookup")
         return self.server.lookup(key, lo, hi)
 
     def multi_lookup(self, requests: Sequence[LookupRequest]) -> List[LookupResult]:
+        self._count("multi_lookup")
         return self.server.multi_lookup(requests)
 
     def put(
@@ -166,49 +190,76 @@ class InProcessTransport:
         interval: Interval,
         tags: FrozenSet[InvalidationTag] = frozenset(),
     ) -> bool:
+        self._count("put")
         return self.server.put(key, value, interval, tags)
 
     def probe(self, key: str, lo: int, hi: int) -> bool:
+        self._count("probe")
         return self.server.probe(key, lo, hi)
 
     def was_ever_stored(self, key: str) -> bool:
+        self._count("was_ever_stored")
         return self.server.was_ever_stored(key)
 
     def evict_stale(self, oldest_useful_timestamp: int) -> int:
+        self._count("evict_stale")
         return self.server.evict_stale(oldest_useful_timestamp)
 
     def clear(self) -> None:
+        self._count("clear")
         self.server.clear()
 
     def stats(self) -> CacheServerStats:
+        self._count("stats")
         return self.server.stats_snapshot()
 
     def reset_stats(self) -> None:
+        self._count("reset_stats")
         self.server.reset_stats()
 
     # -- key migration --------------------------------------------------
     def extract_entries(
         self, cursor: Optional[str] = None, limit: int = 64
     ) -> Tuple[List[EntryRecord], Optional[str]]:
+        self._count("extract_entries")
         return self.server.extract_entries(cursor, limit)
 
     def install_entries(self, records: Sequence[EntryRecord]) -> int:
+        self._count("install_entries")
         return self.server.install_entries(records)
 
     def discard_keys(self, keys: Sequence[str]) -> int:
+        self._count("discard_keys")
         return self.server.discard_keys(keys)
 
     def keys(self) -> List[str]:
+        self._count("keys")
         return self.server.keys()
 
     def watermark(self) -> int:
+        self._count("watermark")
         return self.server.last_invalidation_timestamp
+
+    # -- autonomous cluster plane ---------------------------------------
+    def gossip(self, digest: dict) -> dict:
+        self._count("gossip")
+        return self.server.gossip_exchange(digest)
+
+    def key_digest(self, arcs: Sequence[Tuple[int, int]]) -> List[Tuple[int, int, int]]:
+        self._count("key_digest")
+        return self.server.key_digest(arcs)
+
+    def keys_in_range(self, arcs: Sequence[Tuple[int, int]]) -> List[str]:
+        self._count("keys_in_range")
+        return self.server.keys_in_range(arcs)
 
     # -- invalidation stream -------------------------------------------
     def process_invalidation(self, message: InvalidationMessage) -> None:
+        self._count("invalidate")
         self.server.process_invalidation(message)
 
     def note_timestamp(self, timestamp: int) -> None:
+        self._count("note_timestamp")
         self.server.note_timestamp(timestamp)
 
     # -- lifecycle ------------------------------------------------------

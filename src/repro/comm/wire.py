@@ -146,6 +146,13 @@ OPCODES = {
     "invalidate": 15,
     "note_timestamp": 16,
     "ping": 17,
+    # Autonomous cluster plane: membership-digest exchange piggybacked on
+    # the cache wire, and the per-arc interval-set digests anti-entropy
+    # repair plans from instead of full key inventories.  All three ride
+    # the generic pickle body (small dicts/int tuples, not hot-path data).
+    "gossip": 18,
+    "key_digest": 19,
+    "keys_in_range": 20,
 }
 
 #: Response opcodes.

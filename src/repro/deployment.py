@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.cache.cluster import CacheCluster
+from repro.cache.gossip import GossipRunner
+from repro.cache.maintenance import MaintenanceBudget, MaintenancePlane
 from repro.cache.membership import ClusterMembership
 from repro.cache.server import CacheServer
 from repro.clock import Clock, ManualClock
@@ -91,6 +93,29 @@ class TxCacheDeployment:
     #: Batch all drained responses per connection into one sendmsg gather
     #: on the event-loop engine; False writes one sendmsg per response.
     write_coalescing: bool = True
+    #: Run the gossip membership plane: a per-node SWIM-style agent plus an
+    #: app-server observer relay digests each :meth:`housekeeping` round, so
+    #: the node set converges without a coordinator and confirmed deaths
+    #: drive ring eviction.  See repro.cache.gossip.
+    gossip: bool = False
+    #: Seconds without heartbeat progress before a peer is suspected.
+    gossip_suspect_seconds: float = 2.0
+    #: Seconds a suspect stays unrefuted before it is confirmed dead.
+    gossip_confirm_seconds: float = 4.0
+    #: Peers each agent exchanges digests with per gossip round.
+    gossip_fanout: int = 1
+    #: Seed of the runner's peer-selection RNG (rounds are deterministic).
+    gossip_seed: int = 0
+    #: Run migration/repair sweeps as resumable background jobs pumped from
+    #: :meth:`housekeeping` under an op/byte budget, instead of synchronous
+    #: epoch-boundary sweeps.  See repro.cache.maintenance.
+    background_maintenance: bool = False
+    #: Budget: maintenance RPCs allowed per interval.
+    maintenance_ops_per_interval: int = 64
+    #: Budget: maintenance payload bytes allowed per interval.
+    maintenance_bytes_per_interval: int = 1 << 20
+    #: Budget refill interval, on the deployment clock.
+    maintenance_interval_seconds: float = 1.0
 
     def __post_init__(self) -> None:
         self.invalidation_bus = InvalidationBus()
@@ -119,6 +144,25 @@ class TxCacheDeployment:
         self.membership = ClusterMembership(
             self.cache, chunk_size=self.migration_chunk_size, auto_repair=self.auto_repair
         )
+        if self.background_maintenance:
+            budget = MaintenanceBudget(
+                clock=self.clock,
+                ops_per_interval=self.maintenance_ops_per_interval,
+                bytes_per_interval=self.maintenance_bytes_per_interval,
+                interval_seconds=self.maintenance_interval_seconds,
+            )
+            self.membership.plane = MaintenancePlane(budget=budget)
+        self.gossip_runner: Optional[GossipRunner] = None
+        if self.gossip:
+            self.gossip_runner = GossipRunner(
+                self.cache,
+                self.membership,
+                clock=self.clock,
+                suspect_timeout=self.gossip_suspect_seconds,
+                confirm_timeout=self.gossip_confirm_seconds,
+                fanout=self.gossip_fanout,
+                seed=self.gossip_seed,
+            )
         self.pincushion = Pincushion(
             clock=self.clock,
             unpin_callback=self.database.unpin,
@@ -159,7 +203,11 @@ class TxCacheDeployment:
           turn unpins them on the database);
         * vacuum tuple versions nothing can see any more;
         * eagerly evict cache entries too stale to satisfy any transaction
-          within ``max_staleness`` seconds.
+          within ``max_staleness`` seconds;
+        * with ``gossip``, run one gossip round (tick every agent, exchange
+          digests, confirm deaths);
+        * with ``background_maintenance``, pump queued maintenance chunks
+          under the plane's budget.
         """
         staleness = self.default_staleness if max_staleness is None else max_staleness
         self.pincushion.expire_old_snapshots()
@@ -168,6 +216,10 @@ class TxCacheDeployment:
         horizon_ts = self.database.newest_timestamp_at_or_before(horizon_wallclock)
         if horizon_ts > 0:
             self.cache.evict_stale(horizon_ts)
+        if self.gossip_runner is not None:
+            self.gossip_runner.round()
+        if self.membership.plane is not None:
+            self.membership.plane.pump()
 
     def advance(self, seconds: float) -> None:
         """Advance a manual clock (no-op guard for system clocks)."""
@@ -195,15 +247,20 @@ class TxCacheDeployment:
             while f"cache{index}" in self.cache.transports:
                 index += 1
             name = f"cache{index}"
-        return self.membership.join(
+        server = self.membership.join(
             name,
             capacity_bytes=capacity_bytes or self.cache_capacity_bytes_per_node,
             weight=weight,
             migrate=migrate,
         )
+        if self.gossip_runner is not None:
+            self.gossip_runner.register(name)
+        return server
 
     def remove_cache_node(self, name: str, migrate: bool = True) -> None:
         """Shrink the cache tier by one node (drained via live migration)."""
+        if self.gossip_runner is not None:
+            self.gossip_runner.leave(name)
         self.membership.leave(name, migrate=migrate)
 
     # ------------------------------------------------------------------

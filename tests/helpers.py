@@ -172,12 +172,54 @@ class PartitionableTransport:
         self.inner = inner
         self.name = inner.name
         self.partitioned = False
+        # Seeded gossip-link faults (see set_gossip_faults): probability of
+        # dropping a gossip exchange, and a reply-delay queue modelling a
+        # slow link that delivers old digests late.
+        self._gossip_drop = 0.0
+        self._gossip_delay = 0
+        self._gossip_rng = random.Random(0)
+        self._gossip_queue: list = []
+
+    def set_gossip_faults(
+        self, drop_rate: float = 0.0, delay_replies: int = 0, seed: int = 0
+    ) -> None:
+        """Degrade only this link's gossip traffic, deterministically.
+
+        ``drop_rate`` drops each exchange (raising the same unreachable
+        error a lost datagram round produces) with seeded probability;
+        ``delay_replies`` holds every reply back ``delay_replies`` exchanges
+        — the caller receives a digest that old instead, which is how stale
+        records from before a partition arrive *after* it healed.
+        """
+        self._gossip_drop = drop_rate
+        self._gossip_delay = delay_replies
+        self._gossip_rng = random.Random(seed)
+        self._gossip_queue = []
 
     def close(self) -> None:
         # Teardown must always work, partitioned or not.
         self.inner.close()
 
+    def _gossip(self, digest):
+        if self.partitioned:
+            raise CacheNodeUnreachableError(
+                f"cache node {self.name!r} is partitioned (fault injection)"
+            )
+        if self._gossip_drop and self._gossip_rng.random() < self._gossip_drop:
+            raise CacheNodeUnreachableError(
+                f"gossip to {self.name!r} dropped (fault injection)"
+            )
+        reply = self.inner.gossip(digest)
+        if not self._gossip_delay:
+            return reply
+        self._gossip_queue.append(reply)
+        if len(self._gossip_queue) > self._gossip_delay:
+            return self._gossip_queue.pop(0)
+        return {}  # reply still in flight; an empty digest merges as a no-op
+
     def __getattr__(self, attr):
+        if attr == "gossip":
+            return self._gossip
         target = getattr(self.inner, attr)
         if not callable(target):
             return target
@@ -204,6 +246,10 @@ class FaultInjector:
         current = self.cluster._transports.get(name)
         if wrapper is None or current is not wrapper:
             if current is None:
+                if wrapper is not None:
+                    # Node evicted since: keep driving the detached link so a
+                    # test can still heal it / drain its delayed replies.
+                    return wrapper
                 raise KeyError(name)
             wrapper = PartitionableTransport(current)
             # Swap the wrapper into the routed path *and* the invalidation
@@ -222,6 +268,20 @@ class FaultInjector:
     def heal(self, name: str) -> None:
         """Restore connectivity to a partitioned node."""
         self._wrapper_for(name).partitioned = False
+
+    def gossip_faults(
+        self, name: str, drop_rate: float = 0.0, delay_replies: int = 0, seed: int = 0
+    ) -> None:
+        """Degrade only the gossip traffic on the link to ``name``.
+
+        Seeded and per-link: data-path RPCs are untouched, gossip exchanges
+        are dropped with ``drop_rate`` probability and replies are delivered
+        ``delay_replies`` exchanges late (stale digests after a heal).
+        Call with defaults to clear the faults.
+        """
+        self._wrapper_for(name).set_gossip_faults(
+            drop_rate=drop_rate, delay_replies=delay_replies, seed=seed
+        )
 
     def crash(self, name: str) -> None:
         """Kill the node outright (see :meth:`CacheCluster.fail_node`)."""

@@ -1,0 +1,245 @@
+"""Deterministic cluster simulation harness for the gossip membership plane.
+
+Real multi-node gossip runs on wall clocks, sockets, and thread schedulers —
+none of which a regression test can replay.  :class:`ClusterSimulator` runs N
+in-process :class:`repro.cache.gossip.GossipAgent` instances on ONE virtual
+:class:`repro.clock.ManualClock` and a discrete event heap:
+
+* every node gossips on its own schedule (``gossip_interval`` with seeded
+  start jitter), picking push-pull peers from one seeded RNG;
+* each exchange is two *messages* (request and reply), and each message
+  independently suffers the configured seeded delay distribution, loss
+  probability, crash blackouts, and partition schedule;
+* faults are declared up front — :meth:`crash_at`, :meth:`restart_at`,
+  :meth:`partition_between` — and applied at virtual times, so a scenario
+  is a pure function of ``(node count, seed, schedule)``.
+
+Determinism is the point: the same constructor arguments produce the same
+event order, the same record tables, and the same :meth:`fingerprint`, every
+run, on every machine.  The simulator also keeps a human-readable
+:attr:`trace` of every status transition each agent adopts
+(``"t=12.50 cache1: cache3 alive->suspect"``), which doubles as the
+determinism witness: two runs are identical iff their traces are.
+
+This is test infrastructure (imported by ``tests/test_simulator.py``), not
+shipped code — it lives next to the suites on purpose.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.cache.gossip import DEAD, LEFT, GossipAgent
+from repro.clock import ManualClock
+
+__all__ = ["ClusterSimulator"]
+
+
+class ClusterSimulator:
+    """N gossiping nodes on a virtual clock with a seeded fault schedule."""
+
+    def __init__(
+        self,
+        nodes: int = 5,
+        seed: int = 0,
+        gossip_interval: float = 0.5,
+        suspect_timeout: float = 2.0,
+        confirm_timeout: float = 4.0,
+        fanout: int = 1,
+        min_delay: float = 0.01,
+        max_delay: float = 0.05,
+        loss_rate: float = 0.0,
+    ) -> None:
+        if nodes < 2:
+            raise ValueError("a cluster simulation needs at least 2 nodes")
+        self.clock = ManualClock()
+        self.rng = random.Random(seed)
+        self.gossip_interval = gossip_interval
+        self.suspect_timeout = suspect_timeout
+        self.confirm_timeout = confirm_timeout
+        self.fanout = fanout
+        self.min_delay = min_delay
+        self.max_delay = max_delay
+        self.loss_rate = loss_rate
+        self.names = [f"node{i}" for i in range(nodes)]
+        self.agents: Dict[str, GossipAgent] = {}
+        #: Chronological status transitions, the determinism witness.
+        self.trace: List[str] = []
+        self.messages_sent = 0
+        self.messages_dropped = 0
+        self._crashed: Set[str] = set()
+        #: (start, end, frozenset(group_a), frozenset(group_b)) partitions.
+        self._partitions: List[Tuple[float, float, frozenset, frozenset]] = []
+        self._events: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        for name in self.names:
+            self._spawn_agent(name, incarnation=0)
+            # Jittered start so rounds interleave instead of phase-locking.
+            self._schedule(self.rng.uniform(0.0, gossip_interval), self._round_fn(name))
+
+    # ------------------------------------------------------------------
+    # Schedule declaration (call before run)
+    # ------------------------------------------------------------------
+    def crash_at(self, time: float, name: str) -> None:
+        """Silence ``name`` from ``time`` on: no rounds, all messages lost."""
+        self._schedule(time, lambda: self._crash(name))
+
+    def restart_at(self, time: float, name: str) -> None:
+        """Bring a crashed ``name`` back with a fresh agent (same identity).
+
+        The reborn agent restarts at incarnation 0 and learns of its own
+        suspicion/death from peers; the refutation rule bumps it above the
+        tombstone, which is exactly how a rebooted node rejoins SWIM.
+        """
+        self._schedule(time, lambda: self._restart(name))
+
+    def partition_between(self, start: float, end: float, group_a, group_b) -> None:
+        """Drop every message crossing the two groups during [start, end)."""
+        self._partitions.append((start, end, frozenset(group_a), frozenset(group_b)))
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run_until(self, end_time: float) -> None:
+        """Process events in virtual-time order up to ``end_time``."""
+        while self._events and self._events[0][0] <= end_time:
+            when, _seq, fn = heapq.heappop(self._events)
+            if when > self.clock.now():
+                self.clock.advance(when - self.clock.now())
+            fn()
+        if end_time > self.clock.now():
+            self.clock.advance(end_time - self.clock.now())
+
+    def live_agents(self) -> Dict[str, GossipAgent]:
+        return {
+            name: agent
+            for name, agent in self.agents.items()
+            if name not in self._crashed
+        }
+
+    def converged(self) -> bool:
+        """Every live agent reports the same epoch token."""
+        tokens = {agent.epoch_token() for agent in self.live_agents().values()}
+        return len(tokens) == 1
+
+    def epoch_tokens(self) -> Dict[str, str]:
+        return {name: agent.epoch_token() for name, agent in self.live_agents().items()}
+
+    def statuses(self, of: str) -> Dict[str, Optional[str]]:
+        """How every live agent currently classifies node ``of``."""
+        return {name: agent.status_of(of) for name, agent in self.live_agents().items()}
+
+    def fingerprint(self) -> str:
+        """A digest of the full run: trace plus final tables.
+
+        Equal fingerprints mean the two runs adopted the same transitions in
+        the same order *and* ended in the same state — the determinism
+        contract the test suite pins across reruns.
+        """
+        import hashlib
+
+        tail = sorted(
+            (name, agent.view()) for name, agent in self.agents.items()
+        )
+        payload = "\n".join(self.trace) + "\n" + repr(tail)
+        return hashlib.sha1(payload.encode()).hexdigest()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _spawn_agent(self, name: str, incarnation: int) -> GossipAgent:
+        def on_transition(peer, old, new, observer=name):
+            self.trace.append(
+                f"t={self.clock.now():.2f} {observer}: {peer} {old or 'new'}->{new}"
+            )
+
+        agent = GossipAgent(
+            name,
+            self.clock,
+            peers=[peer for peer in self.names if peer != name],
+            suspect_timeout=self.suspect_timeout,
+            confirm_timeout=self.confirm_timeout,
+            initial_incarnation=incarnation,
+            on_transition=on_transition,
+        )
+        self.agents[name] = agent
+        return agent
+
+    def _schedule(self, when: float, fn: Callable[[], None]) -> None:
+        heapq.heappush(self._events, (when, next(self._seq), fn))
+
+    def _round_fn(self, name: str) -> Callable[[], None]:
+        def do_round() -> None:
+            if name not in self._crashed:
+                agent = self.agents[name]
+                agent.tick()
+                peers = [
+                    peer
+                    for peer in self.names
+                    if peer != name and agent.status_of(peer) not in (DEAD, LEFT)
+                ]
+                for _ in range(min(self.fanout, len(peers))):
+                    self._send(name, self.rng.choice(peers))
+                self._schedule(
+                    self.clock.now() + self.gossip_interval, self._round_fn(name)
+                )
+
+        return do_round
+
+    def _send(self, src: str, dst: str) -> None:
+        """One push-pull exchange: request now, reply after its own flight."""
+        digest = self.agents[src].digest()
+        self.messages_sent += 1
+        if self._lost(src, dst):
+            self.messages_dropped += 1
+            return
+        delay = self.rng.uniform(self.min_delay, self.max_delay)
+
+        def deliver_request() -> None:
+            if dst in self._crashed:
+                return
+            self.agents[dst].receive(digest)
+            reply = self.agents[dst].digest()
+            self.messages_sent += 1
+            if self._lost(dst, src):
+                self.messages_dropped += 1
+                return
+            reply_delay = self.rng.uniform(self.min_delay, self.max_delay)
+
+            def deliver_reply() -> None:
+                if src not in self._crashed:
+                    self.agents[src].receive(reply)
+
+            self._schedule(self.clock.now() + reply_delay, deliver_reply)
+
+        self._schedule(self.clock.now() + delay, deliver_request)
+
+    def _lost(self, src: str, dst: str) -> bool:
+        # The loss draw is consumed unconditionally so that crash/partition
+        # schedules do not shift the RNG stream of unrelated links.
+        dropped = self.loss_rate > 0 and self.rng.random() < self.loss_rate
+        if src in self._crashed or dst in self._crashed:
+            return True
+        now = self.clock.now()
+        for start, end, group_a, group_b in self._partitions:
+            if start <= now < end and (
+                (src in group_a and dst in group_b)
+                or (src in group_b and dst in group_a)
+            ):
+                return True
+        return dropped
+
+    def _crash(self, name: str) -> None:
+        self._crashed.add(name)
+        self.trace.append(f"t={self.clock.now():.2f} [fault] {name} crashed")
+
+    def _restart(self, name: str) -> None:
+        if name not in self._crashed:
+            return
+        self._crashed.discard(name)
+        self.trace.append(f"t={self.clock.now():.2f} [fault] {name} restarted")
+        self._spawn_agent(name, incarnation=0)
+        self._schedule(self.clock.now() + self.gossip_interval, self._round_fn(name))

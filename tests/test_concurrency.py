@@ -314,6 +314,8 @@ def test_socket_transport_read_timeout_surfaces_as_unreachable():
         transport.mux_connections = 1
         transport._mux = [None]
         transport._closed = False
+        transport.op_counts = {}
+        transport._count_lock = threading.Lock()
         transport.name = "hung"
         started = time.perf_counter()
         with pytest.raises(CacheNodeUnreachableError):

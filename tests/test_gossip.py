@@ -1,0 +1,310 @@
+"""Gossip membership: semilattice merge properties, wire exchange, epochs.
+
+Three layers, matching the module's correctness story:
+
+* property tests (Hypothesis) that the digest merge is a join-semilattice —
+  commutative, associative, idempotent, and order-insensitive when folding a
+  whole set of digests, which is what makes convergence independent of
+  message delivery order;
+* SWIM state-machine unit tests on a manual clock (suspect on silence,
+  confirm after the timeout, refute by incarnation bump, tombstones beat
+  stale alive records);
+* deployment-level tests that a :class:`GossipRunner` converges every node
+  and the observer on one epoch token over the real wire (all transports),
+  drives ring eviction from confirmed deaths, and — the regression test —
+  that a healed partition delivering *stale* pre-partition digests can never
+  resurrect an evicted node at its old incarnation.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.gossip import (
+    ALIVE,
+    DEAD,
+    LEFT,
+    STATUSES,
+    SUSPECT,
+    GossipAgent,
+    GossipRunner,
+    merge_digests,
+    record_precedence,
+)
+from repro.clock import ManualClock
+from repro.deployment import TxCacheDeployment
+from tests.helpers import FaultInjector, transports_under_test
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+names = st.sampled_from([f"node{i}" for i in range(6)])
+records = st.tuples(
+    st.integers(min_value=0, max_value=5),
+    st.integers(min_value=0, max_value=50),
+    st.sampled_from(STATUSES),
+)
+digests = st.dictionaries(names, records, max_size=6)
+
+
+# ----------------------------------------------------------------------
+# Merge semilattice properties
+# ----------------------------------------------------------------------
+@given(digests, digests)
+@settings(max_examples=200)
+def test_merge_commutative(a, b):
+    assert merge_digests(a, b) == merge_digests(b, a)
+
+
+@given(digests, digests, digests)
+@settings(max_examples=200)
+def test_merge_associative(a, b, c):
+    assert merge_digests(merge_digests(a, b), c) == merge_digests(a, merge_digests(b, c))
+
+
+@given(digests)
+def test_merge_idempotent(a):
+    assert merge_digests(a, a) == a
+
+
+@given(st.lists(digests, min_size=1, max_size=5), st.randoms(use_true_random=False))
+@settings(max_examples=200)
+def test_merge_convergent_under_any_fold_order(parts, rng):
+    """Folding the same digest set in any order yields the same table."""
+    reference = functools.reduce(merge_digests, parts, {})
+    shuffled = list(parts)
+    rng.shuffle(shuffled)
+    assert functools.reduce(merge_digests, shuffled, {}) == reference
+
+
+@given(digests, digests)
+@settings(max_examples=200)
+def test_merge_picks_the_higher_precedence_record(a, b):
+    merged = merge_digests(a, b)
+    for name in set(a) | set(b):
+        candidates = [d[name] for d in (a, b) if name in d]
+        assert merged[name] == max(candidates, key=record_precedence)
+
+
+def test_merge_rejects_unknown_status_and_malformed_records():
+    with pytest.raises(KeyError):
+        merge_digests({}, {"x": (0, 0, "zombie")})
+    with pytest.raises(ValueError):
+        merge_digests({}, {"x": (0, 0)})
+
+
+# ----------------------------------------------------------------------
+# SWIM state machine on a manual clock
+# ----------------------------------------------------------------------
+def _pair(suspect=2.0, confirm=4.0):
+    clock = ManualClock()
+    a = GossipAgent("a", clock, peers=["b"], suspect_timeout=suspect, confirm_timeout=confirm)
+    b = GossipAgent("b", clock, peers=["a"], suspect_timeout=suspect, confirm_timeout=confirm)
+    return clock, a, b
+
+
+def test_silent_peer_is_suspected_then_confirmed_dead():
+    clock, a, b = _pair()
+    a.tick()
+    a.receive(b.digest())  # proof of life at t=0
+    clock.advance(2.5)  # past suspect_timeout, no progress from b
+    a.tick()
+    assert a.status_of("b") == SUSPECT
+    clock.advance(4.5)  # past confirm_timeout
+    a.tick()
+    assert a.status_of("b") == DEAD
+
+
+def test_heartbeat_progress_resets_the_suspect_clock():
+    clock, a, b = _pair()
+    for _ in range(4):
+        clock.advance(1.0)  # under suspect_timeout each step
+        b.tick()
+        a.receive(b.digest())
+        a.tick()
+    assert a.status_of("b") == ALIVE
+
+
+def test_suspected_node_refutes_with_an_incarnation_bump():
+    clock, a, b = _pair()
+    clock.advance(2.5)
+    a.tick()
+    assert a.status_of("b") == SUSPECT
+    b.receive(a.digest())  # b hears itself suspected
+    assert b.incarnation == 1
+    assert b.refutations == 1
+    a.receive(b.digest())
+    assert a.status_of("b") == ALIVE  # refutation out-ranks the suspicion
+
+
+def test_stale_alive_record_cannot_override_a_death_tombstone():
+    agent = GossipAgent("a", ManualClock(), peers=["b"])
+    agent.receive({"b": (3, 10, DEAD)})
+    agent.receive({"b": (3, 999, ALIVE)})  # same incarnation, late heartbeat
+    assert agent.status_of("b") == DEAD
+    agent.receive({"b": (4, 0, ALIVE)})  # only a fresh incarnation rejoins
+    assert agent.status_of("b") == ALIVE
+
+
+def test_epoch_token_ignores_heartbeats_but_not_membership():
+    clock, a, b = _pair()
+    a.receive(b.digest())
+    b.receive(a.digest())
+    token = a.epoch_token()
+    assert token == b.epoch_token()
+    for _ in range(3):
+        clock.advance(0.5)
+        a.tick()
+        b.tick()
+        a.receive(b.digest())
+        b.receive(a.digest())
+    assert a.epoch_token() == token  # heartbeats alone don't move the epoch
+    a.receive({"c": (0, 0, ALIVE)})
+    assert a.epoch_token() != token  # a new member does
+
+
+# ----------------------------------------------------------------------
+# Deployment-level: the runner over the real wire
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("transport", transports_under_test())
+def test_runner_converges_every_agent_on_one_epoch_token(transport):
+    clock = ManualClock()
+    with TxCacheDeployment(
+        clock=clock, cache_nodes=3, transport=transport, gossip=True
+    ) as deployment:
+        runner = deployment.gossip_runner
+        runner.run_rounds(4, advance=0.5)
+        assert runner.converged()
+        tokens = {agent.epoch_token() for agent in runner.agents.values()}
+        tokens.add(runner.observer.epoch_token())
+        assert len(tokens) == 1
+        assert runner.observer.members() == ["cache0", "cache1", "cache2"]
+
+
+@pytest.mark.parametrize("transport", transports_under_test())
+def test_gossip_confirms_a_partitioned_node_and_evicts_it(transport):
+    clock = ManualClock()
+    with TxCacheDeployment(
+        clock=clock, cache_nodes=3, transport=transport, gossip=True,
+        replication_factor=2,
+    ) as deployment:
+        runner = deployment.gossip_runner
+        runner.run_rounds(3, advance=0.5)
+        faults = FaultInjector(deployment.cache)
+        faults.partition("cache1")
+        # Silence for longer than suspect+confirm: the observer must confirm
+        # the death and the membership coordinator must evict the node.
+        runner.run_rounds(16, advance=0.5)
+        assert runner.observer.status_of("cache1") == DEAD
+        assert "cache1" not in deployment.cache.ring
+        assert deployment.membership.history[-1].change == "evict"
+        # The survivors agree on the post-eviction epoch.
+        assert runner.converged()
+
+
+@pytest.mark.parametrize("transport", transports_under_test())
+def test_healed_partition_never_resurrects_a_stale_incarnation(transport):
+    """The anti-entropy regression the tombstone precedence exists for.
+
+    cache1 is partitioned away with a *delaying* gossip link, so digests
+    recorded before the partition (cache1 alive at incarnation 0) are still
+    in flight when the partition heals — after the cluster confirmed its
+    death and evicted it.  Those stale alive records must lose the merge
+    against the death tombstone: the node stays dead and out of the ring
+    until it re-announces itself at a fresh incarnation (a real rejoin).
+    """
+    clock = ManualClock()
+    with TxCacheDeployment(
+        clock=clock, cache_nodes=3, transport=transport, gossip=True,
+    ) as deployment:
+        runner = deployment.gossip_runner
+        faults = FaultInjector(deployment.cache)
+        # Old replies linger on the link: each reply arrives 3 exchanges late.
+        faults.gossip_faults("cache1", delay_replies=3, seed=11)
+        runner.run_rounds(4, advance=0.4)  # queue up pre-partition digests
+        # A pre-partition record of cache1: alive at incarnation 0.
+        stale = {"cache1": runner.observer.record("cache1")}
+        assert stale["cache1"][2] == ALIVE and stale["cache1"][0] == 0
+        faults.partition("cache1")
+        runner.run_rounds(16, advance=0.5)
+        assert runner.observer.status_of("cache1") == DEAD
+        assert "cache1" not in deployment.cache.ring
+        dead_token = runner.observer.epoch_token()
+        # Deliver the stale pre-partition record to every party directly —
+        # the lingering datagram of a healed partition.  The tombstone at
+        # the same incarnation must win the merge everywhere.
+        runner.observer.receive(stale)
+        for survivor in ("cache0", "cache2"):
+            deployment.cache.transports[survivor].gossip(dict(stale))
+        runner.run_rounds(2, advance=0.0)  # let anything wrong propagate
+        assert runner.observer.status_of("cache1") == DEAD, (
+            "a stale pre-partition alive record resurrected an evicted node"
+        )
+        assert "cache1" not in deployment.cache.ring
+        assert runner.observer.epoch_token() == dead_token
+        # The only way back is a membership rejoin, which re-registers the
+        # agent *above* the tombstone (see
+        # test_rejoin_after_eviction_comes_back_at_a_fresh_incarnation).
+
+
+def test_gossip_converges_despite_seeded_drop_and_delay():
+    """A lossy, laggy link slows convergence but never kills a live node.
+
+    cache1's gossip link drops 40% of exchanges and delivers every reply one
+    exchange late (seeded, so the run is reproducible); the data path is
+    untouched.  The heartbeats that do get through keep resetting the
+    suspect clock, so the cluster still converges on one epoch with no
+    death verdicts.
+    """
+    clock = ManualClock()
+    deployment = TxCacheDeployment(clock=clock, cache_nodes=3, gossip=True)
+    runner = deployment.gossip_runner
+    faults = FaultInjector(deployment.cache)
+    faults.gossip_faults("cache1", drop_rate=0.4, delay_replies=1, seed=5)
+    runner.run_rounds(20, advance=0.4)
+    assert runner.observer.status_of("cache1") in (ALIVE, SUSPECT)
+    assert "cache1" in deployment.cache.ring
+    faults.gossip_faults("cache1")  # clear the faults
+    runner.run_rounds(4, advance=0.4)
+    assert runner.converged()
+    assert runner.observer.status_of("cache1") == ALIVE
+
+
+def test_planned_leave_spreads_without_a_death_verdict():
+    clock = ManualClock()
+    deployment = TxCacheDeployment(clock=clock, cache_nodes=3, gossip=True)
+    runner = deployment.gossip_runner
+    runner.run_rounds(3, advance=0.5)
+    deployment.remove_cache_node("cache2")
+    runner.run_rounds(3, advance=0.5)
+    assert runner.observer.status_of("cache2") == LEFT
+    assert "cache2" not in deployment.cache.ring
+    assert deployment.membership.history[-1].change == "leave"
+    assert runner.converged()
+
+
+def test_rejoin_after_eviction_comes_back_at_a_fresh_incarnation():
+    clock = ManualClock()
+    deployment = TxCacheDeployment(
+        clock=clock, cache_nodes=3, gossip=True, replication_factor=2
+    )
+    runner = deployment.gossip_runner
+    runner.run_rounds(3, advance=0.5)
+    faults = FaultInjector(deployment.cache)
+    faults.partition("cache1")
+    runner.run_rounds(16, advance=0.5)
+    assert "cache1" not in deployment.cache.ring
+    dead_incarnation = runner.observer.record("cache1")[0]
+    # The coordinator re-admits the node; the runner re-registers its agent
+    # above the tombstone so the cluster accepts the rejoin immediately.
+    deployment.add_cache_node("cache1")
+    runner.run_rounds(3, advance=0.5)
+    assert runner.observer.status_of("cache1") == ALIVE
+    assert runner.agents["cache1"].incarnation > dead_incarnation
+    assert "cache1" in deployment.cache.ring
+    assert deployment.membership.history[-1].change == "rejoin"
+    assert runner.converged()

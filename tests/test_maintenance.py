@@ -1,0 +1,320 @@
+"""The budgeted maintenance plane and the digest-based repair wire cost.
+
+Four concerns:
+
+* unit behaviour of :class:`MaintenanceBudget` / :class:`ChunkedJob` /
+  :class:`MaintenancePlane` on a manual clock — window refills, post-hoc
+  overdraw, deferrals, failed jobs not poisoning the queue;
+* **exact budget accounting**: the op/byte totals the plane reports are the
+  precise sum of every chunk's charge, match the budget's own ledger, and a
+  budgeted repair re-replicates exactly what a synchronous sweep would;
+* **wire cost of repair** (pinned per transport via the transports'
+  ``op_counts``): a clean sweep is N ``key_digest`` round trips and nothing
+  else — no ``keys``, no ``keys_in_range``, no entry pages — and even a
+  dirty sweep never falls back to full ``keys`` inventories;
+* **foreground isolation**: a wedged repair chunk (an ``extract_entries``
+  RPC stuck server-side) must not stall foreground lookups on the
+  event-loop engine — maintenance ops detour to the worker pool while the
+  hot path keeps answering.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.cache.cluster import CacheCluster
+from repro.cache.maintenance import ChunkedJob, MaintenanceBudget, MaintenancePlane
+from repro.cache.membership import ClusterMembership
+from repro.clock import ManualClock
+from repro.deployment import TxCacheDeployment
+from repro.interval import Interval
+from tests.helpers import transports_under_test
+
+# ----------------------------------------------------------------------
+# Budget / job / plane units
+# ----------------------------------------------------------------------
+def test_budget_refills_per_interval_on_the_injected_clock():
+    clock = ManualClock()
+    budget = MaintenanceBudget(
+        clock=clock, ops_per_interval=2, bytes_per_interval=100, interval_seconds=1.0
+    )
+    assert budget.allows()
+    budget.charge(2, 10)
+    assert not budget.allows()  # ops exhausted
+    clock.advance(0.5)
+    assert not budget.allows()  # window not over yet
+    clock.advance(0.5)
+    assert budget.allows()  # refilled
+    assert budget.windows == 2
+    budget.charge(1, 500)  # single chunk may overdraw bytes post-hoc
+    assert not budget.allows()
+    assert (budget.consumed_ops, budget.consumed_bytes) == (3, 510)
+
+
+def test_budget_rejects_degenerate_parameters():
+    for kwargs in (
+        {"ops_per_interval": 0},
+        {"bytes_per_interval": 0},
+        {"interval_seconds": 0.0},
+    ):
+        with pytest.raises(ValueError):
+            MaintenanceBudget(clock=ManualClock(), **kwargs)
+
+
+def test_chunked_job_steps_chunks_and_captures_the_result():
+    def chunks():
+        yield (1, 10)
+        yield (2, 20)
+        return "done"
+
+    job = ChunkedJob("demo", chunks())
+    assert job.step() == (False, 1, 10)
+    assert job.step() == (False, 2, 20)
+    done, ops, nbytes = job.step()
+    assert done and (ops, nbytes) == (0, 0)
+    assert job.result == "done"
+
+
+def test_plane_pump_defers_on_an_exhausted_window_and_resumes():
+    clock = ManualClock()
+    budget = MaintenanceBudget(
+        clock=clock, ops_per_interval=2, bytes_per_interval=1 << 20,
+        interval_seconds=1.0,
+    )
+    plane = MaintenancePlane(budget=budget)
+
+    def chunks():
+        for _ in range(6):
+            yield (1, 1)
+        return "finished"
+
+    job = plane.submit(ChunkedJob("six", chunks()))
+    assert plane.pump() == 2  # window pays for 2 ops, then a deferral
+    assert plane.stats.budget_deferrals == 1
+    assert not plane.idle
+    ran = 0
+    while not plane.idle:
+        clock.advance(1.0)
+        ran += plane.pump()
+    assert job.result == "finished"
+    assert plane.stats.jobs_completed == 1
+    # Exact accounting: every chunk's charge is in both ledgers.
+    assert plane.stats.ops_charged == budget.consumed_ops == 6
+    assert plane.stats.bytes_charged == budget.consumed_bytes == 6
+    assert plane.stats.chunks_run == 2 + ran
+
+
+def test_a_raising_job_fails_without_poisoning_the_queue():
+    plane = MaintenancePlane()
+
+    def bad():
+        yield (1, 1)
+        raise RuntimeError("boom")
+
+    def good():
+        yield (1, 1)
+        return 7
+
+    plane.submit(ChunkedJob("bad", bad()))
+    survivor = plane.submit(ChunkedJob("good", good()))
+    plane.drain()
+    assert plane.stats.jobs_failed == 1
+    assert plane.stats.jobs_completed == 1
+    assert survivor.result == 7
+    assert plane.idle
+
+
+# ----------------------------------------------------------------------
+# Repair wire cost, pinned via transport op counters
+# ----------------------------------------------------------------------
+def _sum_op_counts(cluster: CacheCluster) -> dict:
+    totals: dict = {}
+    for transport in cluster.transports.values():
+        for op, count in transport.op_counts.items():
+            totals[op] = totals.get(op, 0) + count
+    return totals
+
+
+def _reset_op_counts(cluster: CacheCluster) -> None:
+    for transport in cluster.transports.values():
+        transport.op_counts.clear()
+
+
+@pytest.mark.parametrize("transport", transports_under_test())
+def test_clean_repair_costs_exactly_n_digest_rpcs(transport):
+    with TxCacheDeployment(
+        cache_nodes=3, transport=transport, replication_factor=2
+    ) as deployment:
+        cluster = deployment.cache
+        for i in range(30):
+            cluster.put(f"key{i}", f"value{i}", Interval(1, None))
+        _reset_op_counts(cluster)
+        installed = deployment.membership.repair()
+        totals = _sum_op_counts(cluster)
+        assert installed == 0
+        assert totals.get("key_digest") == 3  # one per node, nothing else
+        assert totals.get("keys", 0) == 0
+        assert totals.get("keys_in_range", 0) == 0
+        assert totals.get("extract_entries", 0) == 0
+        assert totals.get("install_entries", 0) == 0
+        assert deployment.membership.stats.repair_arcs_dirty == 0
+
+
+@pytest.mark.parametrize("transport", transports_under_test())
+def test_dirty_repair_fetches_keys_only_for_divergent_arcs(transport):
+    with TxCacheDeployment(
+        cache_nodes=3, transport=transport, replication_factor=2
+    ) as deployment:
+        cluster = deployment.cache
+        for i in range(30):
+            cluster.put(f"key{i}", f"value{i}", Interval(1, None))
+        victim = "cache1"
+        lost = cluster.node_keys(victim)[:10]
+        cluster.discard_keys(victim, lost)
+        _reset_op_counts(cluster)
+        stats = deployment.membership.stats
+        installed = deployment.membership.repair()
+        totals = _sum_op_counts(cluster)
+        assert installed == len(lost)
+        assert totals.get("key_digest") == 3
+        # Key lists were fetched for dirty arcs — but never via the
+        # whole-store ``keys`` inventory the old sweep used.
+        assert totals.get("keys_in_range", 0) >= 1
+        assert totals.get("keys", 0) == 0
+        assert stats.repair_arcs_dirty >= 1
+        assert stats.repair_arcs_clean >= 1
+        assert sorted(cluster.node_keys(victim)) == sorted(
+            set(cluster.node_keys(victim)) | set(lost)
+        )
+
+
+# ----------------------------------------------------------------------
+# Budgeted repair: exact accounting, parity with the synchronous sweep
+# ----------------------------------------------------------------------
+def _damaged_cluster(clock: ManualClock):
+    cluster = CacheCluster(node_count=3, clock=clock, replication_factor=2)
+    for i in range(40):
+        cluster.put(f"key{i}", f"value{i}", Interval(1, None))
+    victim = "cache2"
+    lost = cluster.node_keys(victim)[: len(cluster.node_keys(victim)) // 2]
+    cluster.discard_keys(victim, lost)
+    return cluster, victim, lost
+
+
+def test_budgeted_repair_matches_the_synchronous_sweep_exactly():
+    sync_clock = ManualClock()
+    sync_cluster, _, sync_lost = _damaged_cluster(sync_clock)
+    sync_membership = ClusterMembership(sync_cluster, chunk_size=4)
+    sync_installed = sync_membership.repair()
+    assert sync_installed == len(sync_lost)
+
+    clock = ManualClock()
+    cluster, victim, lost = _damaged_cluster(clock)
+    budget = MaintenanceBudget(
+        clock=clock, ops_per_interval=2, bytes_per_interval=1 << 20,
+        interval_seconds=1.0,
+    )
+    plane = MaintenancePlane(budget=budget)
+    membership = ClusterMembership(cluster, chunk_size=4, plane=plane)
+    assert membership.repair() == 0  # submitted, not yet run
+    assert plane.pending_jobs == 1
+    pumps = 0
+    while not plane.idle:
+        plane.pump()
+        clock.advance(1.0)
+        pumps += 1
+        assert pumps < 1000, "budgeted repair failed to converge"
+    # The budget throttled the sweep across many windows ...
+    assert plane.stats.budget_deferrals > 0
+    assert budget.windows > 2
+    # ... the ledgers agree to the op ...
+    assert plane.stats.ops_charged == budget.consumed_ops
+    assert plane.stats.bytes_charged == budget.consumed_bytes
+    # ... and the outcome is identical to the synchronous sweep.
+    assert membership.stats.entries_re_replicated == sync_installed
+    assert sorted(cluster.node_keys(victim)) == sorted(
+        sync_cluster.node_keys(victim)
+    )
+    assert membership.stats.repair_key_fetches == sync_membership.stats.repair_key_fetches
+    assert membership.stats.repair_arcs_dirty == sync_membership.stats.repair_arcs_dirty
+
+
+def test_auto_repair_after_crash_goes_through_the_plane_when_attached():
+    clock = ManualClock()
+    deployment = TxCacheDeployment(
+        clock=clock, cache_nodes=3, replication_factor=2,
+        background_maintenance=True, maintenance_ops_per_interval=4,
+    )
+    cluster = deployment.cache
+    for i in range(20):
+        cluster.put(f"key{i}", f"value{i}", Interval(1, None))
+    cluster.fail_node("cache1")  # inprocess: evicts immediately, auto-repair
+    plane = deployment.membership.plane
+    assert plane.pending_jobs == 1  # queued as a background job, not swept
+    while not plane.idle:
+        deployment.housekeeping()  # housekeeping is the pump
+        deployment.advance(1.0)
+    assert deployment.membership.stats.repairs == 1
+    # Every surviving key is back at full replication: both survivors hold it.
+    for node in ("cache0", "cache2"):
+        held = set(cluster.node_keys(node))
+        for key in held:
+            owners = cluster.ring.successors(key, 2)
+            if node in owners:
+                for other in owners:
+                    assert key in set(cluster.node_keys(other))
+
+
+# ----------------------------------------------------------------------
+# Foreground isolation: a wedged chunk never stalls lookups
+# ----------------------------------------------------------------------
+def test_wedged_repair_chunk_does_not_stall_foreground_lookups():
+    """An extract page stuck server-side must not block the hot path.
+
+    The event-loop engine detours maintenance ops (``extract_entries``,
+    ``key_digest``, ...) to its worker pool, so one wedged repair chunk
+    occupies one worker while lookups keep being answered.  The wedge is
+    injected server-side *without* holding the server lock (a slow disk or
+    allocation stall, not a lock holder).
+    """
+    with TxCacheDeployment(
+        cache_nodes=2, transport="socket-pipelined", replication_factor=2
+    ) as deployment:
+        cluster = deployment.cache
+        for i in range(20):
+            cluster.put(f"key{i}", f"value{i}", Interval(1, None))
+        victim = "cache0"
+        cluster.discard_keys(victim, cluster.node_keys(victim)[:5])
+        plane = MaintenancePlane()
+        deployment.membership.plane = plane
+        deployment.membership.repair()
+
+        wedge_seconds = 0.8
+        server = cluster.servers["cache1"]  # a repair source
+        original = server.extract_entries
+
+        def wedged(cursor=None, limit=64):
+            time.sleep(wedge_seconds)  # lock-free stall, then the real page
+            return original(cursor, limit)
+
+        server.extract_entries = wedged
+
+        pump_thread = threading.Thread(target=plane.drain)
+        pump_thread.start()
+        try:
+            # Foreground lookups throughout the wedge window.
+            deadline = time.monotonic() + wedge_seconds
+            latencies = []
+            while time.monotonic() < deadline:
+                started = time.perf_counter()
+                cluster.probe("key0", 0, 10)
+                latencies.append(time.perf_counter() - started)
+            assert len(latencies) > 10, "foreground starved during the wedge"
+            # No lookup waited anywhere near the wedge duration.
+            assert max(latencies) < wedge_seconds / 2
+        finally:
+            pump_thread.join(timeout=30)
+        assert plane.idle
