@@ -615,3 +615,56 @@ def test_write_coalescing_reduces_sendmsg_calls_under_concurrency(benchmark):
         },
     )
     assert on_calls < off_calls
+
+
+def test_multi_lookup_encode_scratch_pins_allocations(benchmark):
+    """The batch encode path allocates no new buffers after warm-up.
+
+    Two claims from the per-core PR's codec satellite: encoding a batch of
+    multi-lookup frames into the shared :class:`wire.EncodeScratch` is at
+    least as fast as a fresh ``bytearray`` per request, and a whole run of
+    frames touches exactly **one** allocation (``allocations == 1``) —
+    the buffer grows monotonically and is never replaced mid-run.
+    """
+    from repro.cache.entry import LookupRequest
+
+    opcode = wire.OPCODES["multi_lookup"]
+    args = ([LookupRequest(f"key-{i}", 0, 40) for i in range(8)],)
+    ROUNDS = 4000
+
+    def fresh_buffers():
+        start = time.perf_counter()
+        for _ in range(ROUNDS):
+            wire.encode_binary_args(opcode, args)
+        return ROUNDS / (time.perf_counter() - start)
+
+    def scratch_frames():
+        scratch = wire.EncodeScratch()
+        start = time.perf_counter()
+        for request_id in range(ROUNDS):
+            _header, body = scratch.encode_request_frame(request_id, opcode, args)
+            body.release()
+        return ROUNDS / (time.perf_counter() - start), scratch.allocations
+
+    def run():
+        return fresh_buffers(), *scratch_frames()
+
+    fresh_rate, scratch_rate, allocations = run_once(benchmark, run)
+    print(
+        f"\nmulti-lookup encode: fresh buffer {fresh_rate:9,.0f}/s"
+        f"   scratch {scratch_rate:9,.0f}/s   allocations={allocations}"
+    )
+    # The no-new-allocations pin: one buffer for the entire run.
+    assert allocations == 1
+    # And reuse must not cost throughput (generous bound: same cost class).
+    assert scratch_rate > fresh_rate * 0.5
+    record_wire_benchmark(
+        "codec_scratch",
+        {
+            "rounds": ROUNDS,
+            "batch_size": 8,
+            "fresh_frames_per_second": round(fresh_rate),
+            "scratch_frames_per_second": round(scratch_rate),
+            "scratch_allocations": allocations,
+        },
+    )

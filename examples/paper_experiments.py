@@ -31,6 +31,7 @@ from repro.bench.experiments import (
     figure7,
     figure8,
     figures_openloop,
+    percore_openloop,
     pipelined_clients,
     repair_openloop,
     validity_tracking_overhead,
@@ -39,7 +40,7 @@ from repro.bench.experiments import (
 EXPERIMENTS = (
     "fig5a", "fig5b", "fig6a", "fig6b", "fig7", "fig8", "overhead",
     "concurrency", "concurrent-churn", "pipelined", "figures-openloop",
-    "repair-openloop",
+    "percore-openloop", "repair-openloop",
 )
 
 
@@ -87,6 +88,24 @@ def run_experiment(name: str, settings: ExperimentSettings, smoke: bool = False)
         # figure at one rate (CI schema validation, not benchmark numbers).
         result = figures_openloop(settings=settings, smoke=smoke)
         print(result.format_table())
+        if result.recorded_path:
+            print(f"recorded -> {result.recorded_path}")
+    elif name == "percore-openloop":
+        # Per-core cache nodes: the same fixed offered rate against
+        # {1,2,4} nodes hosted as coordinator threads (one shared GIL)
+        # vs one OS process per node (one core per node, pinned).  The
+        # curve is appended to BENCH_wire.json section "percore"; on a
+        # 4-core machine the process-hosted goodput at 4 nodes should
+        # clear thread-hosted by >= 1.15x.  --smoke shrinks to one cell.
+        result = percore_openloop(smoke=smoke)
+        print(result.format_table())
+        if 4 in result.node_counts:
+            print(
+                f"process-hosted over thread-hosted at 4 nodes: "
+                f"{result.process_speedup_at(4):.2f}x "
+                f"({result.cpu_count} cores"
+                f"{'' if result.scaling_assertable else '; too few to assert scaling'})"
+            )
         if result.recorded_path:
             print(f"recorded -> {result.recorded_path}")
     elif name == "repair-openloop":

@@ -687,6 +687,7 @@ def start_pages_deployment(
     wire_codec: Optional[str] = None,
     mux_read_lease: bool = True,
     write_coalescing: bool = True,
+    cpu_pinning: bool = False,
 ) -> TxCacheDeployment:
     """Build, load, and warm the networked deployment the forked workers dial.
 
@@ -708,6 +709,7 @@ def start_pages_deployment(
         wire_codec=wire_codec,
         mux_read_lease=mux_read_lease,
         write_coalescing=write_coalescing,
+        cpu_pinning=cpu_pinning,
     )
     try:
         deployment.database.create_table(
@@ -970,7 +972,7 @@ def run_multiprocess_benchmark(config: MultiprocessConfig) -> MultiprocessResult
         raise ValueError("processes must be positive")
     if config.threads_per_process < 1:
         raise ValueError("threads_per_process must be positive")
-    if config.transport not in ("socket", "socket-pipelined"):
+    if config.transport not in ("socket", "socket-pipelined", "socket-process"):
         raise ValueError("multi-process driver requires a socket transport")
     deployment = start_pages_deployment(
         transport=config.transport,
@@ -1038,9 +1040,12 @@ def _transport_label(config: MultiprocessConfig) -> str:
     pipelined = (
         config.socket_pipelined
         if config.socket_pipelined is not None
-        else config.transport == "socket-pipelined"
+        else config.transport in ("socket-pipelined", "socket-process")
     )
-    style = config.server_style or (
-        "eventloop" if config.transport == "socket-pipelined" else "threaded"
-    )
+    if config.transport == "socket-process":
+        style = "process"  # one OS process (one core) per cache node
+    else:
+        style = config.server_style or (
+            "eventloop" if config.transport == "socket-pipelined" else "threaded"
+        )
     return f"{'pipelined' if pipelined else 'pooled'}+{style}"

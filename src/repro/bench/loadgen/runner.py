@@ -25,7 +25,7 @@ from __future__ import annotations
 import random
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.bench.driver import (
@@ -54,12 +54,29 @@ LOOP_MODES = ("open", "closed")
 
 @dataclass
 class OpenLoopStats:
-    """What one :func:`run_open_loop` call measured."""
+    """What one :func:`run_open_loop` call measured.
+
+    ``histogram`` is the end-to-end latency (completion − scheduled
+    arrival, the coordinated-omission-safe number).  It decomposes into
+    two attributable parts recorded alongside it:
+
+    * ``queue_wait_histogram`` — scheduled arrival → the moment a worker
+      actually issued the operation: load the *generator* had to queue
+      because the system fell behind;
+    * ``service_histogram`` — issue → completion: the time the system
+      itself took once asked.
+
+    A saturated system shows queue wait exploding while service stays
+    flat; a slow system shows the reverse.  The split is what tells the
+    two apart on a sweep curve.
+    """
 
     completed: int
     errors: int
     wall_seconds: float
     histogram: LatencyHistogram
+    queue_wait_histogram: LatencyHistogram = field(default_factory=LatencyHistogram)
+    service_histogram: LatencyHistogram = field(default_factory=LatencyHistogram)
 
     @property
     def achieved_rate(self) -> float:
@@ -97,6 +114,8 @@ def run_open_loop(
         raise ValueError(f"threads must be positive, got {threads}")
     total = len(times)
     histograms = [LatencyHistogram() for _ in range(threads)]
+    queue_wait_histograms = [LatencyHistogram() for _ in range(threads)]
+    service_histograms = [LatencyHistogram() for _ in range(threads)]
     errors = [0] * threads
     completed = [0] * threads
     if total == 0:
@@ -115,6 +134,8 @@ def run_open_loop(
     def run_thread(thread_index: int) -> None:
         execute = make_executor(thread_index)
         histogram = histograms[thread_index]
+        queue_wait_histogram = queue_wait_histograms[thread_index]
+        service_histogram = service_histograms[thread_index]
         barrier.wait()
         start = start_box[0]
         while True:
@@ -130,12 +151,20 @@ def run_open_loop(
                     time.sleep(delay)
             else:
                 scheduled = time.perf_counter()
+            issued = time.perf_counter()
             try:
                 execute(op_index)
             except Exception:  # noqa: BLE001 - counted, the run continues
                 errors[thread_index] += 1
                 continue
-            histogram.record(time.perf_counter() - scheduled)
+            end = time.perf_counter()
+            histogram.record(end - scheduled)
+            # Attribution split: how long the op sat in the generator's
+            # queue past its scheduled arrival vs how long the system took
+            # once asked.  The clamp covers a worker picking the op up a
+            # few ns early (sleep granularity), never real waiting.
+            queue_wait_histogram.record(max(0.0, issued - scheduled))
+            service_histogram.record(end - issued)
             completed[thread_index] += 1
 
     if threads == 1:
@@ -155,6 +184,8 @@ def run_open_loop(
         errors=sum(errors),
         wall_seconds=wall,
         histogram=LatencyHistogram.merged(histograms),
+        queue_wait_histogram=LatencyHistogram.merged(queue_wait_histograms),
+        service_histogram=LatencyHistogram.merged(service_histograms),
     )
 
 
@@ -193,6 +224,9 @@ class OpenLoopConfig:
     wire_codec: Optional[str] = "binary"
     mux_read_lease: bool = True
     write_coalescing: bool = True
+    #: Pin each "socket-process" cache node to its own core (opt-in; the
+    #: per-core experiment's intended deployment shape).
+    cpu_pinning: bool = False
     seed: int = 1
     label: str = ""
 
@@ -214,16 +248,23 @@ class OpenLoopResult:
     achieved_goodput: float
     hit_rate: float
     histogram: LatencyHistogram
+    #: Latency-breakdown companions of ``histogram`` (see OpenLoopStats):
+    #: scheduled arrival -> issue, and issue -> completion.
+    queue_wait_histogram: LatencyHistogram = field(default_factory=LatencyHistogram)
+    service_histogram: LatencyHistogram = field(default_factory=LatencyHistogram)
 
     def percentiles(self, points: Sequence[float] = DEFAULT_PERCENTILES) -> Dict[float, float]:
         return self.histogram.percentiles(points)
 
     def summary(self) -> str:
         p = self.percentiles()
+        q99 = self.queue_wait_histogram.percentile(99.0)
+        s99 = self.service_histogram.percentile(99.0)
         return (
             f"{self.label or 'run'}: offered {self.offered_rate:8.0f} ops/s -> "
             f"achieved {self.achieved_goodput:8.1f} ops/s  "
-            f"p50 {p[50.0] * 1e3:6.2f}ms  p99 {p[99.0] * 1e3:7.2f}ms  "
+            f"p50 {p[50.0] * 1e3:6.2f}ms  p99 {p[99.0] * 1e3:7.2f}ms "
+            f"(queue-wait {q99 * 1e3:.2f}ms + service {s99 * 1e3:.2f}ms)  "
             f"hit rate {self.hit_rate:5.1%}"
         )
 
@@ -300,6 +341,8 @@ def _openloop_worker(
             "hits": hits,
             "misses": misses,
             "histogram": stats.histogram.to_dict(),
+            "queue_wait_histogram": stats.queue_wait_histogram.to_dict(),
+            "service_histogram": stats.service_histogram.to_dict(),
             "bootstrap_error": bootstrap_error,
         }
     )
@@ -322,7 +365,7 @@ def run_openloop_benchmark(config: OpenLoopConfig) -> OpenLoopResult:
         raise ValueError("threads_per_process must be positive")
     if config.total_ops < 1:
         raise ValueError("total_ops must be positive")
-    if config.transport not in ("socket", "socket-pipelined"):
+    if config.transport not in ("socket", "socket-pipelined", "socket-process"):
         raise ValueError("open-loop benchmark requires a socket transport")
     schedule = ArrivalSchedule(
         rate=config.offered_rate, kind=config.arrival, seed=config.seed
@@ -343,6 +386,7 @@ def run_openloop_benchmark(config: OpenLoopConfig) -> OpenLoopResult:
         wire_codec=config.wire_codec,
         mux_read_lease=config.mux_read_lease,
         write_coalescing=config.write_coalescing,
+        cpu_pinning=config.cpu_pinning,
     )
     try:
         addresses = {
@@ -376,6 +420,14 @@ def run_openloop_benchmark(config: OpenLoopConfig) -> OpenLoopResult:
         histogram = LatencyHistogram.merged(
             LatencyHistogram.from_dict(report["histogram"]) for report in reports
         )
+        queue_wait = LatencyHistogram.merged(
+            LatencyHistogram.from_dict(report["queue_wait_histogram"])
+            for report in reports
+        )
+        service = LatencyHistogram.merged(
+            LatencyHistogram.from_dict(report["service_histogram"])
+            for report in reports
+        )
         return OpenLoopResult(
             label=config.label,
             offered_rate=config.offered_rate,
@@ -390,6 +442,8 @@ def run_openloop_benchmark(config: OpenLoopConfig) -> OpenLoopResult:
             achieved_goodput=completed / wall if wall > 0 else 0.0,
             hit_rate=hits / looked_up if looked_up else 0.0,
             histogram=histogram,
+            queue_wait_histogram=queue_wait,
+            service_histogram=service,
         )
     finally:
         deployment.shutdown()

@@ -45,6 +45,12 @@ class RatePoint:
     p999: float
     errors: int
     hit_rate: float
+    #: p99 of the end-to-end latency's two attributable parts (seconds):
+    #: queue wait (scheduled arrival -> issue; the generator falling
+    #: behind) and service (issue -> completion; the system itself).  Past
+    #: the knee queue wait dominates; before it, service does.
+    queue_wait_p99: float = 0.0
+    service_p99: float = 0.0
 
     @property
     def saturation(self) -> float:
@@ -63,6 +69,8 @@ class RatePoint:
             p999=p[99.9],
             errors=result.errors,
             hit_rate=result.hit_rate,
+            queue_wait_p99=result.queue_wait_histogram.percentile(99.0),
+            service_p99=result.service_histogram.percentile(99.0),
         )
 
 
@@ -98,7 +106,17 @@ class SweepResult:
         return max(within, key=lambda p: p.offered_rate) if within else None
 
     def format_table(self) -> str:
-        header = ["offered ops/s", "achieved", "ratio", "p50 ms", "p95 ms", "p99 ms", "p99.9 ms"]
+        header = [
+            "offered ops/s",
+            "achieved",
+            "ratio",
+            "p50 ms",
+            "p95 ms",
+            "p99 ms",
+            "p99.9 ms",
+            "q-wait p99 ms",
+            "service p99 ms",
+        ]
         rows = [
             [
                 f"{p.offered_rate:,.0f}",
@@ -108,6 +126,8 @@ class SweepResult:
                 f"{p.p95 * 1e3:.2f}",
                 f"{p.p99 * 1e3:.2f}",
                 f"{p.p999 * 1e3:.2f}",
+                f"{p.queue_wait_p99 * 1e3:.2f}",
+                f"{p.service_p99 * 1e3:.2f}",
             ]
             for p in self.points
         ]

@@ -19,10 +19,14 @@ rather than losing history on every rerun.  Schema v2::
     }
 
 Legacy v1 files (a flat ``{section: data}`` mapping) are migrated on
-load: each existing section becomes the first entry of its entry list,
-timestamped ``None`` because the original measurement time was never
-recorded.  Entry lists are bounded (``history_limit``, oldest dropped
-first) so the committed files stay reviewable.
+load: each existing section becomes the first entry of its entry list.
+The original measurement time was never recorded, so migrated entries
+get a **backfilled** ``recorded_at`` (the file's mtime — an upper bound
+on when the measurement happened) and carry ``"migrated": true`` so a
+reader can tell a backfilled timestamp from a measured one; nothing in
+the document is ever timestamped ``null``.  Entry lists are bounded
+(``history_limit``, oldest dropped first) so the committed files stay
+reviewable.
 
 Files are written atomically (temp file + ``os.replace``) because the
 benchmark suites may run under ``pytest -n``-style parallelism; last
@@ -96,14 +100,33 @@ def _migrate(loaded: Any) -> Dict[str, Any]:
     ):
         return loaded
     # v1: a flat {section: data} mapping with no schema marker.  Wrap each
-    # section's data as the first history entry; the original measurement
-    # time was never recorded, so it is honestly None.
+    # section's data as the first history entry; the timestamp is
+    # backfilled by the caller (load_benchmark), which knows the file.
     sections: Dict[str, Any] = {}
     for section, data in loaded.items():
         if section == "schema_version":
             continue
         sections[section] = {"entries": [{"recorded_at": None, "data": data}]}
     return {"schema_version": SCHEMA_VERSION, "sections": sections}
+
+
+def _backfill_timestamps(document: Dict[str, Any], recorded_at: str) -> Dict[str, Any]:
+    """Replace any ``recorded_at: None`` with a backfilled timestamp.
+
+    Entries migrated from v1 (and v2 files written before this fix) carry
+    no measurement time.  They are stamped with ``recorded_at`` — the
+    file's mtime, an upper bound on when the measurement happened — plus
+    ``"migrated": true`` so a backfilled timestamp is never mistaken for
+    a measured one.  The backfill persists on the next append.
+    """
+    for section_doc in document.get("sections", {}).values():
+        if not isinstance(section_doc, dict):
+            continue
+        for entry in section_doc.get("entries", []):
+            if isinstance(entry, dict) and entry.get("recorded_at") is None:
+                entry["recorded_at"] = recorded_at
+                entry["migrated"] = True
+    return document
 
 
 def load_benchmark(filename: str, path: Optional[str] = None) -> Dict[str, Any]:
@@ -118,7 +141,17 @@ def load_benchmark(filename: str, path: Optional[str] = None) -> Dict[str, Any]:
             loaded = json.load(handle)
     except (OSError, ValueError):
         loaded = None
-    return _migrate(loaded)
+    try:
+        mtime = os.path.getmtime(target)
+        fallback = (
+            datetime.datetime.fromtimestamp(mtime, datetime.timezone.utc)
+            .replace(microsecond=0)
+            .isoformat()
+            .replace("+00:00", "Z")
+        )
+    except OSError:
+        fallback = _utc_now_iso()
+    return _backfill_timestamps(_migrate(loaded), fallback)
 
 
 def latest(document: Dict[str, Any], section: str) -> Optional[Dict[str, Any]]:

@@ -14,7 +14,14 @@ topologies:
 * ``transport="socket"`` — each node runs as a
   :class:`repro.cache.netserver.CacheServerProcess` behind a TCP endpoint
   and is reached via a :class:`repro.cache.netserver.SocketTransport`,
-  modelling the paper's real deployment of standalone cache servers.
+  modelling the paper's real deployment of standalone cache servers;
+* ``transport="socket-process"`` — each node is a
+  :class:`repro.cache.procnode.CacheNodeHost`, an **out-of-process** worker
+  with its own interpreter (and optionally its own pinned CPU), reached
+  over the same pipelined wire stack.  The invalidation stream crosses the
+  process boundary over the wire too — synchronously per message by
+  default, or batched per housekeeping flush with
+  ``invalidation_batching=True`` (see :meth:`CacheCluster.flush_invalidations`).
 
 Batched lookups (:meth:`CacheCluster.multi_lookup`) group requests by
 responsible node and issue one round trip per node, which is where a
@@ -63,6 +70,7 @@ safe to run while traffic flows; per-node thread safety is provided by
 
 from __future__ import annotations
 
+import os
 import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
@@ -74,6 +82,7 @@ from repro.cache.netserver import (
     CacheServerProcess,
     SocketTransport,
 )
+from repro.cache.procnode import CacheNodeHost
 from repro.cache.server import CacheServer, CacheServerStats
 from repro.clock import Clock, SystemClock
 from repro.comm.multicast import InvalidationBus, InvalidationMessage
@@ -87,8 +96,12 @@ __all__ = ["CacheCluster", "ClusterHealthStats"]
 #: Supported values of the ``transport`` constructor argument.
 #: ``"socket"`` is the PR-4 fast path (pooled one-in-flight connections to
 #: thread-per-connection servers); ``"socket-pipelined"`` is the multiplexed
-#: wire protocol to event-loop servers (see :mod:`repro.cache.netserver`).
-TRANSPORT_KINDS = ("inprocess", "socket", "socket-pipelined")
+#: wire protocol to event-loop servers (see :mod:`repro.cache.netserver`);
+#: ``"socket-process"`` hosts each node in its **own OS process**
+#: (:class:`repro.cache.procnode.CacheNodeHost`) behind the same pipelined
+#: wire stack, so N nodes on one machine use N cores instead of sharing
+#: one GIL.
+TRANSPORT_KINDS = ("inprocess", "socket", "socket-pipelined", "socket-process")
 
 #: Exceptions that mean "the node is unreachable" (never server-side errors).
 _FAILURE_EXCEPTIONS = (CacheNodeUnreachableError, ConnectionError, OSError)
@@ -129,26 +142,65 @@ class _NodeStreamGuard:
     into an exception.  Failures are routed into the cluster's failure
     accounting instead, so a dead node is detected (and eventually evicted)
     from the invalidation path exactly as from the lookup path.
+
+    With ``batching=True`` (the cluster's ``invalidation_batching`` knob)
+    the guard buffers the stream instead of delivering synchronously, and
+    :meth:`flush` ships the whole buffer as one ``invalidate_tags`` RPC —
+    the housekeeping-flushed delivery mode for out-of-process nodes, where a
+    per-message round trip from inside every commit would be the dominant
+    cost.  Buffering is consistency-safe because lookups bound their open
+    intervals by the node's invalidation watermark: an undelivered batch
+    only holds the watermark back (fewer hits at fresh timestamps), it can
+    never let a stale entry satisfy a too-new read.  Watermark-only
+    advances (:meth:`note_timestamp`) are buffered as empty-tag messages so
+    delivery order matches publish order exactly.
     """
 
-    def __init__(self, cluster: "CacheCluster", name: str, transport: CacheTransport) -> None:
+    def __init__(
+        self,
+        cluster: "CacheCluster",
+        name: str,
+        transport: CacheTransport,
+        batching: bool = False,
+    ) -> None:
         self._cluster = cluster
         self.name = name
         self.transport = transport
+        self.batching = batching
+        #: Guards the pending buffer: the bus delivers from publisher
+        #: threads while housekeeping flushes from the application thread.
+        self._lock = threading.Lock()
+        self._pending: List[InvalidationMessage] = []
+
+    def _deliver(self, send: Callable[[], None]) -> None:
+        try:
+            send()
+        except _FAILURE_EXCEPTIONS:
+            self._cluster._bump_health("degraded_ops")
+            self._cluster._note_failure(self.name)
 
     def process_invalidation(self, message: InvalidationMessage) -> None:
-        try:
-            self.transport.process_invalidation(message)
-        except _FAILURE_EXCEPTIONS:
-            self._cluster._bump_health("degraded_ops")
-            self._cluster._note_failure(self.name)
+        if self.batching:
+            with self._lock:
+                self._pending.append(message)
+            return
+        self._deliver(lambda: self.transport.process_invalidation(message))
 
     def note_timestamp(self, timestamp: int) -> None:
-        try:
-            self.transport.note_timestamp(timestamp)
-        except _FAILURE_EXCEPTIONS:
-            self._cluster._bump_health("degraded_ops")
-            self._cluster._note_failure(self.name)
+        if self.batching:
+            with self._lock:
+                self._pending.append(InvalidationMessage(timestamp=timestamp))
+            return
+        self._deliver(lambda: self.transport.note_timestamp(timestamp))
+
+    def flush(self) -> int:
+        """Deliver the buffered stream in one batch; returns the count."""
+        with self._lock:
+            if not self._pending:
+                return 0
+            batch, self._pending = self._pending, []
+        self._deliver(lambda: self.transport.process_invalidations(batch))
+        return len(batch)
 
 
 class CacheCluster:
@@ -174,6 +226,8 @@ class CacheCluster:
         wire_codec: Optional[str] = None,
         mux_read_lease: bool = True,
         write_coalescing: bool = True,
+        invalidation_batching: bool = False,
+        cpu_pinning: bool = False,
     ) -> None:
         if transport not in TRANSPORT_KINDS:
             raise ValueError(
@@ -189,16 +243,20 @@ class CacheCluster:
             raise ValueError("node_addresses requires a socket transport")
         self.transport_kind = transport
         #: Pipelined (multiplexed) client framing; the "socket-pipelined"
-        #: kind turns it on, and either kind accepts an explicit override.
+        #: and "socket-process" kinds turn it on, and any kind accepts an
+        #: explicit override.
         self.socket_pipelined = (
             socket_pipelined
             if socket_pipelined is not None
-            else transport == "socket-pipelined"
+            else transport in ("socket-pipelined", "socket-process")
         )
         #: Serving engine of locally started cache nodes ("threaded" or
-        #: "eventloop"); defaults to the event loop for "socket-pipelined".
+        #: "eventloop"); defaults to the event loop for "socket-pipelined"
+        #: and "socket-process" (a process node always serves eventloop).
         self.server_style = server_style or (
-            "eventloop" if transport == "socket-pipelined" else "threaded"
+            "eventloop"
+            if transport in ("socket-pipelined", "socket-process")
+            else "threaded"
         )
         #: Endpoints of externally running cache nodes.  When set, the
         #: cluster is *client-only*: it dials the given addresses instead of
@@ -225,6 +283,20 @@ class CacheCluster:
         self.mux_read_lease = mux_read_lease
         #: One sendmsg gather per readiness event on the event-loop engine.
         self.write_coalescing = write_coalescing
+        #: Buffer the invalidation stream per node and deliver it in
+        #: batches from :meth:`flush_invalidations` (called by the
+        #: deployment's housekeeping) instead of synchronously from inside
+        #: every commit.  Off by default: synchronous delivery keeps
+        #: truncation immediate; batching trades watermark freshness (and
+        #: nothing else — see :class:`_NodeStreamGuard`) for one
+        #: ``invalidate_tags`` RPC per flush per node.
+        self.invalidation_batching = invalidation_batching
+        #: Pin each process-hosted node to its own CPU (opt-in;
+        #: round-robin over the machine's cores).  Ignored by the other
+        #: transport kinds — threads in one interpreter gain nothing from
+        #: pinning.
+        self.cpu_pinning = cpu_pinning
+        self._cpu_cursor = 0
         self.health = ClusterHealthStats()
         #: Guards ring, transport registry, and failure accounting (held for
         #: in-memory updates only; see "Thread safety" in the module doc).
@@ -236,7 +308,9 @@ class CacheCluster:
         self._bus: Optional[InvalidationBus] = None
         self._servers: Dict[str, CacheServer] = {}
         self._transports: Dict[str, CacheTransport] = {}
-        self._processes: Dict[str, CacheServerProcess] = {}
+        #: Thread-hosted CacheServerProcess or out-of-process CacheNodeHost;
+        #: both expose the same lifecycle surface (address, shutdown()).
+        self._processes: Dict[str, "CacheServerProcess | CacheNodeHost"] = {}
         self._stream_guards: Dict[str, _NodeStreamGuard] = {}
         self._failures: Dict[str, int] = {}
         self._suspects: Set[str] = set()
@@ -264,10 +338,13 @@ class CacheCluster:
     def servers(self) -> Dict[str, CacheServer]:
         """Mapping of node name to the underlying cache server.
 
-        The server objects live in this process under both transports (the
-        socket transport serves them from a node thread), so they remain
-        available for introspection; live traffic always goes through the
-        transports.
+        The server objects live in this process under the in-process and
+        thread-hosted socket transports (the socket server serves them from
+        a node thread), so they remain available for introspection; live
+        traffic always goes through the transports.  ``"socket-process"``
+        nodes live in their own address space and have no entry here —
+        introspect them over the wire (``stats``/``keys``/``watermark``)
+        like any remote node.
         """
         return dict(self._servers)
 
@@ -277,8 +354,14 @@ class CacheCluster:
         return dict(self._transports)
 
     @property
-    def processes(self) -> Dict[str, CacheServerProcess]:
-        """Mapping of node name to its socket server (socket transport only)."""
+    def processes(self) -> Dict[str, "CacheServerProcess | CacheNodeHost"]:
+        """Mapping of node name to its server host (socket transports only).
+
+        Thread-hosted kinds map to :class:`CacheServerProcess`;
+        ``"socket-process"`` maps to the node's
+        :class:`~repro.cache.procnode.CacheNodeHost` (pid, exitcode,
+        ``kill()`` for crash tests).
+        """
         return dict(self._processes)
 
     @property
@@ -311,6 +394,19 @@ class CacheCluster:
         self._bus = bus
         for name, transport in self._transports.items():
             self._subscribe_node(name, transport)
+
+    def flush_invalidations(self) -> int:
+        """Deliver every node's buffered invalidation batch; returns the
+        total number of messages shipped.
+
+        A no-op (returns 0) unless the cluster was built with
+        ``invalidation_batching=True``; the deployment calls this from its
+        housekeeping pass so batched delivery rides the existing
+        maintenance cadence.
+        """
+        with self._state_lock:
+            guards = list(self._stream_guards.values())
+        return sum(guard.flush() for guard in guards)
 
     def add_node(self, name: str, capacity_bytes: int, clock: Optional[Clock] = None) -> CacheServer:
         """Add a cache node to the cluster (keys re-map via the ring).
@@ -463,6 +559,40 @@ class CacheCluster:
                 mux_read_lease=self.mux_read_lease,
             )
             return None
+        if self.transport_kind == "socket-process":
+            # The node lives in its own OS process: no local CacheServer to
+            # register (and the injected clock cannot cross the process
+            # boundary — the child keeps system time, which is what the
+            # timestamp-interval protocol assumes of a remote node anyway).
+            cpu_affinity: Optional[int] = None
+            if self.cpu_pinning:
+                cpu_affinity = self._cpu_cursor % (os.cpu_count() or 1)
+                self._cpu_cursor += 1
+            host = CacheNodeHost(
+                name,
+                capacity_bytes=capacity_bytes,
+                simulated_latency_seconds=self.simulated_rpc_latency_seconds,
+                wire_codec=self.wire_codec,
+                write_coalescing=self.write_coalescing,
+                cpu_affinity=cpu_affinity,
+            )
+            self._processes[name] = host
+            try:
+                self._transports[name] = SocketTransport(
+                    host.address,
+                    name=name,
+                    pool_size=self.socket_pool_size,
+                    timeout_seconds=self.rpc_timeout_seconds,
+                    pipelined=self.socket_pipelined,
+                    wire_codec=self.wire_codec,
+                    mux_read_lease=self.mux_read_lease,
+                )
+            except BaseException:
+                # Connecting failed: reap the just-spawned node instead of
+                # leaving an orphaned process squatting on its port.
+                self._processes.pop(name).shutdown()
+                raise
+            return None
         server = CacheServer(name=name, capacity_bytes=capacity_bytes, clock=clock)
         self._servers[name] = server
         if self.transport_kind != "inprocess":
@@ -501,7 +631,9 @@ class CacheCluster:
         # every invalidation tag twice.
         with self._state_lock:
             stale = self._stream_guards.pop(name, None)
-            guard = _NodeStreamGuard(self, name, transport)
+            guard = _NodeStreamGuard(
+                self, name, transport, batching=self.invalidation_batching
+            )
             self._stream_guards[name] = guard
         # Bus calls happen outside the state lock (see "Thread safety").
         if stale is not None:

@@ -465,9 +465,21 @@ class GossipRunner:
         from repro.cache.cluster import _FAILURE_EXCEPTIONS
 
         try:
-            return transport.gossip(digest)
+            reply = transport.gossip(digest)
         except _FAILURE_EXCEPTIONS:
             return None  # gossip's own timeouts are the failure detector
+        agent = self.agents.get(node)
+        if agent is not None and self.cluster.servers.get(node) is None:
+            # Process-hosted node: the resident agent cannot live in the
+            # child (the runner's deterministic clock does not cross the
+            # process boundary), so the runner hosts it as the node's
+            # stand-in.  The wire op above is still what proves liveness —
+            # a partitioned or dead node fails the RPC and is silenced in
+            # both directions, exactly like a thread-hosted node — and the
+            # agentless child's empty reply is discarded for the local
+            # exchange.
+            return agent.exchange(digest)
+        return reply
 
     def _exchange(self, agent: GossipAgent, peer: str) -> None:
         reply = self._wire(peer, agent.digest())

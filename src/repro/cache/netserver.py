@@ -124,6 +124,10 @@ DEFAULT_MAX_QUEUED_PER_CONNECTION = 32
 #: Supported values of ``CacheServerProcess(style=...)``.
 SERVER_STYLES = ("threaded", "eventloop")
 
+#: The multi-lookup opcode gets the reusable-scratch encode path on the
+#: pipelined binary client (see :class:`repro.comm.wire.EncodeScratch`).
+_MULTI_LOOKUP_OPCODE = OPCODES["multi_lookup"]
+
 
 def _set_nodelay(sock: socket.socket) -> None:
     """Disable Nagle's algorithm (frames are tiny; latency matters)."""
@@ -486,8 +490,23 @@ class CacheServerProcess:
             return server.last_invalidation_timestamp
         if op == "invalidate":
             return server.process_invalidation(*args)
+        if op == "invalidate_tags":
+            # Wire-delivered invalidation stream: a batch of (timestamp,
+            # tags) pairs, applied in order.  This is how out-of-process
+            # nodes subscribe to the InvalidationBus — the bus cannot call
+            # into another address space, so the guard ships the stream
+            # here instead.  Returns the batch size so the flush path can
+            # account delivered messages.
+            (batch,) = args
+            for timestamp, tags in batch:
+                server.process_invalidation(
+                    InvalidationMessage(timestamp=timestamp, tags=tuple(tags))
+                )
+            return len(batch)
         if op == "note_timestamp":
             return server.note_timestamp(*args)
+        if op == "versions_of":
+            return server.versions_of(*args)
         if op == "ping":
             return server.name
         if op == "gossip":
@@ -1088,6 +1107,10 @@ class _MuxConnection:
         self._read_lease = read_lease
         self._lock = threading.Lock()
         self._send_lock = threading.Lock()
+        #: Reusable encode buffer for the multi-lookup batch path (binary
+        #: codec only).  Shared per connection: encode + send + view
+        #: release all happen under ``_send_lock``.
+        self.scratch = wire.EncodeScratch() if self._binary else None
         self._pending: Dict[int, ResponseSlot] = {}
         self._ids = itertools.count(1)
         self._dead: Optional[BaseException] = None
@@ -1151,13 +1174,29 @@ class _MuxConnection:
                 )
             request_id = next(self._ids)
             self._pending[request_id] = slot
-        if self._binary and opcode in BINARY_OPCODES:
-            buffers = wire.encode_binary_request_frame(request_id, opcode, args)
-        else:
-            buffers = wire.encode_mux_frame(request_id, opcode, args)
         try:
-            with self._send_lock:
-                wire.send_buffers(self._sock, buffers)
+            if self._binary and opcode == _MULTI_LOOKUP_OPCODE:
+                # Batch requests encode into the connection's reusable
+                # scratch buffer instead of a fresh bytearray per call.
+                # Encode must happen under the send lock: the scratch is
+                # shared, and the memoryview handed to sendmsg must be
+                # released before the next request appends (a live export
+                # blocks the bytearray resize).
+                with self._send_lock:
+                    header, body = self.scratch.encode_request_frame(
+                        request_id, opcode, args
+                    )
+                    try:
+                        wire.send_buffers(self._sock, (header, body))
+                    finally:
+                        body.release()
+            else:
+                if self._binary and opcode in BINARY_OPCODES:
+                    buffers = wire.encode_binary_request_frame(request_id, opcode, args)
+                else:
+                    buffers = wire.encode_mux_frame(request_id, opcode, args)
+                with self._send_lock:
+                    wire.send_buffers(self._sock, buffers)
         except (ConnectionError, OSError) as exc:
             self.fail(exc)
             raise CacheNodeUnreachableError(
@@ -1432,6 +1471,22 @@ class SocketTransport:
             self._mux[index] = fresh
             return fresh
 
+    @property
+    def scratch_allocations(self) -> int:
+        """Encode-scratch buffers ever allocated across live mux connections.
+
+        1 per binary mux connection in the steady state; the codec
+        microbenchmark pins that the multi-lookup batch path does not
+        allocate a fresh buffer per request.
+        """
+        with self._lock:
+            connections = list(self._mux)
+        return sum(
+            connection.scratch.allocations
+            for connection in connections
+            if connection is not None and connection.scratch is not None
+        )
+
     # -- pooled mode -----------------------------------------------------
     def _checkout(self) -> socket.socket:
         """An idle pooled connection, or a freshly dialled one."""
@@ -1538,6 +1593,9 @@ class SocketTransport:
     def watermark(self) -> int:
         return self._call("watermark")
 
+    def versions_of(self, key: str) -> list:
+        return self._call("versions_of", key)
+
     # -- autonomous cluster plane ---------------------------------------
     def gossip(self, digest: dict) -> dict:
         return self._call("gossip", dict(digest))
@@ -1551,6 +1609,15 @@ class SocketTransport:
     # -- invalidation stream -------------------------------------------
     def process_invalidation(self, message: InvalidationMessage) -> None:
         self._call("invalidate", message)
+
+    def process_invalidations(self, messages: Sequence[InvalidationMessage]) -> None:
+        # Normalized to (timestamp, tags) pairs so both body codecs carry
+        # the identical payload: tags are hot-path binary values (_T_TAG),
+        # and the pickle path round-trips the same tuples.
+        self._call(
+            "invalidate_tags",
+            [(message.timestamp, tuple(message.tags)) for message in messages],
+        )
 
     def note_timestamp(self, timestamp: int) -> None:
         self._call("note_timestamp", timestamp)

@@ -56,7 +56,7 @@ from typing import (
 from repro.comm.multicast import InvalidationMessage
 
 if TYPE_CHECKING:  # cache modules import repro.comm; avoid the import cycle
-    from repro.cache.entry import EntryRecord, LookupRequest, LookupResult
+    from repro.cache.entry import CacheEntry, EntryRecord, LookupRequest, LookupResult
     from repro.cache.server import CacheServer, CacheServerStats
     from repro.db.invalidation import InvalidationTag
     from repro.interval import Interval
@@ -127,6 +127,9 @@ class CacheTransport(Protocol):
     def watermark(self) -> int:
         """The node's highest processed invalidation timestamp."""
 
+    def versions_of(self, key: str) -> List[CacheEntry]:
+        """All stored versions of one key (replica-placement introspection)."""
+
     # ------------------------------------------------------------------
     # Autonomous cluster plane (gossip membership + digest repair)
     # ------------------------------------------------------------------
@@ -144,6 +147,15 @@ class CacheTransport(Protocol):
     # ------------------------------------------------------------------
     def process_invalidation(self, message: InvalidationMessage) -> None:
         """Forward one invalidation-stream message to the node."""
+
+    def process_invalidations(self, messages: Sequence[InvalidationMessage]) -> None:
+        """Forward a batch of invalidation messages, in timestamp order.
+
+        The batched form exists for housekeeping-flushed delivery to
+        out-of-process nodes: one ``invalidate_tags`` RPC instead of one
+        round trip per message.  Semantically identical to calling
+        :meth:`process_invalidation` once per message.
+        """
 
     def note_timestamp(self, timestamp: int) -> None:
         """Advance the node's last-invalidation watermark without tags."""
@@ -240,6 +252,10 @@ class InProcessTransport:
         self._count("watermark")
         return self.server.last_invalidation_timestamp
 
+    def versions_of(self, key: str) -> List[CacheEntry]:
+        self._count("versions_of")
+        return self.server.versions_of(key)
+
     # -- autonomous cluster plane ---------------------------------------
     def gossip(self, digest: dict) -> dict:
         self._count("gossip")
@@ -257,6 +273,11 @@ class InProcessTransport:
     def process_invalidation(self, message: InvalidationMessage) -> None:
         self._count("invalidate")
         self.server.process_invalidation(message)
+
+    def process_invalidations(self, messages: Sequence[InvalidationMessage]) -> None:
+        self._count("invalidate_tags")
+        for message in messages:
+            self.server.process_invalidation(message)
 
     def note_timestamp(self, timestamp: int) -> None:
         self._count("note_timestamp")

@@ -89,7 +89,9 @@ __all__ = [
     "encode_binary_body",
     "decode_binary_body",
     "encode_binary_args",
+    "encode_binary_args_into",
     "decode_binary_args",
+    "EncodeScratch",
     "encode_mux_frame",
     "encode_binary_mux_frame",
     "encode_binary_request_frame",
@@ -153,6 +155,17 @@ OPCODES = {
     "gossip": 18,
     "key_digest": 19,
     "keys_in_range": 20,
+    # Wire-delivered invalidation: a batch of (timestamp, tags) pairs
+    # applied in order by the receiving node.  Process-hosted nodes cannot
+    # share the in-process InvalidationBus, so the stream crosses the wire
+    # as this op — binary-codec eligible because tags are hot-path values
+    # (_T_TAG) and housekeeping may flush large batches.
+    "invalidate_tags": 21,
+    # Stored-version introspection: the full entry list for one key, used
+    # by replica-placement checks and debugging.  Process-hosted nodes
+    # have no in-process server object to inspect, so the check crosses
+    # the wire like everything else (pickle body — not a hot-path op).
+    "versions_of": 22,
 }
 
 #: Response opcodes.
@@ -173,7 +186,7 @@ OPCODE_MASK = 0xFF & ~(FLAG_OOB | FLAG_BIN)
 
 #: Hot operations whose request/response bodies use the binary codec on a
 #: binary connection; maintenance ops keep pickle bodies.
-BINARY_OPS = frozenset({"lookup", "multi_lookup", "put", "probe"})
+BINARY_OPS = frozenset({"lookup", "multi_lookup", "put", "probe", "invalidate_tags"})
 
 #: The wire body codecs a connection can negotiate.
 WIRE_CODECS = ("binary", "pickle")
@@ -861,18 +874,19 @@ _pack_qq = _QQ.pack
 _unpack_qq = _QQ.unpack_from
 
 
-def encode_binary_args(opcode: int, args: object) -> bytearray:
-    """Encode a request argument tuple as ``opcode``'s binary body.
+def encode_binary_args_into(out: bytearray, opcode: int, args: object) -> None:
+    """Append ``opcode``'s binary request body for ``args`` onto ``out``.
 
-    ``lookup`` and ``probe`` — the single-key hot ops — skip the tagged
-    value encoding entirely: their bodies are a marker byte, the key (one
-    length byte, 255 escaping to a u32), and the two bounds as signed
-    64-bit integers.  One struct call per request instead of a recursive
-    value walk — the same trick memcached's binary protocol plays with its
-    fixed GET header.  Arguments the fixed layout cannot carry (non-str
-    key, bounds beyond 64 bits) fall back to a tagged body behind the
-    marker byte, so the fast path never constrains the API.
+    The append-into form exists so a connection can reuse one scratch
+    buffer across requests (:class:`EncodeScratch`); ``out`` may already
+    hold earlier frames' bytes and only the tail belongs to this request.
+    A fallback path that bails mid-encode rolls the buffer back to its
+    entry length before re-encoding, so a shared buffer never keeps a
+    half-written layout.
     """
+    if _Interval is None:
+        _bind_record_types()
+    start = len(out)
     if opcode in _SINGLE_KEY_OPCODES:
         if type(args) is tuple and len(args) == 3:
             key, lo, hi = args
@@ -883,7 +897,6 @@ def encode_binary_args(opcode: int, args: object) -> bytearray:
                 except (UnicodeEncodeError, struct.error, OverflowError, TypeError):
                     pass
                 else:
-                    out = bytearray()
                     append = out.append
                     append(_ARGS_PACKED)
                     size = len(raw)
@@ -894,16 +907,11 @@ def encode_binary_args(opcode: int, args: object) -> bytearray:
                         out += _pack_u32(size)
                     out += raw
                     out += tail
-                    return out
-        if _Interval is None:
-            _bind_record_types()
-        out = bytearray()
+                    return
         out.append(_ARGS_TAGGED)
         _enc_value(out, args)
-        return out
+        return
     if opcode == _PUT_OPCODE:
-        if _Interval is None:
-            _bind_record_types()
         if (
             type(args) is tuple
             and len(args) == 4
@@ -915,7 +923,6 @@ def encode_binary_args(opcode: int, args: object) -> bytearray:
             key, value, interval, tags = args
             try:
                 raw = key.encode("utf-8")
-                out = bytearray()
                 append = out.append
                 append(_ARGS_PACKED)
                 size = len(raw)
@@ -930,14 +937,82 @@ def encode_binary_args(opcode: int, args: object) -> bytearray:
                 for tag in tags:
                     _enc_value(out, tag)
                 _enc_value(out, value)
-                return out
+                return
             except (UnicodeEncodeError, struct.error, OverflowError, TypeError):
-                pass  # fall back to the tagged body below
-        out = bytearray()
+                del out[start:]  # roll back the partial packed layout
         out.append(_ARGS_TAGGED)
         _enc_value(out, args)
-        return out
-    return encode_binary_body(args)
+        return
+    _enc_value(out, args)
+
+
+def encode_binary_args(opcode: int, args: object) -> bytearray:
+    """Encode a request argument tuple as ``opcode``'s binary body.
+
+    ``lookup`` and ``probe`` — the single-key hot ops — skip the tagged
+    value encoding entirely: their bodies are a marker byte, the key (one
+    length byte, 255 escaping to a u32), and the two bounds as signed
+    64-bit integers.  One struct call per request instead of a recursive
+    value walk — the same trick memcached's binary protocol plays with its
+    fixed GET header.  Arguments the fixed layout cannot carry (non-str
+    key, bounds beyond 64 bits) fall back to a tagged body behind the
+    marker byte, so the fast path never constrains the API.
+    """
+    out = bytearray()
+    encode_binary_args_into(out, opcode, args)
+    return out
+
+
+class EncodeScratch:
+    """A reusable encode buffer shared by every request on one connection.
+
+    ``encode_binary_body`` allocates a fresh ``bytearray`` per request;
+    on the multi-lookup batch path that allocation dominates small-batch
+    encode cost.  The scratch instead appends each request's body at the
+    current end of one long-lived buffer and hands back a ``memoryview``
+    slice over the newly written region.  CPython shrinks a bytearray's
+    allocation on ``del buf[:]``, so the buffer is never truncated —
+    it grows monotonically and is replaced wholesale (counted in
+    :attr:`allocations`) only once it exceeds ``limit_bytes``.
+
+    Contract: the returned view **exports** the buffer, which blocks the
+    resize any later append needs — the caller must ``release()`` the view
+    (or let it die) before the next :meth:`encode_request_frame`.  The
+    mux client does encode+send+release under its per-connection send
+    lock, which also makes the scratch single-writer.
+    """
+
+    __slots__ = ("buffer", "limit_bytes", "allocations")
+
+    def __init__(self, limit_bytes: int = 1 << 20) -> None:
+        self.buffer = bytearray()
+        self.limit_bytes = limit_bytes
+        #: Buffers ever allocated (starts at 1; +1 per wholesale reset).
+        #: The codec microbenchmark pins this at 1 across a whole batch
+        #: of requests — the no-new-allocations claim.
+        self.allocations = 1
+
+    def encode_request_frame(
+        self, request_id: int, opcode: int, args: object
+    ) -> Tuple[Buffer, memoryview]:
+        """Encode one request frame into the scratch.
+
+        Returns ``(header, body_view)`` where ``body_view`` is a
+        memoryview over this request's region of the shared buffer.
+        """
+        buf = self.buffer
+        if len(buf) > self.limit_bytes:
+            buf = self.buffer = bytearray()
+            self.allocations += 1
+        start = len(buf)
+        try:
+            encode_binary_args_into(buf, opcode, args)
+        except BaseException:
+            del buf[start:]  # keep the shared buffer consistent
+            raise
+        header = MUX_HEADER.pack(request_id, opcode | FLAG_BIN, len(buf) - start)
+        WIRE_COUNTERS.frames_encoded += 1
+        return header, memoryview(buf)[start:]
 
 
 def decode_binary_args(opcode: int, body: Buffer) -> object:

@@ -42,8 +42,11 @@ class TxCacheDeployment:
     cache_nodes: int = 2
     cache_capacity_bytes_per_node: int = 64 * 1024 * 1024
     #: "inprocess" (direct calls), "socket" (networked cache servers behind
-    #: pooled one-in-flight connections) or "socket-pipelined" (the
-    #: multiplexed wire protocol to event-loop servers — the fast wire path).
+    #: pooled one-in-flight connections), "socket-pipelined" (the
+    #: multiplexed wire protocol to event-loop servers — the fast wire
+    #: path), or "socket-process" (each node in its own OS process behind
+    #: the pipelined wire stack, so nodes scale with cores — see
+    #: repro.cache.procnode).
     transport: str = "inprocess"
     mode: ConsistencyMode = ConsistencyMode.CONSISTENT
     default_staleness: float = 30.0
@@ -93,6 +96,15 @@ class TxCacheDeployment:
     #: Batch all drained responses per connection into one sendmsg gather
     #: on the event-loop engine; False writes one sendmsg per response.
     write_coalescing: bool = True
+    #: Buffer the invalidation stream per node and ship each node's batch
+    #: as one ``invalidate_tags`` RPC per :meth:`housekeeping` round,
+    #: instead of one synchronous RPC per commit.  Consistency-safe (the
+    #: watermark bounds every lookup) but watermark freshness then depends
+    #: on the housekeeping cadence; off by default.
+    invalidation_batching: bool = False
+    #: Pin each "socket-process" cache node to its own CPU core (opt-in;
+    #: ignored by the in-interpreter transports).
+    cpu_pinning: bool = False
     #: Run the gossip membership plane: a per-node SWIM-style agent plus an
     #: app-server observer relay digests each :meth:`housekeeping` round, so
     #: the node set converges without a coordinator and confirmed deaths
@@ -140,6 +152,8 @@ class TxCacheDeployment:
             wire_codec=self.wire_codec,
             mux_read_lease=self.mux_read_lease,
             write_coalescing=self.write_coalescing,
+            invalidation_batching=self.invalidation_batching,
+            cpu_pinning=self.cpu_pinning,
         )
         self.membership = ClusterMembership(
             self.cache, chunk_size=self.migration_chunk_size, auto_repair=self.auto_repair
@@ -204,12 +218,15 @@ class TxCacheDeployment:
         * vacuum tuple versions nothing can see any more;
         * eagerly evict cache entries too stale to satisfy any transaction
           within ``max_staleness`` seconds;
+        * with ``invalidation_batching``, flush each node's buffered
+          invalidation batch (one ``invalidate_tags`` RPC per node);
         * with ``gossip``, run one gossip round (tick every agent, exchange
           digests, confirm deaths);
         * with ``background_maintenance``, pump queued maintenance chunks
           under the plane's budget.
         """
         staleness = self.default_staleness if max_staleness is None else max_staleness
+        self.cache.flush_invalidations()
         self.pincushion.expire_old_snapshots()
         self.database.vacuum()
         horizon_wallclock = self.clock.now() - staleness

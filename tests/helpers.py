@@ -33,17 +33,20 @@ from repro.deployment import TxCacheDeployment
 
 #: Every cache transport kind; the parity suites parametrize over this.
 #: "socket" is the pooled client + thread-per-connection server (PR 4);
-#: "socket-pipelined" is the multiplexed client + event-loop server.
-TRANSPORTS = ["inprocess", "socket", "socket-pipelined"]
+#: "socket-pipelined" is the multiplexed client + event-loop server;
+#: "socket-process" hosts each node in its own OS process (PR 9) — same
+#: pipelined wire, but no in-process server object to reach into, so the
+#: suites introspect node state through :func:`node_views` instead.
+TRANSPORTS = ["inprocess", "socket", "socket-pipelined", "socket-process"]
 
 
 def transports_under_test() -> List[str]:
     """Transports the parametrized suites should run against.
 
-    Defaults to all; set ``REPRO_TRANSPORT=inprocess``, ``socket`` or
-    ``socket-pipelined`` to restrict the run (used by the CI matrix to
-    exercise one wire path at a time without multiplying every job's
-    runtime).
+    Defaults to all; set ``REPRO_TRANSPORT=inprocess``, ``socket``,
+    ``socket-pipelined`` or ``socket-process`` to restrict the run (used
+    by the CI matrix to exercise one wire path at a time without
+    multiplying every job's runtime).
     """
     forced = os.environ.get("REPRO_TRANSPORT")
     if not forced:
@@ -151,6 +154,67 @@ def insert_users(deployment: TxCacheDeployment, rows: Iterable[dict]) -> int:
     timestamp = transaction.commit()
     deployment.advance(0.1)
     return timestamp
+
+
+# ----------------------------------------------------------------------
+# Transport-agnostic node introspection
+# ----------------------------------------------------------------------
+class NodeView:
+    """Read one cache node's state regardless of where the node lives.
+
+    Thread-hosted transports keep the :class:`CacheServer` object in this
+    process, so tests historically reached into ``cluster.servers[name]``
+    to assert replica placement or invalidation delivery.  Process-hosted
+    nodes (``socket-process``) have no such object — their state is only
+    reachable over the wire.  This view serves both: direct server access
+    when the server is local, the equivalent wire ops (``versions_of``,
+    ``watermark``, ``stats``) when it is not, so one assertion reads the
+    same way under every transport kind.
+    """
+
+    def __init__(self, cluster: CacheCluster, name: str) -> None:
+        self.cluster = cluster
+        self.name = name
+
+    @property
+    def _server(self):
+        return self.cluster.servers.get(self.name)
+
+    def versions_of(self, key: str):
+        server = self._server
+        if server is not None:
+            return server.versions_of(key)
+        return self.cluster._transports[self.name].versions_of(key)
+
+    def keys(self):
+        server = self._server
+        if server is not None:
+            return server.keys()
+        return self.cluster._transports[self.name].keys()
+
+    @property
+    def last_invalidation_timestamp(self) -> int:
+        server = self._server
+        if server is not None:
+            return server.last_invalidation_timestamp
+        return self.cluster._transports[self.name].watermark()
+
+    @property
+    def stats(self):
+        server = self._server
+        if server is not None:
+            return server.stats
+        return self.cluster._transports[self.name].stats()
+
+
+def node_view(cluster: CacheCluster, name: str) -> NodeView:
+    """A :class:`NodeView` of one node."""
+    return NodeView(cluster, name)
+
+
+def node_views(cluster: CacheCluster) -> "dict[str, NodeView]":
+    """A :class:`NodeView` per live node, keyed by name."""
+    return {name: NodeView(cluster, name) for name in cluster.transports}
 
 
 # ----------------------------------------------------------------------

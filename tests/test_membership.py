@@ -31,7 +31,7 @@ from repro.db.query import Eq, Select
 from repro.db.invalidation import InvalidationTag
 from repro.deployment import TxCacheDeployment
 from repro.interval import Interval
-from tests.helpers import transports_under_test
+from tests.helpers import node_views, transports_under_test
 
 # Overridable with REPRO_TRANSPORT=inprocess|socket (CI transport matrix).
 TRANSPORTS = transports_under_test()
@@ -169,9 +169,9 @@ class TestJoinMigration:
             # Migration copies then discards: the cluster-wide entry count is
             # unchanged and no node holds a key it no longer owns.
             assert cluster.entry_count == total_before
-            for name, server in cluster.servers.items():
+            for name, view in node_views(cluster).items():
                 for key in keys:
-                    if server.versions_of(key):
+                    if view.versions_of(key):
                         assert cluster.ring.node_for(key) == name
             assert membership.stats.entries_discarded == membership.stats.entries_migrated
         finally:
@@ -265,6 +265,8 @@ class TestMembershipTransportParity:
             finally:
                 cluster.close()
         assert outcomes["socket"] == outcomes["inprocess"]
+        assert outcomes["socket-pipelined"] == outcomes["inprocess"]
+        assert outcomes["socket-process"] == outcomes["inprocess"]
 
 
 # ----------------------------------------------------------------------

@@ -78,10 +78,15 @@ class TestRecordBenchmark:
         document = read_json(target)
         assert document["schema_version"] == SCHEMA_VERSION
         codec_entries = document["sections"]["codec"]["entries"]
-        # The v1 measurement became the first (untimestamped) entry; the
-        # rerun appended rather than erased it.
-        assert codec_entries[0] == {"recorded_at": None, "data": {"speedup": 2.0}}
+        # The v1 measurement became the first entry — backfilled with the
+        # file's mtime (a v1 file cannot say when it was measured, the
+        # filesystem can) and flagged migrated; the rerun appended rather
+        # than erased it.
+        assert codec_entries[0]["data"] == {"speedup": 2.0}
+        assert codec_entries[0]["migrated"] is True
+        assert codec_entries[0]["recorded_at"] is not None
         assert codec_entries[1]["data"] == {"speedup": 2.6}
+        assert "migrated" not in codec_entries[1]
         assert latest(document, "rpc") == {"us": 150}
 
     def test_corrupt_file_starts_over(self, tmp_path):

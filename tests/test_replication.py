@@ -28,7 +28,13 @@ from repro.core.stats import MissType
 from repro.db.invalidation import InvalidationTag
 from repro.deployment import TxCacheDeployment
 from repro.interval import Interval
-from tests.helpers import ConsistencyHarness, FaultInjector, transports_under_test
+from tests.helpers import (
+    ConsistencyHarness,
+    FaultInjector,
+    node_view,
+    node_views,
+    transports_under_test,
+)
 
 TRANSPORTS = transports_under_test()
 
@@ -61,7 +67,7 @@ def fill(cluster, count=120, tagged=True):
 def holders_of(cluster, key):
     """The nodes whose server actually stores a copy of ``key``."""
     return sorted(
-        name for name, server in cluster.servers.items() if server.versions_of(key)
+        name for name, view in node_views(cluster).items() if view.versions_of(key)
     )
 
 
@@ -100,7 +106,7 @@ class TestReplicaPlacement:
             )
             for key in keys[:20]:
                 for name in cluster.replicas_for(key):
-                    for entry in cluster.servers[name].versions_of(key):
+                    for entry in node_view(cluster, name).versions_of(key):
                         assert not entry.still_valid
                         assert entry.interval.hi == 6
         finally:
@@ -366,7 +372,7 @@ class TestReplicatedMigration:
                 replicas = cluster.replicas_for(key)
                 assert len(replicas) == 2
                 for replica in replicas:
-                    assert cluster.servers[replica].versions_of(key), (key, replica)
+                    assert node_view(cluster, replica).versions_of(key), (key, replica)
         finally:
             cluster.close()
 
@@ -390,7 +396,7 @@ class TestReplicatedMigration:
             gained = [k for k in orphans if "cache3" in cluster.replicas_for(k)]
             assert gained, "the joiner should enter some orphan's replica set"
             for key in gained:
-                assert cluster.servers["cache3"].versions_of(key), key
+                assert node_view(cluster, "cache3").versions_of(key), key
                 # Routed reads serve the copy whenever the joiner is the
                 # primary (a healed old primary that missed the put may
                 # still answer a legitimate miss for the others).
@@ -444,8 +450,8 @@ class TestInvalidationDelivery:
             bus.publish(
                 InvalidationMessage(timestamp=5, tags=(InvalidationTag.key("items", "id", 1),))
             )
-            for server in cluster.servers.values():
-                assert server.stats.invalidation_messages == 1, server.name
+            for name, view in node_views(cluster).items():
+                assert view.stats.invalidation_messages == 1, name
             assert len(bus.subscribers) == cluster.node_count
         finally:
             cluster.close()
@@ -456,9 +462,9 @@ class TestInvalidationDelivery:
         try:
             cluster.attach_invalidation_bus(bus)
             bus.publish(InvalidationMessage(timestamp=3, tags=()))
-            for server in cluster.servers.values():
-                assert server.last_invalidation_timestamp == 3
-                assert server.stats.invalidation_messages == 1
+            for view in node_views(cluster).values():
+                assert view.last_invalidation_timestamp == 3
+                assert view.stats.invalidation_messages == 1
             assert len(bus.subscribers) == cluster.node_count
         finally:
             cluster.close()

@@ -30,7 +30,7 @@ from repro.db.invalidation import InvalidationTag
 from repro.deployment import TxCacheDeployment
 from repro.interval import Interval
 from tests.test_integration import build_bank_deployment, transfer
-from tests.helpers import simple_schema, transports_under_test
+from tests.helpers import node_views, simple_schema, transports_under_test
 
 # Overridable with REPRO_TRANSPORT=inprocess|socket (CI transport matrix).
 TRANSPORTS = transports_under_test()
@@ -190,8 +190,8 @@ def test_invalidations_reach_every_node(transport_kind):
                 f"key-{i}", i, Interval(0), frozenset({InvalidationTag.key("t", "id", i)})
             )
         bus.publish(InvalidationMessage(timestamp=4, tags=(InvalidationTag.wildcard("t"),)))
-        for server in cluster.servers.values():
-            assert server.last_invalidation_timestamp == 4
+        for view in node_views(cluster).values():
+            assert view.last_invalidation_timestamp == 4
         assert cluster.aggregate_stats().entries_invalidated == 30
     finally:
         cluster.close()
@@ -328,3 +328,4 @@ class TestIntegrationOverTcp:
                 deployment.shutdown()
         assert patterns["socket"] == patterns["inprocess"]
         assert patterns["socket-pipelined"] == patterns["inprocess"]
+        assert patterns["socket-process"] == patterns["inprocess"]

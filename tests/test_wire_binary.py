@@ -695,3 +695,129 @@ def test_cluster_serves_traffic_under_each_codec(codec):
             assert result.hit and result.value == {"row": i}
     finally:
         cluster.close()
+
+
+# ----------------------------------------------------------------------
+# invalidate_tags: the wire-delivered invalidation stream's batch op
+# ----------------------------------------------------------------------
+def _invalidation_batch():
+    return [
+        (4, (InvalidationTag.key("items", "id", 1),)),
+        (6, ()),  # a watermark-only advance rides the same batch
+        (9, (InvalidationTag.wildcard("items"), InvalidationTag.key("u", "id", 2))),
+    ]
+
+
+def test_invalidate_tags_args_round_trip_binary():
+    opcode = wire.OPCODES["invalidate_tags"]
+    args = (_invalidation_batch(),)
+    body = wire.encode_binary_args(opcode, args)
+    assert wire.decode_binary_args(opcode, bytes(body)) == args
+
+
+def test_invalidate_tags_is_a_binary_op_on_both_framings():
+    # The batch is hot-path data (tags truncate entries), so it must ride
+    # the binary codec on binary connections; the opcode exists on the
+    # legacy framing too (by name), which test_procnode's parity suite
+    # exercises end to end.
+    assert "invalidate_tags" in wire.BINARY_OPS
+    assert wire.OPCODES["invalidate_tags"] in wire.BINARY_OPCODES
+
+
+@pytest.mark.parametrize("codec", WIRE_CODECS)
+def test_invalidate_tags_truncates_over_a_live_connection(codec):
+    from repro.comm.multicast import InvalidationMessage
+
+    server = make_server()
+    server.put("k", {"v": 1}, Interval(2), frozenset({InvalidationTag.key("items", "id", 1)}))
+    with CacheServerProcess(server, style="eventloop", wire_codec=codec) as process:
+        transport = SocketTransport(process.address, pipelined=True, wire_codec=codec)
+        try:
+            transport.process_invalidations(
+                [
+                    InvalidationMessage(
+                        timestamp=ts, tags=tuple(tags)
+                    )
+                    for ts, tags in _invalidation_batch()
+                ]
+            )
+        finally:
+            transport.close()
+    assert server.last_invalidation_timestamp == 9
+    (entry,) = server.versions_of("k")
+    assert not entry.still_valid
+    # The first matching invalidation after the entry's birth truncates it
+    # (timestamp 4, the exact-tag message), not the later wildcard.
+    assert entry.interval.hi == 4
+    assert server.stats.invalidation_messages == 3
+
+
+# ----------------------------------------------------------------------
+# EncodeScratch: the multi-lookup batch path's reusable encode buffer
+# ----------------------------------------------------------------------
+def _batch_args(size=6):
+    return ([LookupRequest(f"key-{i}", 0, 40) for i in range(size)],)
+
+
+def test_encode_scratch_reuses_one_buffer_across_requests():
+    scratch = wire.EncodeScratch()
+    opcode = wire.OPCODES["multi_lookup"]
+    for request_id in range(200):
+        header, body = scratch.encode_request_frame(request_id, opcode, _batch_args())
+        rid, flagged, length = wire.MUX_HEADER.unpack(bytes(header))
+        assert rid == request_id
+        assert flagged == opcode | wire.FLAG_BIN
+        assert length == len(body)
+        assert wire.decode_binary_args(opcode, bytes(body)) == _batch_args()
+        body.release()  # the send path releases before the next encode
+    assert scratch.allocations == 1  # the no-new-allocations claim
+
+
+def test_encode_scratch_replaces_the_buffer_past_its_limit():
+    scratch = wire.EncodeScratch(limit_bytes=256)
+    opcode = wire.OPCODES["multi_lookup"]
+    for request_id in range(50):
+        _header, body = scratch.encode_request_frame(request_id, opcode, _batch_args())
+        body.release()
+    # The buffer grew past the cap and was replaced wholesale (not
+    # truncated in place, which would shrink the allocation every frame).
+    assert scratch.allocations > 1
+    assert len(scratch.buffer) <= 256 + 1024  # bounded, not monotone growth
+
+
+def test_encode_scratch_rolls_back_a_failed_encode():
+    class Exploding:
+        def __reduce__(self):
+            raise RuntimeError("unpicklable on purpose")
+
+    scratch = wire.EncodeScratch()
+    opcode = wire.OPCODES["multi_lookup"]
+    _header, body = scratch.encode_request_frame(1, opcode, _batch_args())
+    good_length = len(scratch.buffer)
+    body.release()
+    with pytest.raises(Exception):
+        scratch.encode_request_frame(2, opcode, (Exploding(),))
+    # The shared buffer holds no half-written layout: the next frame
+    # starts exactly where the failed one tried to.
+    assert len(scratch.buffer) == good_length
+    _header, body = scratch.encode_request_frame(3, opcode, _batch_args())
+    assert wire.decode_binary_args(opcode, bytes(body)) == _batch_args()
+    body.release()
+
+
+def test_mux_transport_pins_scratch_allocations_across_a_batch_run():
+    """The transport-level no-new-allocations claim: one encode buffer
+    serves every multi_lookup of a run (satellite of the per-core PR)."""
+    with CacheServerProcess(make_server(), style="eventloop", wire_codec="binary") as process:
+        transport = SocketTransport(process.address, pipelined=True, wire_codec="binary")
+        try:
+            for i in range(10):
+                transport.put(f"key-{i}", {"row": i}, Interval(0))
+            for _ in range(100):
+                results = transport.multi_lookup(
+                    [LookupRequest(f"key-{i}", 0, 40) for i in range(10)]
+                )
+                assert all(result.hit for result in results)
+            assert transport.scratch_allocations == 1
+        finally:
+            transport.close()
