@@ -24,6 +24,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.bench.experiments import (
     ExperimentSettings,
+    chaos_openloop,
     concurrent_churn,
     concurrent_clients,
     figure5,
@@ -40,7 +41,7 @@ from repro.bench.experiments import (
 EXPERIMENTS = (
     "fig5a", "fig5b", "fig6a", "fig6b", "fig7", "fig8", "overhead",
     "concurrency", "concurrent-churn", "pipelined", "figures-openloop",
-    "percore-openloop", "repair-openloop",
+    "percore-openloop", "repair-openloop", "chaos-openloop",
 )
 
 
@@ -120,6 +121,29 @@ def run_experiment(name: str, settings: ExperimentSettings, smoke: bool = False)
             f"{result.p99_ratio('synchronous sweep'):.2f}x, budgeted plane "
             f"{result.p99_ratio('budgeted plane'):.2f}x"
         )
+    elif name == "chaos-openloop":
+        # Chaos recovery under fixed offered load: SIGKILL one process-
+        # hosted node mid-run and compare supervisor off (ring heals but
+        # stays a node short) against supervisor on (detect, respawn,
+        # gossip rejoin, budgeted re-warm: hit rate back to >= 90% of the
+        # pre-kill baseline with no operator action).  Appended to the
+        # "recovery" section of BENCH_wire.json.  --smoke shrinks the run
+        # (structure, not numbers).
+        result = chaos_openloop(smoke=smoke)
+        print(result.format_table())
+        supervised = result.run_named("supervisor on")
+        print(
+            "supervisor on: "
+            + (
+                f"hit rate restored in {supervised.recovery_seconds:.2f}s"
+                if supervised.restored
+                else "hit rate NOT restored within the run"
+            )
+            + f", {supervised.respawns} respawn(s), "
+            f"{supervised.consistency_violations} consistency violation(s)"
+        )
+        if result.recorded_path:
+            print(f"recorded -> {result.recorded_path}")
     else:
         raise SystemExit(f"unknown experiment {name!r}")
     print(f"[{name} finished in {time.time() - started:.1f}s]\n")

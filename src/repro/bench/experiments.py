@@ -84,6 +84,8 @@ __all__ = [
     "PerCoreOpenLoopResult",
     "RepairOpenLoopResult",
     "RepairOpenLoopRun",
+    "ChaosOpenLoopResult",
+    "ChaosOpenLoopRun",
     "figure5",
     "figure6",
     "figure7",
@@ -97,6 +99,7 @@ __all__ = [
     "pipelined_clients",
     "percore_openloop",
     "repair_openloop",
+    "chaos_openloop",
     "PERCORE_MIN_CORES",
     "PERCORE_NODE_COUNTS",
     "validity_tracking_overhead",
@@ -1750,6 +1753,341 @@ def repair_openloop(
         transport=transport,
         elapsed_seconds=time.time() - started,
     )
+
+
+# ----------------------------------------------------------------------
+# Chaos recovery: SIGKILL a node mid-run, supervisor on vs off
+# ----------------------------------------------------------------------
+@dataclass
+class ChaosOpenLoopRun:
+    """One measured scenario of :func:`chaos_openloop`."""
+
+    label: str
+    stats: OpenLoopStats
+    #: Hit rate over the samples completed before the kill fired.
+    baseline_hit_rate: float
+    #: Kill → first bin whose hit rate is back to >= 90% of baseline
+    #: (negative: never restored within the run).
+    recovery_seconds: float
+    #: Total width of post-kill bins whose service p99 exceeded 3x the
+    #: pre-kill service p99 — how long the tail stayed visibly disturbed.
+    p99_spike_seconds: float
+    #: Hit rate over the last second of the run.
+    final_hit_rate: float
+    degraded_lookups: int
+    consistency_violations: int
+    respawns: int
+    circuit_breaker_trips: int
+    entries_rewarmed: int
+    housekeeping_errors: int
+
+    @property
+    def p50(self) -> float:
+        return self.stats.histogram.percentile(50.0)
+
+    @property
+    def p99(self) -> float:
+        return self.stats.histogram.percentile(99.0)
+
+    @property
+    def restored(self) -> bool:
+        return self.recovery_seconds >= 0.0
+
+
+@dataclass
+class ChaosOpenLoopResult:
+    """Open-loop recovery measurement around a mid-run SIGKILL.
+
+    Two runs over identical process-hosted replicated deployments under
+    the same Poisson schedule: at 30% of the run one node's OS process is
+    SIGKILLed (no shutdown, no eviction — routing still points at the
+    corpse).  ``supervisor off`` shows the pre-supervision behaviour: the
+    ring heals around the corpse but stays a node short, so the steady
+    hit rate recovers only as far as the surviving replicas reach.
+    ``supervisor on`` must detect the death, respawn the child, rejoin it
+    over gossip, and re-warm it through the budgeted maintenance plane —
+    restoring the hit rate to >= 90% of the pre-kill baseline with no
+    operator action, zero consistency violations, and zero degraded reads
+    at replication factor 2.
+    """
+
+    runs: List[ChaosOpenLoopRun]
+    offered_rate: float
+    keys: int
+    transport: str
+    kill_at_seconds: float
+    bin_seconds: float
+    recorded_path: Optional[str] = None
+    elapsed_seconds: float = 0.0
+
+    def run_named(self, label: str) -> ChaosOpenLoopRun:
+        for run in self.runs:
+            if run.label == label:
+                return run
+        raise KeyError(label)
+
+    def format_table(self) -> str:
+        rows = []
+        for run in self.runs:
+            rows.append(
+                [
+                    run.label,
+                    f"{run.stats.achieved_rate:,.0f}",
+                    f"{run.p99 * 1e3:.2f} ms",
+                    f"{run.baseline_hit_rate:.1%}",
+                    (
+                        f"{run.recovery_seconds:.2f}s"
+                        if run.restored
+                        else "never"
+                    ),
+                    f"{run.p99_spike_seconds:.2f}s",
+                    f"{run.final_hit_rate:.1%}",
+                    f"{run.respawns}",
+                    f"{run.degraded_lookups}",
+                    f"{run.consistency_violations}",
+                ]
+            )
+        return format_table(
+            [
+                "scenario", "goodput/s", "p99", "hit rate pre-kill",
+                "hit rate restored in", "p99 spike width", "hit rate end",
+                "respawns", "degraded", "violations",
+            ],
+            rows,
+            title=(
+                f"Chaos recovery: SIGKILL one of 3 process-hosted nodes at "
+                f"{self.kill_at_seconds:.1f}s under {self.offered_rate:,.0f} "
+                "ops/s Poisson (R=2, gossip, budgeted re-warm)"
+            ),
+        )
+
+
+def chaos_openloop(
+    rate: float = 1000.0,
+    seconds: float = 6.0,
+    threads: int = 8,
+    keys: int = 2000,
+    value_bytes: int = 512,
+    seed: int = 13,
+    bin_seconds: float = 0.25,
+    smoke: bool = False,
+    record: bool = True,
+    path: Optional[str] = None,
+) -> ChaosOpenLoopResult:
+    """Measure crash recovery under open-loop load, supervisor on vs off.
+
+    Each scenario warms a 3-node ``socket-process`` deployment (R=2,
+    gossip, budgeted maintenance) with ``keys`` entries whose values
+    encode their key (an inline one-snapshot check: a hit whose value
+    names a different key is a consistency violation), then drives seeded
+    Poisson lookups from ``threads`` workers.  At 30% of the run a chaos
+    thread SIGKILLs ``cache1``'s OS process — no shutdown handshake, no
+    eviction, exactly an OOM kill — and from then on pumps
+    ``housekeeping()`` the way a deployment timer would.  Per-sample
+    (completion time, hit, service time) records are binned to measure
+    how long the hit rate takes to return to 90% of its pre-kill baseline
+    and how wide the service-p99 spike is.
+
+    The result is appended to the ``recovery`` section of
+    ``BENCH_wire.json``.  ``smoke=True`` shrinks the run for CI (schema,
+    not numbers).
+    """
+    from repro.clock import SystemClock
+    from repro.deployment import TxCacheDeployment
+    from repro.interval import Interval
+
+    started = time.time()
+    if smoke:
+        rate, seconds, threads = 300.0, 3.0, 4
+        keys, value_bytes = 300, 256
+    arrival_times = ArrivalSchedule(rate, kind="poisson", seed=seed).times(
+        int(rate * seconds)
+    )
+    kill_at = seconds * 0.3
+    payload = "x" * value_bytes
+    victim = "cache1"
+
+    def measure(label: str, supervised: bool) -> ChaosOpenLoopRun:
+        with TxCacheDeployment(
+            clock=SystemClock(),
+            cache_nodes=3,
+            transport="socket-process",
+            wire_codec="binary",
+            replication_factor=2,
+            failure_threshold=2,
+            rpc_timeout_seconds=1.0,
+            gossip=True,
+            gossip_suspect_seconds=0.3,
+            gossip_confirm_seconds=0.6,
+            background_maintenance=True,
+            maintenance_ops_per_interval=128,
+            maintenance_bytes_per_interval=2 << 20,
+            maintenance_interval_seconds=0.05,
+            supervision=supervised,
+            supervisor_backoff_base_seconds=0.05,
+        ) as deployment:
+            cluster = deployment.cache
+            for i in range(keys):
+                cluster.put(f"key{i}", f"{i}:{payload}", Interval(1, None))
+
+            samples: List[List[tuple]] = [[] for _ in range(threads)]
+            violations = [0] * threads
+            housekeeping_errors = [0]
+            kill_box = [0.0]
+            stop = threading.Event()
+
+            def chaos() -> None:
+                if stop.wait(kill_at):
+                    return
+                host = cluster.processes.get(victim)
+                if host is not None:
+                    host.kill()
+                kill_box[0] = time.perf_counter()
+                # From here on, play the deployment's periodic timer: the
+                # recovery must come out of ordinary housekeeping rounds,
+                # not out of anything this harness does specially.
+                while not stop.is_set():
+                    try:
+                        deployment.housekeeping()
+                    except Exception:  # noqa: BLE001 - counted, loop continues
+                        housekeeping_errors[0] += 1
+                    stop.wait(0.01)
+
+            def make_executor(thread_index: int):
+                rng = random.Random(seed * 1000 + thread_index)
+                bucket = samples[thread_index]
+
+                def execute(op_index: int) -> object:
+                    i = rng.randrange(keys)
+                    issued = time.perf_counter()
+                    result = cluster.lookup(f"key{i}", 1, 1)
+                    done = time.perf_counter()
+                    hit = bool(result.hit)
+                    if hit and not str(result.value).startswith(f"{i}:"):
+                        violations[thread_index] += 1
+                    bucket.append((done, hit, done - issued))
+                    return result
+
+                return execute
+
+            chaos_thread = threading.Thread(target=chaos)
+            chaos_thread.start()
+            run_started = time.perf_counter()
+            stats = run_open_loop(arrival_times, make_executor, threads=threads)
+            stop.set()
+            chaos_thread.join(timeout=10)
+
+            merged = sorted(
+                (t - run_started, hit, service)
+                for bucket in samples
+                for (t, hit, service) in bucket
+            )
+            kill_rel = (
+                kill_box[0] - run_started if kill_box[0] > 0.0 else kill_at
+            )
+            pre = [(hit, service) for (t, hit, service) in merged if t < kill_rel]
+            baseline_hits = sum(1 for hit, _ in pre if hit)
+            baseline_hit_rate = baseline_hits / len(pre) if pre else 0.0
+            baseline_service = sorted(service for _, service in pre)
+            baseline_p99 = (
+                baseline_service[int(0.99 * (len(baseline_service) - 1))]
+                if baseline_service
+                else 0.0
+            )
+
+            # Bin the post-kill tail of the run.
+            bins: Dict[int, List[tuple]] = {}
+            for t, hit, service in merged:
+                if t >= kill_rel:
+                    bins.setdefault(int((t - kill_rel) / bin_seconds), []).append(
+                        (hit, service)
+                    )
+            recovery_seconds = -1.0
+            spike_bins = 0
+            for index in sorted(bins):
+                entries = bins[index]
+                if len(entries) < 5:
+                    continue
+                hit_rate = sum(1 for hit, _ in entries if hit) / len(entries)
+                services = sorted(service for _, service in entries)
+                bin_p99 = services[int(0.99 * (len(services) - 1))]
+                if baseline_p99 > 0.0 and bin_p99 > 3.0 * baseline_p99:
+                    spike_bins += 1
+                if (
+                    recovery_seconds < 0.0
+                    and baseline_hit_rate > 0.0
+                    and hit_rate >= 0.9 * baseline_hit_rate
+                ):
+                    recovery_seconds = (index + 1) * bin_seconds
+            tail_start = merged[-1][0] - 1.0 if merged else 0.0
+            tail = [(hit, service) for (t, hit, service) in merged if t >= tail_start]
+            final_hit_rate = (
+                sum(1 for hit, _ in tail if hit) / len(tail) if tail else 0.0
+            )
+
+            supervisor = deployment.supervisor
+            return ChaosOpenLoopRun(
+                label=label,
+                stats=stats,
+                baseline_hit_rate=baseline_hit_rate,
+                recovery_seconds=recovery_seconds,
+                p99_spike_seconds=spike_bins * bin_seconds,
+                final_hit_rate=final_hit_rate,
+                degraded_lookups=cluster.health.degraded_lookups,
+                consistency_violations=sum(violations),
+                respawns=(supervisor.stats.respawns if supervisor else 0),
+                circuit_breaker_trips=(
+                    supervisor.stats.circuit_breaker_trips if supervisor else 0
+                ),
+                entries_rewarmed=deployment.membership.stats.entries_rewarmed,
+                housekeeping_errors=housekeeping_errors[0],
+            )
+
+    runs = [
+        measure("supervisor off", False),
+        measure("supervisor on", True),
+    ]
+    outcome = ChaosOpenLoopResult(
+        runs=runs,
+        offered_rate=rate,
+        keys=keys,
+        transport="socket-process",
+        kill_at_seconds=kill_at,
+        bin_seconds=bin_seconds,
+    )
+    if record:
+        from repro.bench.perflog import record_wire_benchmark
+
+        data: Dict[str, object] = {
+            "offered_rate": rate,
+            "keys": keys,
+            "transport": "socket-process",
+            "kill_at_seconds": kill_at,
+            "bin_seconds": bin_seconds,
+            "runs": [
+                {
+                    "label": run.label,
+                    "achieved_goodput": run.stats.achieved_rate,
+                    "p50_ms": run.p50 * 1e3,
+                    "p99_ms": run.p99 * 1e3,
+                    "baseline_hit_rate": run.baseline_hit_rate,
+                    "recovery_seconds": run.recovery_seconds,
+                    "restored": run.restored,
+                    "p99_spike_seconds": run.p99_spike_seconds,
+                    "final_hit_rate": run.final_hit_rate,
+                    "degraded_lookups": run.degraded_lookups,
+                    "consistency_violations": run.consistency_violations,
+                    "respawns": run.respawns,
+                    "circuit_breaker_trips": run.circuit_breaker_trips,
+                    "entries_rewarmed": run.entries_rewarmed,
+                    "errors": run.stats.errors,
+                }
+                for run in runs
+            ],
+        }
+        outcome.recorded_path = record_wire_benchmark("recovery", data, path=path)
+    outcome.elapsed_seconds = time.time() - started
+    return outcome
 
 
 # ----------------------------------------------------------------------

@@ -53,6 +53,7 @@ __all__ = [
     "record_figures_benchmark",
     "record_wire_benchmark",
     "validate_figures_document",
+    "validate_recovery_section",
     "wire_benchmark_path",
 ]
 
@@ -67,6 +68,11 @@ DEFAULT_HISTORY_LIMIT = 20
 #: Sections a figures document must carry, and what each entry must report.
 FIGURE_SECTIONS = ("figure5", "figure6", "figure7", "figure8")
 FIGURE_ENTRY_KEYS = ("configuration", "offered_rate", "achieved_goodput", "p50_ms", "p95_ms", "p99_ms")
+RECOVERY_RUN_KEYS = (
+    "label", "achieved_goodput", "p99_ms", "baseline_hit_rate",
+    "recovery_seconds", "restored", "p99_spike_seconds",
+    "consistency_violations", "degraded_lookups", "respawns",
+)
 
 
 def benchmark_path(filename: str, path: Optional[str] = None) -> str:
@@ -257,4 +263,41 @@ def validate_figures_document(document: Dict[str, Any]) -> List[str]:
             for key in FIGURE_ENTRY_KEYS:
                 if key not in point:
                     problems.append(f"section {section!r} point {position}: missing {key!r}")
+    return problems
+
+
+def validate_recovery_section(document: Dict[str, Any]) -> List[str]:
+    """Schema-check the chaos-recovery section; returns problems.
+
+    A valid ``recovery`` section's newest entry describes one
+    :func:`repro.bench.experiments.chaos_openloop` measurement: the kill
+    configuration plus one run per scenario (supervisor off and on), each
+    reporting goodput, tail latency, the pre-kill hit-rate baseline, the
+    time to restore it, and the safety counters (consistency violations,
+    degraded reads) the acceptance gates on.
+    """
+    problems: List[str] = []
+    data = latest(document, "recovery")
+    if data is None:
+        return ["missing section 'recovery'"]
+    for key in ("offered_rate", "kill_at_seconds", "bin_seconds", "transport"):
+        if key not in data:
+            problems.append(f"section 'recovery': missing {key!r}")
+    runs = data.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return problems + ["section 'recovery': no runs"]
+    labels = set()
+    for position, run in enumerate(runs):
+        if not isinstance(run, dict):
+            problems.append(f"section 'recovery' run {position}: not an object")
+            continue
+        labels.add(run.get("label"))
+        for key in RECOVERY_RUN_KEYS:
+            if key not in run:
+                problems.append(
+                    f"section 'recovery' run {position}: missing {key!r}"
+                )
+    for required in ("supervisor off", "supervisor on"):
+        if required not in labels:
+            problems.append(f"section 'recovery': missing run {required!r}")
     return problems

@@ -71,7 +71,10 @@ safe to run while traffic flows; per-node thread safety is provided by
 from __future__ import annotations
 
 import os
+import random
 import threading
+import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
@@ -86,7 +89,14 @@ from repro.cache.procnode import CacheNodeHost
 from repro.cache.server import CacheServer, CacheServerStats
 from repro.clock import Clock, SystemClock
 from repro.comm.multicast import InvalidationBus, InvalidationMessage
-from repro.comm.transport import CacheTransport, InProcessTransport
+from repro.comm.transport import (
+    CacheTransport,
+    InProcessTransport,
+    RetryPolicy,
+    current_deadline,
+    deadline_scope,
+    remaining_deadline,
+)
 from repro.comm.wire import resolve_wire_codec
 from repro.db.invalidation import InvalidationTag
 from repro.interval import Interval
@@ -228,6 +238,7 @@ class CacheCluster:
         write_coalescing: bool = True,
         invalidation_batching: bool = False,
         cpu_pinning: bool = False,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if transport not in TRANSPORT_KINDS:
             raise ValueError(
@@ -297,6 +308,17 @@ class CacheCluster:
         #: pinning.
         self.cpu_pinning = cpu_pinning
         self._cpu_cursor = 0
+        #: Bounded-retry policy for idempotent reads (lookup, multi_lookup,
+        #: probe, key_digest, keys_in_range, versions_of): transient
+        #: connection failures retry with exponential backoff + jitter
+        #: before the read fails over to the next replica, all under one
+        #: per-op deadline budget (``retry_policy.deadline_seconds``,
+        #: defaulting to ``rpc_timeout_seconds``) spanning dial + retries +
+        #: failover.  Non-idempotent ops (put, invalidations) never retry
+        #: blind.  Pass ``RetryPolicy(max_attempts=1)`` to disable retries.
+        self.retry_policy = retry_policy or RetryPolicy()
+        #: Jitter source for retry backoff (seeded: reproducible schedules).
+        self._retry_rng = random.Random(0x7C5)
         self.health = ClusterHealthStats()
         #: Guards ring, transport registry, and failure accounting (held for
         #: in-memory updates only; see "Thread safety" in the module doc).
@@ -727,29 +749,70 @@ class CacheCluster:
                 if hit:
                     self.health.replica_hits += 1
 
-    def _read_from_replicas(self, key: str, operation):
+    # ------------------------------------------------------------------
+    # Retry / deadline plumbing
+    # ------------------------------------------------------------------
+    def _op_scope(self, _op: str):
+        """One deadline budget for a whole routed operation.
+
+        Opened at the top of every routed read: dial time, per-node
+        retries, and the replica-failover walk all draw on the same
+        budget, so a hung node cannot multiply the worst case by the
+        number of replicas.  A scope already active (a nested routed call)
+        is left to govern — budgets never stack.
+        """
+        if current_deadline() is not None:
+            return nullcontext()
+        budget = self.retry_policy.deadline_seconds
+        if budget is None:
+            budget = self.rpc_timeout_seconds
+        if budget is None:
+            return nullcontext()
+        return deadline_scope(time.monotonic() + budget)
+
+    @staticmethod
+    def _budget_exhausted() -> bool:
+        remaining = remaining_deadline()
+        return remaining is not None and remaining <= 0
+
+    def _call_with_retry(self, op: str, call):
+        """Run one transport call under the cluster retry policy."""
+        return self.retry_policy.run(
+            op, call, retry_on=_FAILURE_EXCEPTIONS, rng=self._retry_rng
+        )
+
+    def _read_from_replicas(self, key: str, operation, op: str = "lookup"):
         """Run a read on the first reachable replica of ``key``.
 
         The shared failover walk behind ``lookup``/``probe``/
-        ``was_ever_stored``: unreachable replicas are noted (suspect
-        marking, threshold eviction) and the next one is asked.  Returns
-        ``(answered, failed_over, result)``; ``answered`` is False only
-        when every replica was unreachable (the caller degrades).
+        ``was_ever_stored``: an unreachable replica is retried per the
+        cluster :class:`RetryPolicy` (idempotent ops only), then noted
+        (suspect marking, threshold eviction) and the next one asked — all
+        under one deadline budget.  Returns ``(answered, failed_over,
+        result)``; ``answered`` is False only when every replica was
+        unreachable or the budget ran out (the caller degrades).
         """
         failed_over = False
-        for node in self.replicas_for(key):
-            transport = self._transports.get(node)
-            if transport is None:
-                continue
-            try:
-                result = operation(transport)
-            except _FAILURE_EXCEPTIONS:
-                self._note_failure(node)
-                failed_over = True
-                continue
-            if node in self._suspects:
-                self._note_success(node)
-            return True, failed_over, result
+        with self._op_scope(op):
+            for node in self.replicas_for(key):
+                if self._budget_exhausted():
+                    # Out of deadline budget: degrade rather than charge a
+                    # transport failure to replicas we never actually asked.
+                    break
+                transport = self._transports.get(node)
+                if transport is None:
+                    continue
+                try:
+                    result = self._call_with_retry(
+                        op, lambda transport=transport: operation(transport)
+                    )
+                except _FAILURE_EXCEPTIONS:
+                    self._note_failure(node)
+                    failed_over = True
+                    continue
+                if node in self._suspects:
+                    self._note_success(node)
+                return True, failed_over, result
         return False, failed_over, None
 
     # ------------------------------------------------------------------
@@ -766,7 +829,7 @@ class CacheCluster:
         cache, never an exception.
         """
         answered, failed_over, result = self._read_from_replicas(
-            key, lambda transport: transport.lookup(key, lo, hi)
+            key, lambda transport: transport.lookup(key, lo, hi), op="lookup"
         )
         if answered:
             self._record_failover_read(failed_over, result.hit)
@@ -801,14 +864,49 @@ class CacheCluster:
 
         for index in range(len(requests)):
             enqueue(index)
+        scope = self._op_scope("multi_lookup")
+        with scope:
+            self._drain_multi_lookup(requests, results, tried, pending)
+        return results  # type: ignore[return-value]  # every slot is filled
+
+    def _drain_multi_lookup(self, requests, results, tried, pending) -> None:
+        """The per-node round-trip loop of :meth:`multi_lookup`.
+
+        Runs inside the op's deadline scope; when the budget runs out the
+        still-queued requests degrade immediately instead of charging
+        transport failures to nodes that were never actually asked.
+        """
+
+        def enqueue(index: int) -> None:
+            for node in self.replicas_for(requests[index].key):
+                if node not in tried[index] and node in self._transports:
+                    pending.setdefault(node, []).append(index)
+                    return
+            self._bump_health("degraded_lookups")
+            results[index] = LookupResult(
+                hit=False, key=requests[index].key, degraded=True
+            )
+
         while pending:
             node, indices = pending.popitem()
+            if self._budget_exhausted():
+                for index in indices:
+                    self._bump_health("degraded_lookups")
+                    results[index] = LookupResult(
+                        hit=False, key=requests[index].key, degraded=True
+                    )
+                continue
             batch = [requests[i] for i in indices]
             transport = self._transports.get(node)
             answers: Optional[List[LookupResult]] = None
             if transport is not None:
                 try:
-                    answers = transport.multi_lookup(batch)
+                    answers = self._call_with_retry(
+                        "multi_lookup",
+                        lambda transport=transport, batch=batch: (
+                            transport.multi_lookup(batch)
+                        ),
+                    )
                 except _FAILURE_EXCEPTIONS:
                     self._note_failure(node)
             if answers is None:
@@ -826,7 +924,6 @@ class CacheCluster:
                 # them would double the replica counters per batched read.
                 if not requests[index].probe:
                     self._record_failover_read(bool(tried[index]), answer.hit)
-        return results  # type: ignore[return-value]  # every slot is filled
 
     def put(
         self,
@@ -864,7 +961,7 @@ class CacheCluster:
     def probe(self, key: str, lo: int, hi: int) -> bool:
         """Statistics-free hit check (first reachable replica answers)."""
         answered, _failed_over, answer = self._read_from_replicas(
-            key, lambda transport: transport.probe(key, lo, hi)
+            key, lambda transport: transport.probe(key, lo, hi), op="probe"
         )
         if answered:
             return answer
@@ -874,7 +971,7 @@ class CacheCluster:
     def was_ever_stored(self, key: str) -> bool:
         """True if a reachable replica of ``key`` has ever stored it."""
         answered, _failed_over, answer = self._read_from_replicas(
-            key, lambda transport: transport.was_ever_stored(key)
+            key, lambda transport: transport.was_ever_stored(key), op="was_ever_stored"
         )
         if answered:
             return answer
@@ -940,12 +1037,28 @@ class CacheCluster:
         return self._transports[node].gossip(digest)
 
     def key_digest(self, node: str, arcs) -> List[Tuple[int, int, int]]:
-        """Per-arc interval-set digests of ``node``'s stored keys."""
-        return self._transports[node].key_digest(list(arcs))
+        """Per-arc interval-set digests of ``node``'s stored keys.
+
+        Idempotent read: retried per the cluster policy under one deadline
+        budget, so a repair sweep rides out a transient blip instead of
+        writing the node off as a lost source.
+        """
+        transport = self._transports[node]
+        with self._op_scope("key_digest"):
+            return self._call_with_retry(
+                "key_digest", lambda: transport.key_digest(list(arcs))
+            )
 
     def keys_in_range(self, node: str, arcs) -> List[str]:
-        """``node``'s stored keys inside the given hash-space arcs."""
-        return self._transports[node].keys_in_range(list(arcs))
+        """``node``'s stored keys inside the given hash-space arcs.
+
+        Idempotent read: retried like :meth:`key_digest`.
+        """
+        transport = self._transports[node]
+        with self._op_scope("keys_in_range"):
+            return self._call_with_retry(
+                "keys_in_range", lambda: transport.keys_in_range(list(arcs))
+            )
 
     # ------------------------------------------------------------------
     # Statistics

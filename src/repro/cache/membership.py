@@ -123,6 +123,10 @@ class MembershipStats:
     repair_arcs_clean: int = 0
     #: Ring arcs whose replica digests disagreed (key lists were fetched).
     repair_arcs_dirty: int = 0
+    #: Budgeted re-warm sweeps started for a respawned/rejoined node.
+    rewarms: int = 0
+    #: Entry versions streamed onto a rejoined node by re-warm sweeps.
+    entries_rewarmed: int = 0
 
 
 @dataclass(frozen=True)
@@ -218,6 +222,93 @@ class ClusterMembership:
             self.stats.joins += 1
             self._advance("join", name)
         return server
+
+    def rejoin(self, name: str, capacity_bytes: int = 64 * 1024 * 1024, weight: float = 1.0) -> int:
+        """Cold-join a respawned node, then re-warm it under the budget.
+
+        The supervisor's rejoin path: the node enters the ring immediately
+        (serving cold misses from its slice — availability first), and its
+        working set is streamed back as a resumable :class:`ChunkedJob` on
+        the maintenance plane, so recovery traffic is paced by the plane's
+        op/byte budget instead of spiking foreground p99 the way
+        ``join(migrate=True)``'s synchronous pre-warm would.  Without a
+        plane the sweep drains synchronously and the installed count is
+        returned; with one, 0 is returned and
+        ``stats.entries_rewarmed`` advances as the job is pumped.
+        """
+        self.join(name, capacity_bytes=capacity_bytes, weight=weight, migrate=False)
+        job = ChunkedJob("rewarm", self._rewarm_chunks(name))
+        if self.plane is not None:
+            self.plane.submit(job)
+            return 0
+        job.drain()
+        return int(job.result or 0)
+
+    def _rewarm_chunks(self, target: str) -> Generator[Tuple[int, int], None, int]:
+        """Stream ``target``'s arcs back onto it, one budget chunk per RPC.
+
+        The re-warm plan mirrors :meth:`_migrate_for_join` — each key is
+        shipped once, by the first ring-ordered holder — but runs *after*
+        ring adoption, chunked for the maintenance budget.  The watermark
+        carry-over is safe here for the same reason as a join target: the
+        respawned node is freshly provisioned (empty, subscribed to the
+        invalidation stream from birth), so it has missed no messages and
+        advancing it cannot fabricate validity (the PR-3 rule).  Displaced
+        copies on the nodes that absorbed the victim's slice are left to
+        age out, exactly like repair sources.
+        """
+        cluster = self.cluster
+        ring = cluster.ring
+        factor = cluster.replication_factor
+        if target not in ring.nodes or len(ring) <= 1:
+            return 0
+        self.stats.rewarms += 1
+        arcs = ring.replica_ranges(target, factor)
+        sources = [node for node in sorted(ring.nodes) if node != target]
+        # Watermark frontier first, so entries installed below are usable
+        # at current timestamps the moment they land.
+        frontier = 0
+        for node in sources:
+            try:
+                frontier = max(frontier, cluster.watermark(node))
+            except _FAILURE_EXCEPTIONS:
+                cluster.note_transport_failure(node)
+            yield (1, 16)
+        try:
+            transport = cluster.transports[target]
+            if frontier and transport.watermark() < frontier:
+                transport.note_timestamp(frontier)
+            yield (2, 16)
+        except _FAILURE_EXCEPTIONS:
+            cluster.note_transport_failure(target)
+            return 0  # the rejoined node died again; the supervisor re-runs
+        except KeyError:
+            return 0  # already evicted again
+        # Which keys belong on the target now, and who holds a copy?
+        held_by: Dict[str, set] = {}
+        for node in sources:
+            try:
+                keys = cluster.keys_in_range(node, arcs)
+            except _FAILURE_EXCEPTIONS:
+                cluster.note_transport_failure(node)
+                continue
+            held_by[node] = set(keys)
+            yield (1, sum(len(key) for key in keys) or 16)
+        assigned: Dict[str, set] = {}
+        claimed: set = set()
+        for node in sources:  # sorted: the designated source is deterministic
+            for key in sorted(held_by.get(node, ())):
+                if key in claimed or target not in ring.successors(key, factor):
+                    continue
+                claimed.add(key)
+                assigned.setdefault(node, set()).add(key)
+        installed = 0
+        for source in sorted(assigned):
+            installed += yield from self._ship_missing(
+                source, {target: assigned[source]}, held_by.get(source) or set()
+            )
+        self.stats.entries_rewarmed += installed
+        return installed
 
     def leave(self, name: str, migrate: bool = True) -> None:
         """Remove a node, optionally draining its entries to the survivors.

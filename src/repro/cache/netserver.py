@@ -90,6 +90,7 @@ from repro.comm.wire import (
     ResponseSlot,
     recv_exactly,
 )
+from repro.comm.transport import current_deadline, remaining_deadline
 from repro.db.invalidation import InvalidationTag
 from repro.interval import Interval
 
@@ -98,6 +99,9 @@ __all__ = [
     "SocketTransport",
     "CacheTransportError",
     "CacheNodeUnreachableError",
+    "CacheNodeConnectError",
+    "CacheNodeTimeoutError",
+    "CacheNodeStreamPoisonedError",
     "WireCodecMismatchError",
     "DEFAULT_POOL_SIZE",
     "DEFAULT_WORKER_THREADS",
@@ -148,6 +152,54 @@ class CacheNodeUnreachableError(CacheTransportError):
     (:class:`repro.cache.cluster.CacheCluster`) degrades only on genuine
     connectivity loss, never on an application-level error that would
     otherwise be masked.
+
+    The common base of a small taxonomy — :class:`CacheNodeConnectError`,
+    :class:`CacheNodeTimeoutError`, :class:`CacheNodeStreamPoisonedError` —
+    so retry decisions and health accounting can branch on *how* the node
+    was unreachable without string-matching messages.  Every instance
+    carries ``node`` (the node name or address label, when known) and
+    ``op`` (the operation in flight, when there was one).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        node: Optional[str] = None,
+        op: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.node = node
+        self.op = op
+
+
+class CacheNodeConnectError(CacheNodeUnreachableError):
+    """Dialling the node failed outright (refused, unresolvable, no route).
+
+    The cheapest failure mode: no request was ever sent, so a retry risks
+    nothing, and a refused connect returns in microseconds — the signature
+    of a crashed process whose port is gone.
+    """
+
+
+class CacheNodeTimeoutError(CacheNodeUnreachableError):
+    """The node accepted the connection but a wait ran out of time.
+
+    Raised both for a per-attempt RPC timeout and for a propagated per-op
+    deadline (:func:`repro.comm.transport.deadline_scope`) expiring before
+    the attempt could start.  Unlike a connect failure, time already spent
+    is gone — retry logic must check the remaining deadline budget.
+    """
+
+
+class CacheNodeStreamPoisonedError(CacheNodeUnreachableError):
+    """The connection died mid-stream with requests outstanding.
+
+    The request/response stream can no longer be trusted (a response may
+    have been half-read, or may land after the caller stopped waiting), so
+    the whole connection was poisoned and every pending call failed.  The
+    request *may have executed* server-side: safe to retry only for
+    idempotent operations.
     """
 
 
@@ -162,6 +214,30 @@ class WireCodecMismatchError(CacheTransportError):
     deployment is misconfigured, and failure-aware routing must not paper
     over that by degrading lookups.
     """
+
+
+def _classify_unreachable(
+    message: str,
+    cause: BaseException,
+    *,
+    node: Optional[str] = None,
+    op: Optional[str] = None,
+) -> CacheNodeUnreachableError:
+    """Wrap a connection-level failure in the matching taxonomy class.
+
+    A cause that already carries a taxonomy (a poisoning exception fanned
+    out to every pending slot) keeps its class, so the caller that timed
+    out and the callers it poisoned report consistently; a bare socket
+    timeout becomes :class:`CacheNodeTimeoutError`; anything else is a
+    mid-stream loss, :class:`CacheNodeStreamPoisonedError`.
+    """
+    if isinstance(cause, CacheNodeUnreachableError):
+        cls = type(cause)
+    elif isinstance(cause, socket.timeout):
+        cls = CacheNodeTimeoutError
+    else:
+        cls = CacheNodeStreamPoisonedError
+    return cls(message, node=node, op=op)
 
 
 # ----------------------------------------------------------------------
@@ -1166,11 +1242,24 @@ class _MuxConnection:
             raise CacheTransportError(
                 f"cache node {self._label}: unknown cache operation {op!r}"
             )
+        remaining = remaining_deadline()
+        if remaining is not None and remaining <= 0:
+            # The op's deadline budget is already spent (dial, earlier
+            # retries, or earlier replicas consumed it): fail before any
+            # I/O.  The connection itself is fine — no poisoning.
+            raise CacheNodeTimeoutError(
+                f"cache node {self._label}: deadline expired before {op!r}",
+                node=self._label,
+                op=op,
+            )
         slot = ResponseSlot()
         with self._lock:
             if self._dead is not None:
-                raise CacheNodeUnreachableError(
-                    f"connection to {self._label} is dead: {self._dead}"
+                raise _classify_unreachable(
+                    f"connection to {self._label} is dead: {self._dead}",
+                    self._dead,
+                    node=self._label,
+                    op=op,
                 )
             request_id = next(self._ids)
             self._pending[request_id] = slot
@@ -1199,23 +1288,41 @@ class _MuxConnection:
                     wire.send_buffers(self._sock, buffers)
         except (ConnectionError, OSError) as exc:
             self.fail(exc)
-            raise CacheNodeUnreachableError(
-                f"cache node {self._label} unreachable: {exc}"
+            raise CacheNodeStreamPoisonedError(
+                f"cache node {self._label} unreachable: {exc}",
+                node=self._label,
+                op=op,
             ) from exc
         if self._read_lease:
-            self._await_leased(slot)
-        elif not slot.wait(self._timeout):
-            # The response stream is now untrustworthy (the reply may land
-            # after we stop waiting): poison the connection.
-            self._timeout_poison()
+            self._await_leased(slot, op=op)
+        else:
+            wait = self._effective_deadline()
+            if not slot.wait(None if wait is None else wait - time.monotonic()):
+                # The response stream is now untrustworthy (the reply may
+                # land after we stop waiting): poison the connection.
+                self._timeout_poison(op=op)
         if slot.error is not None:
-            raise CacheNodeUnreachableError(
-                f"cache node {self._label} unreachable: {slot.error}"
+            raise _classify_unreachable(
+                f"cache node {self._label} unreachable: {slot.error}",
+                slot.error,
+                node=self._label,
+                op=op,
             ) from slot.error
         return slot.value  # type: ignore[return-value]
 
+    def _effective_deadline(self) -> Optional[float]:
+        """This call's absolute deadline: per-attempt timeout capped by the
+        propagated per-op deadline scope (whichever expires first)."""
+        local = None if self._timeout is None else time.monotonic() + self._timeout
+        scoped = current_deadline()
+        if scoped is None:
+            return local
+        if local is None:
+            return scoped
+        return min(local, scoped)
+
     # -- read lease ------------------------------------------------------
-    def _await_leased(self, slot: ResponseSlot) -> None:
+    def _await_leased(self, slot: ResponseSlot, op: Optional[str] = None) -> None:
         """Wait for ``slot`` by reading the socket, or by following a leader.
 
         The contender that finds the lease free takes it and reads frames
@@ -1223,7 +1330,7 @@ class _MuxConnection:
         A follower woken without a result was *kicked* (the lease was
         released before its response arrived): it loops to contend again.
         """
-        deadline = None if self._timeout is None else time.monotonic() + self._timeout
+        deadline = self._effective_deadline()
         while True:
             with self._lock:
                 # Re-arm *before* the settled check: a resolve landing
@@ -1248,10 +1355,10 @@ class _MuxConnection:
                 # The leader only returns unsettled when its deadline
                 # passed mid-wait; the stream may hold a half-read frame
                 # and can no longer be trusted.
-                self._timeout_poison()
+                self._timeout_poison(op=op)
             remaining = None if deadline is None else deadline - time.monotonic()
             if remaining is not None and remaining <= 0:
-                self._timeout_poison()
+                self._timeout_poison(op=op)
             slot.wait(remaining)
             # Woken — settled, failed, or merely kicked: the loop top
             # distinguishes the three under the lock.
@@ -1305,9 +1412,11 @@ class _MuxConnection:
                     pending.kick()
                     return
 
-    def _timeout_poison(self) -> None:
-        exc = CacheNodeUnreachableError(
-            f"cache node {self._label} timed out after {self._timeout}s"
+    def _timeout_poison(self, op: Optional[str] = None) -> None:
+        exc = CacheNodeTimeoutError(
+            f"cache node {self._label} timed out after {self._timeout}s",
+            node=self._label,
+            op=op,
         )
         self.fail(exc)
         raise exc
@@ -1429,13 +1538,31 @@ class SocketTransport:
 
     # ------------------------------------------------------------------
     def _dial(self) -> socket.socket:
+        label = getattr(self, "name", None) or str(self.address)
+        connect_timeout = self.connect_timeout_seconds
+        remaining = remaining_deadline()
+        if remaining is not None:
+            # Dialling draws on the same per-op budget as the RPC itself.
+            if remaining <= 0:
+                raise CacheNodeTimeoutError(
+                    f"cache node at {self.address}: deadline expired before dial",
+                    node=label,
+                )
+            if connect_timeout is not None:
+                connect_timeout = min(connect_timeout, remaining)
+            else:
+                connect_timeout = remaining
         try:
-            sock = socket.create_connection(
-                self.address, timeout=self.connect_timeout_seconds
-            )
+            sock = socket.create_connection(self.address, timeout=connect_timeout)
+        except socket.timeout as exc:
+            raise CacheNodeTimeoutError(
+                f"cache node at {self.address} timed out connecting: {exc}",
+                node=label,
+            ) from exc
         except OSError as exc:
-            raise CacheNodeUnreachableError(
-                f"cache node at {self.address} unreachable: {exc}"
+            raise CacheNodeConnectError(
+                f"cache node at {self.address} unreachable: {exc}",
+                node=label,
             ) from exc
         _set_nodelay(sock)
         sock.settimeout(self.timeout_seconds)
@@ -1516,18 +1643,41 @@ class SocketTransport:
                     f"cache node {getattr(self, 'name', None) or self.address}: {value}"
                 )
             return value
+        remaining = remaining_deadline()
+        if remaining is not None and remaining <= 0:
+            raise CacheNodeTimeoutError(
+                f"cache node at {self.address}: deadline expired before {op!r}",
+                node=getattr(self, "name", None) or str(self.address),
+                op=op,
+            )
         with self._slots:
             sock = self._checkout()
+            deadline_capped = False
             try:
+                remaining = remaining_deadline()
+                if remaining is not None and remaining < self.timeout_seconds:
+                    # Cap this attempt's read timeout by the per-op budget;
+                    # restored below before the socket re-enters the pool.
+                    sock.settimeout(max(remaining, 0.001))
+                    deadline_capped = True
                 send_frame(sock, (op, args))
                 response = recv_frame(sock)
-            except (ConnectionError, OSError) as exc:
-                # Includes read timeouts: the connection's request/response
-                # stream can no longer be trusted, so drop it; the pool
-                # re-dials on the next call.
+            except socket.timeout as exc:
                 _close_quietly(sock)
-                raise CacheNodeUnreachableError(
-                    f"cache node at {self.address} unreachable: {exc}"
+                raise CacheNodeTimeoutError(
+                    f"cache node at {self.address} timed out on {op!r}: {exc}",
+                    node=getattr(self, "name", None) or str(self.address),
+                    op=op,
+                ) from exc
+            except (ConnectionError, OSError) as exc:
+                # Includes mid-stream resets: the connection's request/
+                # response stream can no longer be trusted, so drop it; the
+                # pool re-dials on the next call.
+                _close_quietly(sock)
+                raise CacheNodeStreamPoisonedError(
+                    f"cache node at {self.address} unreachable: {exc}",
+                    node=getattr(self, "name", None) or str(self.address),
+                    op=op,
                 ) from exc
             except BaseException:
                 # Anything else (oversized frame, undecodable payload): the
@@ -1535,6 +1685,8 @@ class SocketTransport:
                 # close rather than pool it, then let the error propagate.
                 _close_quietly(sock)
                 raise
+            if deadline_capped:
+                sock.settimeout(self.timeout_seconds)
             self._checkin(sock)
         status, value = response
         if status != "ok":

@@ -1,0 +1,300 @@
+"""Self-healing supervision of cache nodes: detect, respawn, re-warm.
+
+A crashed cache node used to be *only* evicted: the ring healed around the
+corpse (replicas served its keys, repair restored the replication factor),
+but the cluster stayed one node short until an operator called
+``add_cache_node``.  :class:`NodeSupervisor` closes that loop.  It watches
+every registered node and drives a small per-node state machine::
+
+    serving ──death──▶ backoff ──respawn──▶ rejoining ──▶ serving
+                         │  ▲                  (re-warm trickles in
+                         │  └── spawn failed       under the budget)
+                         ▼
+                      gave_up   (circuit breaker: too many restarts
+                                 inside the window — permanent eviction)
+
+**Detection** is pull-based, from :meth:`pump` (called by the deployment's
+``housekeeping()`` — no hidden threads): a process-hosted node whose child
+has an exit code is dead even if routing has not noticed yet (it is evicted
+on the spot, through the membership coordinator so the epoch history and
+auto-repair fire exactly as for a routed eviction); a node that is simply
+*gone* from the cluster was evicted by routing failures or a gossip death
+confirmation, and is picked up for respawn the same way.  Suspect nodes get
+a cheap wire probe so a wedged-but-alive child is either cleared or pushed
+toward the failure threshold without waiting for foreground traffic.
+
+**Respawn** waits out an exponential backoff with jitter (on the injected
+clock, so tests are deterministic), then rejoins through
+:meth:`repro.cache.membership.ClusterMembership.rejoin`: the node enters the
+ring cold and its working set streams back as a budgeted
+:class:`~repro.cache.maintenance.ChunkedJob` on the maintenance plane, so
+recovery traffic cannot spike foreground p99.  When gossip runs, the rejoin
+is registered with the runner — the incarnation bump above the dead
+tombstone (PR-8 semantics) is what lets the reborn node's alive records
+propagate instead of losing to the tombstone.
+
+**Circuit breaker**: a node that keeps crashing is not worth respawning
+forever.  More than ``max_restarts`` successful respawns inside
+``restart_window_seconds`` trips the breaker: the node falls back to the
+pre-supervisor behaviour — permanent eviction — and stays down until an
+operator intervenes (:meth:`reset`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cache.cluster import _FAILURE_EXCEPTIONS, CacheCluster
+from repro.cache.membership import ClusterMembership
+from repro.clock import Clock, SystemClock
+
+__all__ = ["NodeSupervisor", "SupervisorStats", "NODE_STATES"]
+
+#: The per-node states of the supervision state machine.
+NODE_STATES = ("serving", "backoff", "gave_up")
+
+
+@dataclass
+class SupervisorStats:
+    """Counters kept by one :class:`NodeSupervisor`."""
+
+    #: Node deaths noticed (dead child process, or an eviction observed).
+    deaths_detected: int = 0
+    #: Dead children the supervisor evicted itself (exit code seen before
+    #: routing or gossip got there).
+    direct_evictions: int = 0
+    #: Successful respawns (node provisioned, rejoined, re-warm queued).
+    respawns: int = 0
+    #: Respawn attempts that failed to bring a node up (retried later).
+    respawn_failures: int = 0
+    #: Budgeted re-warm jobs queued (or drained, without a plane).
+    rewarm_jobs: int = 0
+    #: Health probes sent to suspect nodes.
+    probes: int = 0
+    #: Probes that failed (counted toward the routing failure threshold).
+    probe_failures: int = 0
+    #: Circuit-breaker trips: nodes given up on after crash-looping.
+    circuit_breaker_trips: int = 0
+
+
+@dataclass
+class _NodeRecord:
+    """What the supervisor knows about one registered node."""
+
+    name: str
+    capacity_bytes: int
+    weight: float = 1.0
+    state: str = "serving"
+    #: Consecutive failed respawn attempts (drives the backoff ladder
+    #: together with the recent-restart count).
+    failed_attempts: int = 0
+    #: Earliest clock time of the next respawn attempt (backoff state).
+    next_attempt_at: float = 0.0
+    #: Clock times of successful respawns (circuit-breaker window).
+    restart_times: List[float] = field(default_factory=list)
+
+
+class NodeSupervisor:
+    """Crash-respawn supervisor for one cache cluster.
+
+    Built by :class:`repro.deployment.TxCacheDeployment` (knob:
+    ``supervision``) and pumped from its ``housekeeping()``; usable
+    standalone for tests.  All timing runs on the injected clock.
+    """
+
+    def __init__(
+        self,
+        cluster: CacheCluster,
+        membership: ClusterMembership,
+        gossip_runner=None,
+        clock: Optional[Clock] = None,
+        backoff_base_seconds: float = 0.1,
+        backoff_multiplier: float = 2.0,
+        backoff_max_seconds: float = 5.0,
+        jitter_fraction: float = 0.5,
+        max_restarts: int = 5,
+        restart_window_seconds: float = 60.0,
+        probe_suspects: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if max_restarts < 1:
+            raise ValueError("max_restarts must be positive")
+        self.cluster = cluster
+        self.membership = membership
+        self.gossip_runner = gossip_runner
+        self.clock = clock or SystemClock()
+        self.backoff_base_seconds = backoff_base_seconds
+        self.backoff_multiplier = backoff_multiplier
+        self.backoff_max_seconds = backoff_max_seconds
+        self.jitter_fraction = jitter_fraction
+        self.max_restarts = max_restarts
+        self.restart_window_seconds = restart_window_seconds
+        self.probe_suspects = probe_suspects
+        self.stats = SupervisorStats()
+        self._rng = random.Random(seed)
+        self._nodes: Dict[str, _NodeRecord] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, name: str, capacity_bytes: int, weight: float = 1.0) -> None:
+        """Start supervising ``name`` (idempotent; spec is remembered for
+        respawn — a crashed node comes back at its registered capacity)."""
+        record = self._nodes.get(name)
+        if record is None:
+            self._nodes[name] = _NodeRecord(
+                name=name, capacity_bytes=capacity_bytes, weight=weight
+            )
+        else:
+            record.capacity_bytes = capacity_bytes
+            record.weight = weight
+
+    def forget(self, name: str) -> None:
+        """Stop supervising ``name`` (planned removals must not respawn)."""
+        self._nodes.pop(name, None)
+
+    def reset(self, name: str) -> None:
+        """Operator override: clear the breaker and re-arm supervision."""
+        record = self._nodes.get(name)
+        if record is not None:
+            record.state = (
+                "serving" if name in self.cluster.transports else "backoff"
+            )
+            record.failed_attempts = 0
+            record.restart_times.clear()
+            record.next_attempt_at = self.clock.now()
+
+    @property
+    def states(self) -> Dict[str, str]:
+        """Current supervision state per registered node."""
+        return {name: record.state for name, record in self._nodes.items()}
+
+    # ------------------------------------------------------------------
+    # The pump (one pass of the state machine; no threads)
+    # ------------------------------------------------------------------
+    def pump(self) -> int:
+        """Run one supervision pass; returns the number of respawns done."""
+        now = self.clock.now()
+        respawned = 0
+        for record in list(self._nodes.values()):
+            if record.state == "gave_up":
+                continue
+            present = record.name in self.cluster.transports
+            if record.state == "serving":
+                if present:
+                    self._check_live_node(record)
+                    # _check_live_node may have moved it to backoff.
+                    if record.state == "serving":
+                        continue
+                else:
+                    # Evicted behind our back (routing threshold or a gossip
+                    # death confirmation): same death, different detector.
+                    self._mark_dead(record, now)
+            if record.state == "backoff" and now >= record.next_attempt_at:
+                if self._breaker_tripped(record, now):
+                    continue
+                respawned += self._attempt_respawn(record, now)
+        return respawned
+
+    # ------------------------------------------------------------------
+    # Detection
+    # ------------------------------------------------------------------
+    def _check_live_node(self, record: _NodeRecord) -> None:
+        """Death checks for a node still in the ring."""
+        host = self.cluster.processes.get(record.name)
+        exitcode = getattr(host, "exitcode", None)
+        if host is not None and exitcode is not None:
+            # The child is a corpse even though routing still points at it:
+            # evict now (epoch + auto-repair via the membership coordinator)
+            # instead of waiting for foreground traffic to trip over it.
+            self.stats.direct_evictions += 1
+            try:
+                self.membership.evict(record.name)
+            except KeyError:
+                pass  # raced with a routed eviction; same outcome
+            self._mark_dead(record, self.clock.now())
+            return
+        if self.probe_suspects and record.name in self.cluster.suspect_nodes:
+            # A cheap idempotent probe: either clears the suspicion via the
+            # routed success path or pushes the node toward the threshold
+            # without waiting for more foreground failures.
+            self.stats.probes += 1
+            transport = self.cluster.transports.get(record.name)
+            if transport is None:
+                return
+            try:
+                transport.watermark()
+            except _FAILURE_EXCEPTIONS:
+                self.stats.probe_failures += 1
+                self.cluster._note_failure(record.name)
+                if record.name not in self.cluster.transports:
+                    self._mark_dead(record, self.clock.now())
+            else:
+                self.cluster._note_success(record.name)
+
+    def _mark_dead(self, record: _NodeRecord, now: float) -> None:
+        self.stats.deaths_detected += 1
+        record.state = "backoff"
+        record.failed_attempts = 0
+        record.next_attempt_at = now + self._backoff_delay(record, now)
+
+    # ------------------------------------------------------------------
+    # Respawn
+    # ------------------------------------------------------------------
+    def _backoff_delay(self, record: _NodeRecord, now: float) -> float:
+        """Exponential backoff with jitter; the rung is the worse of the
+        crash-loop depth (recent restarts) and failed spawn attempts."""
+        self._prune_window(record, now)
+        rung = max(len(record.restart_times), record.failed_attempts)
+        delay = min(
+            self.backoff_base_seconds * (self.backoff_multiplier**rung),
+            self.backoff_max_seconds,
+        )
+        if self.jitter_fraction > 0:
+            delay *= 1.0 - self.jitter_fraction * self._rng.random()
+        return delay
+
+    def _prune_window(self, record: _NodeRecord, now: float) -> None:
+        cutoff = now - self.restart_window_seconds
+        record.restart_times = [t for t in record.restart_times if t > cutoff]
+
+    def _breaker_tripped(self, record: _NodeRecord, now: float) -> bool:
+        self._prune_window(record, now)
+        if len(record.restart_times) >= self.max_restarts:
+            record.state = "gave_up"
+            self.stats.circuit_breaker_trips += 1
+            return True
+        return False
+
+    def _attempt_respawn(self, record: _NodeRecord, now: float) -> int:
+        name = record.name
+        if name in self.cluster.transports:
+            # Someone else (an operator add_cache_node) brought it back.
+            record.state = "serving"
+            record.failed_attempts = 0
+            return 0
+        try:
+            self.membership.rejoin(
+                name, capacity_bytes=record.capacity_bytes, weight=record.weight
+            )
+        except Exception:
+            # Spawn failed (port, fork, handshake…): climb the backoff
+            # ladder and try again later.  Never let a bad spawn take the
+            # housekeeping pass down with it.
+            self.stats.respawn_failures += 1
+            record.failed_attempts += 1
+            record.next_attempt_at = now + self._backoff_delay(record, now)
+            return 0
+        if self.gossip_runner is not None:
+            # Incarnation bump above the tombstone: without it the reborn
+            # node's alive records lose to the circulating dead record and
+            # gossip would re-evict it immediately.
+            self.gossip_runner.register(name)
+        record.state = "serving"
+        record.failed_attempts = 0
+        record.restart_times.append(now)
+        self.stats.respawns += 1
+        self.stats.rewarm_jobs += 1
+        return 1

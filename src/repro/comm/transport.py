@@ -42,9 +42,16 @@ socket — per-request ids, a reader thread demultiplexing responses (see
 
 from __future__ import annotations
 
+import random
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import (
     TYPE_CHECKING,
+    Callable,
     FrozenSet,
+    Iterator,
     List,
     Optional,
     Protocol,
@@ -61,7 +68,145 @@ if TYPE_CHECKING:  # cache modules import repro.comm; avoid the import cycle
     from repro.db.invalidation import InvalidationTag
     from repro.interval import Interval
 
-__all__ = ["CacheTransport", "InProcessTransport"]
+__all__ = [
+    "CacheTransport",
+    "InProcessTransport",
+    "RetryPolicy",
+    "IDEMPOTENT_OPS",
+    "current_deadline",
+    "deadline_scope",
+    "remaining_deadline",
+]
+
+#: Operations safe to retry blind: re-running one cannot change node state,
+#: so a retry after an ambiguous connection failure (the response may or may
+#: not have been computed) is always harmless.  ``put`` and the invalidation
+#: ops are deliberately absent — a blind ``put`` retry could re-insert an
+#: entry an invalidation already truncated, and replayed invalidation
+#: batches would double-advance watermark accounting; their connection
+#: errors surface to the caller exactly as before retries existed.
+IDEMPOTENT_OPS = frozenset(
+    {
+        "lookup",
+        "multi_lookup",
+        "probe",
+        "key_digest",
+        "keys_in_range",
+        "versions_of",
+    }
+)
+
+#: Thread-local carrier of the current per-op deadline (monotonic seconds).
+#: One budget spans dial + retries + replica failover for a single routed
+#: cluster operation; transports consult it to cap their per-attempt waits.
+_DEADLINE = threading.local()
+
+
+def current_deadline() -> Optional[float]:
+    """The active per-op deadline (``time.monotonic()`` terms), or None."""
+    return getattr(_DEADLINE, "value", None)
+
+
+def remaining_deadline() -> Optional[float]:
+    """Seconds left in the active deadline scope (None when no scope)."""
+    deadline = current_deadline()
+    if deadline is None:
+        return None
+    return deadline - time.monotonic()
+
+
+@contextmanager
+def deadline_scope(deadline: Optional[float]) -> Iterator[None]:
+    """Establish a per-op deadline for every transport call in the block.
+
+    The deadline is an absolute ``time.monotonic()`` instant.  Scopes nest:
+    the inner scope wins for its duration and the outer one is restored on
+    exit.  Transports treat the scoped deadline as a *cap* on their own
+    per-attempt timeouts (dial and RPC waits), so one budget bounds an
+    entire routed operation — including retries and replica failover —
+    instead of each attempt getting a fresh full timeout.
+    """
+    previous = getattr(_DEADLINE, "value", None)
+    _DEADLINE.value = deadline
+    try:
+        yield
+    finally:
+        _DEADLINE.value = previous
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-retry policy for idempotent cache reads.
+
+    The cluster runs every routed read through :meth:`run`: transient
+    connection failures against one node are retried up to
+    ``max_attempts`` times with exponential backoff and jitter, all under
+    the op's single deadline budget (``deadline_seconds``, defaulting to
+    the cluster's ``rpc_timeout_seconds``).  Only operations in
+    :data:`IDEMPOTENT_OPS` ever retry; everything else gets exactly one
+    attempt, preserving the pre-retry failure semantics of writes.
+    """
+
+    #: Attempts per node per operation (1 = no retries).
+    max_attempts: int = 3
+    #: First backoff delay; doubles (times ``backoff_multiplier``) per retry.
+    base_backoff_seconds: float = 0.01
+    backoff_multiplier: float = 2.0
+    #: Cap on any single backoff delay.
+    max_backoff_seconds: float = 0.25
+    #: Fraction of each delay randomized away (0 = deterministic ladder,
+    #: 1 = anywhere in ``[0, delay]``).  Jitter decorrelates retry storms
+    #: from many client threads hitting one recovering node.
+    jitter_fraction: float = 0.5
+    #: Deadline budget per routed operation; None uses the cluster's
+    #: ``rpc_timeout_seconds``.
+    deadline_seconds: Optional[float] = None
+
+    def retries(self, op: str) -> bool:
+        """Whether ``op`` may be retried blind."""
+        return op in IDEMPOTENT_OPS and self.max_attempts > 1
+
+    def backoff_seconds(self, attempt: int, rng: random.Random) -> float:
+        """Jittered delay before retry number ``attempt`` (0-based)."""
+        delay = min(
+            self.base_backoff_seconds * (self.backoff_multiplier**attempt),
+            self.max_backoff_seconds,
+        )
+        if self.jitter_fraction > 0:
+            delay *= 1.0 - self.jitter_fraction * rng.random()
+        return delay
+
+    def run(
+        self,
+        op: str,
+        call: Callable[[], object],
+        retry_on: Tuple[type, ...],
+        rng: random.Random,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> object:
+        """Run ``call`` with retries (idempotent ops only) under the deadline.
+
+        Exceptions in ``retry_on`` are retried; anything else propagates
+        immediately.  A retry is abandoned (the last failure re-raised)
+        when the backoff delay would cross the active deadline scope —
+        retried reads never exceed their propagated deadline.
+        """
+        if not self.retries(op):
+            return call()
+        attempt = 0
+        while True:
+            try:
+                return call()
+            except retry_on:
+                attempt += 1
+                if attempt >= self.max_attempts:
+                    raise
+                delay = self.backoff_seconds(attempt - 1, rng)
+                remaining = remaining_deadline()
+                if remaining is not None and remaining <= delay:
+                    raise
+                if delay > 0:
+                    sleep(delay)
 
 
 @runtime_checkable

@@ -25,13 +25,33 @@ from repro.cache.gossip import GossipRunner
 from repro.cache.maintenance import MaintenanceBudget, MaintenancePlane
 from repro.cache.membership import ClusterMembership
 from repro.cache.server import CacheServer
+from repro.cache.supervisor import NodeSupervisor
 from repro.clock import Clock, ManualClock
 from repro.comm.multicast import InvalidationBus
+from repro.comm.transport import RetryPolicy
 from repro.core.api import ConsistencyMode, TxCacheClient
 from repro.db.database import Database
 from repro.pincushion.pincushion import Pincushion
 
-__all__ = ["TxCacheDeployment"]
+__all__ = ["TxCacheDeployment", "HousekeepingError"]
+
+
+class HousekeepingError(Exception):
+    """One or more housekeeping stages failed (the rest still ran).
+
+    ``failures`` maps stage name to the exception it raised.  Raised at the
+    end of :meth:`TxCacheDeployment.housekeeping` so one broken chore (say a
+    gossip round against a dying node) cannot starve the others — the
+    supervisor pump and the maintenance plane must keep running precisely
+    when things are failing.
+    """
+
+    def __init__(self, failures: dict) -> None:
+        self.failures = dict(failures)
+        detail = "; ".join(
+            f"{stage}: {exc!r}" for stage, exc in self.failures.items()
+        )
+        super().__init__(f"housekeeping stage(s) failed: {detail}")
 
 
 @dataclass
@@ -128,6 +148,25 @@ class TxCacheDeployment:
     maintenance_bytes_per_interval: int = 1 << 20
     #: Budget refill interval, on the deployment clock.
     maintenance_interval_seconds: float = 1.0
+    #: Retry/backoff/deadline policy of the cache wire client (idempotent
+    #: reads only; None = the RetryPolicy defaults).  Disable retries with
+    #: ``RetryPolicy(max_attempts=1)``.  See repro.comm.transport.
+    retry_policy: Optional[RetryPolicy] = None
+    #: Supervise cache nodes: detect crashed children, respawn them with
+    #: backoff, and re-warm via the maintenance plane.  None = on for the
+    #: "socket-process" transport (real child processes that can die), off
+    #: otherwise; the supervisor still works on any transport when forced
+    #: on (an evicted in-process node is "dead" and gets respawned).
+    supervision: Optional[bool] = None
+    #: First respawn delay after a death; doubles each crash-loop rung.
+    supervisor_backoff_base_seconds: float = 0.1
+    #: Ceiling of the respawn backoff ladder.
+    supervisor_backoff_max_seconds: float = 5.0
+    #: Respawns allowed inside the window before the circuit breaker trips
+    #: and the node is given up on (permanent eviction).
+    supervisor_max_restarts: int = 5
+    #: Width of the circuit-breaker restart-counting window.
+    supervisor_restart_window_seconds: float = 60.0
 
     def __post_init__(self) -> None:
         self.invalidation_bus = InvalidationBus()
@@ -154,6 +193,7 @@ class TxCacheDeployment:
             write_coalescing=self.write_coalescing,
             invalidation_batching=self.invalidation_batching,
             cpu_pinning=self.cpu_pinning,
+            retry_policy=self.retry_policy,
         )
         self.membership = ClusterMembership(
             self.cache, chunk_size=self.migration_chunk_size, auto_repair=self.auto_repair
@@ -177,6 +217,27 @@ class TxCacheDeployment:
                 fanout=self.gossip_fanout,
                 seed=self.gossip_seed,
             )
+        self.supervisor: Optional[NodeSupervisor] = None
+        supervise = (
+            self.transport == "socket-process"
+            if self.supervision is None
+            else self.supervision
+        )
+        if supervise:
+            self.supervisor = NodeSupervisor(
+                self.cache,
+                self.membership,
+                gossip_runner=self.gossip_runner,
+                clock=self.clock,
+                backoff_base_seconds=self.supervisor_backoff_base_seconds,
+                backoff_max_seconds=self.supervisor_backoff_max_seconds,
+                max_restarts=self.supervisor_max_restarts,
+                restart_window_seconds=self.supervisor_restart_window_seconds,
+            )
+            for name in self.cache.transports:
+                self.supervisor.register(
+                    name, capacity_bytes=self.cache_capacity_bytes_per_node
+                )
         self.pincushion = Pincushion(
             clock=self.clock,
             unpin_callback=self.database.unpin,
@@ -222,21 +283,47 @@ class TxCacheDeployment:
           invalidation batch (one ``invalidate_tags`` RPC per node);
         * with ``gossip``, run one gossip round (tick every agent, exchange
           digests, confirm deaths);
+        * with ``supervision``, run one supervisor pass (detect dead nodes,
+          respawn any whose backoff has elapsed);
         * with ``background_maintenance``, pump queued maintenance chunks
           under the plane's budget.
+
+        Stages are isolated: a failing stage is recorded and the remaining
+        stages still run — the cluster must keep healing exactly when parts
+        of it are failing.  If anything failed, a :class:`HousekeepingError`
+        summarising every failure is raised at the end.
         """
         staleness = self.default_staleness if max_staleness is None else max_staleness
-        self.cache.flush_invalidations()
-        self.pincushion.expire_old_snapshots()
-        self.database.vacuum()
-        horizon_wallclock = self.clock.now() - staleness
-        horizon_ts = self.database.newest_timestamp_at_or_before(horizon_wallclock)
-        if horizon_ts > 0:
-            self.cache.evict_stale(horizon_ts)
+
+        def evict_stale() -> None:
+            horizon_wallclock = self.clock.now() - staleness
+            horizon_ts = self.database.newest_timestamp_at_or_before(horizon_wallclock)
+            if horizon_ts > 0:
+                self.cache.evict_stale(horizon_ts)
+
+        stages = [
+            ("flush_invalidations", self.cache.flush_invalidations),
+            ("expire_old_snapshots", self.pincushion.expire_old_snapshots),
+            ("vacuum", self.database.vacuum),
+            ("evict_stale", evict_stale),
+        ]
         if self.gossip_runner is not None:
-            self.gossip_runner.round()
+            stages.append(("gossip_round", self.gossip_runner.round))
+        if self.supervisor is not None:
+            # Supervisor before the plane: a rejoin queued this pass gets
+            # its re-warm chunks pumped in the same housekeeping round.
+            stages.append(("supervisor_pump", self.supervisor.pump))
         if self.membership.plane is not None:
-            self.membership.plane.pump()
+            stages.append(("maintenance_pump", self.membership.plane.pump))
+
+        failures: dict = {}
+        for label, stage in stages:
+            try:
+                stage()
+            except Exception as exc:  # noqa: BLE001 - summarised below
+                failures[label] = exc
+        if failures:
+            raise HousekeepingError(failures)
 
     def advance(self, seconds: float) -> None:
         """Advance a manual clock (no-op guard for system clocks)."""
@@ -272,10 +359,19 @@ class TxCacheDeployment:
         )
         if self.gossip_runner is not None:
             self.gossip_runner.register(name)
+        if self.supervisor is not None:
+            self.supervisor.register(
+                name,
+                capacity_bytes=capacity_bytes or self.cache_capacity_bytes_per_node,
+                weight=weight,
+            )
         return server
 
     def remove_cache_node(self, name: str, migrate: bool = True) -> None:
         """Shrink the cache tier by one node (drained via live migration)."""
+        if self.supervisor is not None:
+            # Planned removal: supervision must not resurrect the node.
+            self.supervisor.forget(name)
         if self.gossip_runner is not None:
             self.gossip_runner.leave(name)
         self.membership.leave(name, migrate=migrate)

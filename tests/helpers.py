@@ -351,6 +351,44 @@ class FaultInjector:
         """Kill the node outright (see :meth:`CacheCluster.fail_node`)."""
         self.cluster.fail_node(name)
 
+    def kill(self, name: str) -> None:
+        """SIGKILL a process-hosted node's child — no cleanup, no eviction.
+
+        Unlike :meth:`crash` (which shuts the node down *and* evicts it),
+        this only murders the OS process, exactly like the kernel OOM killer
+        would: routing still points at the corpse until failure-aware
+        routing or the supervisor notices.  Requires a ``socket-process``
+        cluster (other transports have no child to kill).
+        """
+        host = self.cluster.processes.get(name)
+        if host is None or not hasattr(host, "kill"):
+            raise ValueError(
+                f"node {name!r} has no OS process to kill "
+                "(FaultInjector.kill needs transport='socket-process')"
+            )
+        host.kill()
+
+    # ------------------------------------------------------------------
+    # Kill schedules (for open-loop chaos runs)
+    # ------------------------------------------------------------------
+    def schedule_kill(self, name: str, at_seconds: float) -> None:
+        """Arrange for :meth:`kill` of ``name`` once ``pump(elapsed)`` passes
+        ``at_seconds``.  Schedules fire at most once."""
+        if not hasattr(self, "_kill_schedule"):
+            self._kill_schedule: list = []
+        self._kill_schedule.append([at_seconds, name, False])
+
+    def pump(self, elapsed_seconds: float) -> List[str]:
+        """Fire any due scheduled kills; returns the nodes killed now."""
+        killed: List[str] = []
+        for entry in getattr(self, "_kill_schedule", []):
+            at, name, fired = entry
+            if not fired and elapsed_seconds >= at:
+                entry[2] = True
+                self.kill(name)
+                killed.append(name)
+        return killed
+
 
 # ----------------------------------------------------------------------
 # Consistency invariant workload

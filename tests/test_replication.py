@@ -225,6 +225,10 @@ class TestConsistencyUnderFaults:
             transport=transport_kind,
             replication_factor=factor,
             failure_threshold=failure_threshold,
+            # These tests pin the *unsupervised* failure semantics (a crash
+            # evicts, the ring stays short); kill-and-respawn lives in
+            # tests/test_supervisor.py.
+            supervision=False,
         )
 
     def test_no_stale_read_across_a_mid_workload_crash(self, transport_kind):

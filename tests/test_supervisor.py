@@ -1,0 +1,625 @@
+"""Self-healing supervision: crash respawn, backoff, circuit breaker,
+retry/deadline on the wire client, and housekeeping stage isolation.
+
+The deterministic state-machine tests run on the in-process transport with
+a manual clock (a crash is ``fail_node``; backoff and the breaker window
+advance by hand).  The process tests SIGKILL real ``socket-process``
+children and drive recovery solely through ``housekeeping()`` — the way a
+deployment timer would — asserting the node returns to serving with its
+working set re-warmed and the one-snapshot invariant intact throughout.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from tests.helpers import ConsistencyHarness, FaultInjector, transports_under_test
+from repro.cache.netserver import (
+    CacheNodeConnectError,
+    CacheNodeTimeoutError,
+    CacheNodeUnreachableError,
+    SocketTransport,
+)
+from repro.clock import ManualClock, SystemClock
+from repro.comm.transport import (
+    IDEMPOTENT_OPS,
+    RetryPolicy,
+    deadline_scope,
+)
+from repro.deployment import HousekeepingError, TxCacheDeployment
+from repro.interval import Interval
+
+
+def _supervised_deployment(clock=None, **overrides):
+    settings = dict(
+        clock=clock or ManualClock(),
+        cache_nodes=3,
+        transport="inprocess",
+        replication_factor=2,
+        supervision=True,
+        supervisor_backoff_base_seconds=0.1,
+    )
+    settings.update(overrides)
+    return TxCacheDeployment(**settings)
+
+
+def _pump_until_serving(supervisor, clock, name, rounds=50, step=0.5):
+    for _ in range(rounds):
+        supervisor.pump()
+        if supervisor.states.get(name) == "serving":
+            return
+        clock.advance(step)
+    raise AssertionError(f"{name} never returned to serving: {supervisor.states}")
+
+
+# ----------------------------------------------------------------------
+# Supervisor state machine (deterministic, in-process, manual clock)
+# ----------------------------------------------------------------------
+class TestSupervisorStateMachine:
+    def test_respawns_a_crashed_node_after_backoff(self):
+        clock = ManualClock()
+        with _supervised_deployment(clock) as deployment:
+            supervisor = deployment.supervisor
+            for i in range(40):
+                deployment.cache.put(f"key{i}", f"value{i}", Interval(1, None))
+            deployment.cache.fail_node("cache1")
+            assert "cache1" not in deployment.cache.transports
+
+            supervisor.pump()  # detects the eviction, enters backoff
+            assert supervisor.states["cache1"] == "backoff"
+            assert supervisor.stats.deaths_detected == 1
+            assert "cache1" not in deployment.cache.transports
+
+            clock.advance(1.0)
+            assert supervisor.pump() == 1  # backoff elapsed: respawn
+            assert supervisor.states["cache1"] == "serving"
+            assert "cache1" in deployment.cache.transports
+            assert supervisor.stats.respawns == 1
+            # The rejoin re-warmed the node's share of the working set.
+            assert deployment.membership.stats.rewarms == 1
+            assert deployment.membership.stats.entries_rewarmed > 0
+            assert len(deployment.cache.node_keys("cache1")) > 0
+
+    def test_backoff_gates_the_respawn(self):
+        clock = ManualClock()
+        with _supervised_deployment(clock) as deployment:
+            supervisor = deployment.supervisor
+            deployment.cache.fail_node("cache1")
+            supervisor.pump()
+            # Backoff has not elapsed: pumping again must not respawn.
+            assert supervisor.pump() == 0
+            assert supervisor.states["cache1"] == "backoff"
+            clock.advance(1.0)
+            assert supervisor.pump() == 1
+
+    def test_circuit_breaker_stops_a_crash_looping_node(self):
+        """Pinned acceptance behaviour: a node that keeps dying is
+        permanently given up on after max_restarts inside the window."""
+        clock = ManualClock()
+        with _supervised_deployment(
+            clock,
+            supervisor_max_restarts=3,
+            supervisor_restart_window_seconds=1000.0,
+        ) as deployment:
+            supervisor = deployment.supervisor
+            for _ in range(3):
+                deployment.cache.fail_node("cache1")
+                supervisor.pump()
+                _pump_until_serving(supervisor, clock, "cache1")
+            assert supervisor.stats.respawns == 3
+
+            # The fourth death trips the breaker instead of respawning.
+            deployment.cache.fail_node("cache1")
+            supervisor.pump()
+            clock.advance(100.0)
+            assert supervisor.pump() == 0
+            assert supervisor.states["cache1"] == "gave_up"
+            assert supervisor.stats.circuit_breaker_trips == 1
+
+            # Given up means given up: no amount of pumping resurrects it.
+            for _ in range(5):
+                clock.advance(100.0)
+                assert supervisor.pump() == 0
+            assert "cache1" not in deployment.cache.transports
+            assert supervisor.stats.respawns == 3
+
+            # ...until an operator intervenes.
+            supervisor.reset("cache1")
+            clock.advance(1.0)
+            assert supervisor.pump() == 1
+            assert supervisor.states["cache1"] == "serving"
+
+    def test_breaker_window_forgives_old_restarts(self):
+        clock = ManualClock()
+        with _supervised_deployment(
+            clock,
+            supervisor_max_restarts=2,
+            supervisor_restart_window_seconds=10.0,
+        ) as deployment:
+            supervisor = deployment.supervisor
+            for round_index in range(4):
+                deployment.cache.fail_node("cache1")
+                supervisor.pump()
+                _pump_until_serving(supervisor, clock, "cache1")
+                # Space the crashes wider than the window: the breaker's
+                # restart count never accumulates and never trips.
+                clock.advance(11.0)
+            assert supervisor.stats.respawns == 4
+            assert supervisor.stats.circuit_breaker_trips == 0
+
+    def test_planned_removal_is_not_resurrected(self):
+        clock = ManualClock()
+        with _supervised_deployment(clock) as deployment:
+            supervisor = deployment.supervisor
+            deployment.remove_cache_node("cache2")
+            for _ in range(5):
+                clock.advance(10.0)
+                supervisor.pump()
+            assert "cache2" not in deployment.cache.transports
+            assert "cache2" not in supervisor.states
+
+    def test_operator_add_is_adopted_not_double_spawned(self):
+        clock = ManualClock()
+        with _supervised_deployment(clock) as deployment:
+            supervisor = deployment.supervisor
+            deployment.cache.fail_node("cache1")
+            supervisor.pump()
+            # An operator beats the supervisor to it.
+            deployment.add_cache_node("cache1")
+            clock.advance(10.0)
+            assert supervisor.pump() == 0
+            assert supervisor.states["cache1"] == "serving"
+            assert supervisor.stats.respawns == 0
+
+    def test_respawn_failure_climbs_the_backoff_ladder(self):
+        clock = ManualClock()
+        with _supervised_deployment(clock) as deployment:
+            supervisor = deployment.supervisor
+            supervisor.jitter_fraction = 0.0
+            deployment.cache.fail_node("cache1")
+            supervisor.pump()
+
+            real_rejoin = deployment.membership.rejoin
+            boom = [2]
+
+            def flaky_rejoin(name, **kwargs):
+                if boom[0] > 0:
+                    boom[0] -= 1
+                    raise OSError("address in use")
+                return real_rejoin(name, **kwargs)
+
+            deployment.membership.rejoin = flaky_rejoin
+            delays = []
+            for _ in range(3):
+                clock.advance(100.0)
+                before = supervisor._nodes["cache1"].next_attempt_at
+                supervisor.pump()
+                after = supervisor._nodes["cache1"].next_attempt_at
+                delays.append(after - clock.now())
+                if supervisor.states["cache1"] == "serving":
+                    break
+            assert supervisor.states["cache1"] == "serving"
+            assert supervisor.stats.respawn_failures == 2
+            # Each failed spawn pushed the next attempt further out.
+            assert delays[1] > delays[0] > 0
+
+    def test_gossip_rejoin_beats_the_tombstone(self):
+        clock = ManualClock()
+        with _supervised_deployment(
+            clock,
+            gossip=True,
+            gossip_suspect_seconds=0.5,
+            gossip_confirm_seconds=1.0,
+        ) as deployment:
+            supervisor = deployment.supervisor
+            deployment.cache.fail_node("cache1")
+            # Let gossip notice, confirm, and tombstone the death.
+            for _ in range(8):
+                clock.advance(0.5)
+                try:
+                    deployment.housekeeping()
+                except HousekeepingError:
+                    pass
+            _pump_until_serving(supervisor, clock, "cache1")
+            # Gossip must not re-kill the reborn node: run several more
+            # rounds and confirm it stays in the ring.
+            for _ in range(8):
+                clock.advance(0.5)
+                deployment.housekeeping()
+            assert "cache1" in deployment.cache.transports
+            assert supervisor.states["cache1"] == "serving"
+
+
+# ----------------------------------------------------------------------
+# Housekeeping stage isolation (satellite b)
+# ----------------------------------------------------------------------
+class TestHousekeepingIsolation:
+    def test_one_failing_stage_does_not_starve_the_rest(self):
+        clock = ManualClock()
+        with _supervised_deployment(clock) as deployment:
+            ran = []
+
+            def broken_expiry():
+                ran.append("expiry")
+                raise RuntimeError("pincushion on fire")
+
+            vacuum = deployment.database.vacuum
+            deployment.pincushion.expire_old_snapshots = broken_expiry
+            deployment.database.vacuum = lambda: ran.append("vacuum") or vacuum()
+
+            # Kill a node so the supervisor stage has real work to do.
+            deployment.cache.fail_node("cache1")
+            deployment.supervisor.pump()
+            clock.advance(1.0)
+
+            with pytest.raises(HousekeepingError) as excinfo:
+                deployment.housekeeping()
+            # The failure is reported...
+            assert set(excinfo.value.failures) == {"expire_old_snapshots"}
+            assert "pincushion on fire" in str(excinfo.value)
+            # ...and every later stage still ran: vacuum executed and the
+            # supervisor respawned the dead node in the same pass.
+            assert ran == ["expiry", "vacuum"]
+            assert "cache1" in deployment.cache.transports
+
+    def test_multiple_failures_are_all_collected(self):
+        with _supervised_deployment() as deployment:
+            deployment.pincushion.expire_old_snapshots = _raise_runtime
+            deployment.database.vacuum = _raise_runtime
+            with pytest.raises(HousekeepingError) as excinfo:
+                deployment.housekeeping()
+            assert set(excinfo.value.failures) == {
+                "expire_old_snapshots",
+                "vacuum",
+            }
+
+    def test_clean_housekeeping_raises_nothing(self):
+        with _supervised_deployment() as deployment:
+            deployment.housekeeping()
+
+
+def _raise_runtime():
+    raise RuntimeError("boom")
+
+
+# ----------------------------------------------------------------------
+# Retry policy and deadline propagation
+# ----------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_idempotent_read_retries_to_success(self):
+        policy = RetryPolicy(max_attempts=3, base_backoff_seconds=0.0)
+        attempts = [0]
+
+        def flaky():
+            attempts[0] += 1
+            if attempts[0] < 3:
+                raise CacheNodeUnreachableError("transient")
+            return "value"
+
+        import random as _random
+
+        result = policy.run(
+            "lookup",
+            flaky,
+            retry_on=(CacheNodeUnreachableError,),
+            rng=_random.Random(0),
+        )
+        assert result == "value"
+        assert attempts[0] == 3
+
+    def test_non_idempotent_ops_never_retry(self):
+        assert "put" not in IDEMPOTENT_OPS
+        assert "invalidate_tags" not in IDEMPOTENT_OPS
+        policy = RetryPolicy(max_attempts=5, base_backoff_seconds=0.0)
+        attempts = [0]
+
+        def failing():
+            attempts[0] += 1
+            raise CacheNodeUnreachableError("down")
+
+        import random as _random
+
+        with pytest.raises(CacheNodeUnreachableError):
+            policy.run(
+                "put",
+                failing,
+                retry_on=(CacheNodeUnreachableError,),
+                rng=_random.Random(0),
+            )
+        assert attempts[0] == 1
+
+    def test_retries_stop_at_the_propagated_deadline(self):
+        policy = RetryPolicy(max_attempts=10, base_backoff_seconds=0.05)
+        attempts = [0]
+
+        def failing():
+            attempts[0] += 1
+            raise CacheNodeUnreachableError("down")
+
+        import random as _random
+
+        started = time.monotonic()
+        with deadline_scope(started + 0.1):
+            with pytest.raises(CacheNodeUnreachableError):
+                policy.run(
+                    "lookup",
+                    failing,
+                    retry_on=(CacheNodeUnreachableError,),
+                    rng=_random.Random(0),
+                )
+        elapsed = time.monotonic() - started
+        assert elapsed < 1.0  # nowhere near 10 full backoffs
+        assert attempts[0] < 10
+
+    def test_cluster_read_never_exceeds_its_deadline(self):
+        """Acceptance: a routed read against dead replicas returns (as a
+        degraded miss) within the per-op budget plus scheduling slop."""
+        deployment = TxCacheDeployment(
+            cache_nodes=2,
+            transport="socket-pipelined",
+            replication_factor=2,
+            rpc_timeout_seconds=5.0,
+            retry_policy=RetryPolicy(
+                max_attempts=3, deadline_seconds=1.0, base_backoff_seconds=0.05
+            ),
+            clock=SystemClock(),
+            failure_threshold=1000,  # keep the corpses routable
+        )
+        fault = FaultInjector(deployment.cache)
+        try:
+            deployment.cache.put("key", "value", Interval(1, None))
+            for name in list(deployment.cache.transports):
+                fault.partition(name)
+            started = time.monotonic()
+            result = deployment.cache.lookup("key", 1, 1)
+            elapsed = time.monotonic() - started
+            assert not result.hit and result.degraded
+            assert elapsed < 2.5  # 1s budget + backoffs/slop, not 5s timeouts
+        finally:
+            deployment.shutdown()
+
+    def test_flaky_node_is_healed_by_retry_not_evicted(self):
+        """One transient failure per op stays below any eviction threshold
+        because the retry succeeds and notes the node healthy again."""
+        deployment = TxCacheDeployment(
+            cache_nodes=2,
+            transport="inprocess",
+            replication_factor=1,
+            retry_policy=RetryPolicy(max_attempts=3, base_backoff_seconds=0.0),
+        )
+        try:
+            cluster = deployment.cache
+            cluster.put("key", "value", Interval(1, None))
+            name = cluster.replicas_for("key")[0]
+            inner = cluster._transports[name]
+
+            class FlakyOnce:
+                def __init__(self, inner):
+                    self._inner = inner
+                    self.failures_left = 1
+
+                def lookup(self, *args, **kwargs):
+                    if self.failures_left > 0:
+                        self.failures_left -= 1
+                        raise CacheNodeUnreachableError("transient blip")
+                    return self._inner.lookup(*args, **kwargs)
+
+                def __getattr__(self, attr):
+                    return getattr(self._inner, attr)
+
+            cluster._transports[name] = FlakyOnce(inner)
+            result = cluster.lookup("key", 1, 1)
+            assert result.hit and result.value == "value"
+            assert cluster.health.nodes_evicted == 0
+            assert name in cluster.transports
+        finally:
+            deployment.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Error taxonomy (satellite a)
+# ----------------------------------------------------------------------
+class TestErrorTaxonomy:
+    def test_connect_refused_is_a_connect_error(self):
+        import socket as _socket
+
+        probe = _socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()  # nothing listens here any more
+        with pytest.raises(CacheNodeConnectError) as excinfo:
+            # The transport dials eagerly; a refused port surfaces as the
+            # connect-variant either here or on the first RPC.
+            SocketTransport(
+                ("127.0.0.1", port), name="ghost", connect_timeout_seconds=1.0
+            ).watermark()
+        # The taxonomy still is-a CacheNodeUnreachableError (old handlers
+        # keep working) and names the address it was dialling.
+        assert isinstance(excinfo.value, CacheNodeUnreachableError)
+        assert excinfo.value.node is not None
+
+    def test_expired_deadline_is_a_timeout_error(self):
+        deployment = TxCacheDeployment(
+            cache_nodes=1, transport="socket-pipelined", clock=SystemClock()
+        )
+        try:
+            transport = deployment.cache._transports["cache0"]
+            with deadline_scope(time.monotonic() - 1.0):
+                with pytest.raises(CacheNodeTimeoutError) as excinfo:
+                    transport.lookup("key", 1, 1)
+            assert isinstance(excinfo.value, CacheNodeUnreachableError)
+            assert excinfo.value.op == "lookup"
+            # An expired deadline is the caller's condition, not the
+            # node's: the connection must still work afterwards.
+            assert transport.watermark() >= 0
+        finally:
+            deployment.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Real SIGKILL against socket-process children
+# ----------------------------------------------------------------------
+@pytest.mark.skipif(
+    "socket-process" not in transports_under_test(),
+    reason="socket-process transport not under test",
+)
+class TestProcessRecovery:
+    def _deployment(self, **overrides):
+        settings = dict(
+            clock=SystemClock(),
+            cache_nodes=3,
+            transport="socket-process",
+            replication_factor=2,
+            failure_threshold=2,
+            rpc_timeout_seconds=2.0,
+            gossip=True,
+            gossip_suspect_seconds=0.3,
+            gossip_confirm_seconds=0.6,
+            background_maintenance=True,
+            maintenance_ops_per_interval=256,
+            maintenance_bytes_per_interval=2 << 20,
+            maintenance_interval_seconds=0.02,
+            supervision=True,
+            supervisor_backoff_base_seconds=0.05,
+        )
+        settings.update(overrides)
+        return TxCacheDeployment(**settings)
+
+    def _housekeep_until(self, deployment, predicate, timeout=30.0):
+        deadline = time.time() + timeout
+        while time.time() < deadline:
+            try:
+                deployment.housekeeping()
+            except HousekeepingError:
+                pass  # a stage tripping over the corpse is expected
+            if predicate():
+                return
+            time.sleep(0.02)
+        raise AssertionError("condition not reached before timeout")
+
+    def test_sigkilled_node_returns_to_serving_with_its_keys(self):
+        deployment = self._deployment()
+        fault = FaultInjector(deployment.cache)
+        try:
+            keys = 60
+            for i in range(keys):
+                deployment.cache.put(f"key{i}", f"value{i}", Interval(1, None))
+            victim = "cache1"
+            fault.kill(victim)
+            assert deployment.cache.processes[victim].exitcode is not None
+
+            supervisor = deployment.supervisor
+            self._housekeep_until(
+                deployment,
+                lambda: supervisor.states.get(victim) == "serving"
+                and victim in deployment.cache.transports,
+            )
+            # Drain the budgeted re-warm, then the full working set must be
+            # servable again — including from the reborn node.
+            self._housekeep_until(
+                deployment,
+                lambda: deployment.membership.plane.idle,
+            )
+            hits = sum(
+                1
+                for i in range(keys)
+                if deployment.cache.lookup(f"key{i}", 1, 1).hit
+            )
+            assert hits == keys
+            assert deployment.membership.stats.entries_rewarmed > 0
+            assert len(deployment.cache.node_keys(victim)) > 0
+            assert supervisor.stats.respawns == 1
+        finally:
+            deployment.shutdown()
+
+    def test_one_snapshot_invariant_across_kill_and_respawn(self):
+        deployment = self._deployment()
+        fault = FaultInjector(deployment.cache)
+        try:
+            harness = ConsistencyHarness(deployment, seed=7)
+            harness.run(30)
+            fault.kill("cache1")
+            stop = threading.Event()
+
+            def timer():
+                while not stop.is_set():
+                    try:
+                        deployment.housekeeping()
+                    except HousekeepingError:
+                        pass
+                    stop.wait(0.02)
+
+            pumper = threading.Thread(target=timer)
+            pumper.start()
+            try:
+                harness.run(120)  # crash, respawn, and re-warm mid-workload
+            finally:
+                stop.set()
+                pumper.join(timeout=10)
+            assert deployment.supervisor.stats.respawns >= 1
+            assert "cache1" in deployment.cache.transports
+            # R=2 zero-loss: no read ever degraded to a synthetic miss.
+            assert deployment.cache.health.degraded_lookups == 0
+        finally:
+            deployment.shutdown()
+
+    def test_sigkill_fails_inflight_pipelined_rpcs_promptly(self):
+        """Satellite c: pending ResponseSlots on the mux connection are
+        poisoned promptly (no rpc_timeout wait) and the routed read then
+        recovers on the replica within the deadline."""
+        deployment = self._deployment(
+            simulated_rpc_latency_seconds=0.25,
+            rpc_timeout_seconds=10.0,
+            supervision=False,  # isolate the failure path from respawn
+            gossip=False,
+            background_maintenance=False,
+        )
+        try:
+            cluster = deployment.cache
+            for i in range(20):
+                cluster.put(f"key{i}", f"value{i}", Interval(1, None))
+            victim = "cache1"
+            transport = cluster._transports[victim]
+
+            results = []
+
+            def inflight(index):
+                started = time.monotonic()
+                try:
+                    transport.lookup(f"key{index}", 1, 1)
+                    results.append(("ok", time.monotonic() - started))
+                except CacheNodeUnreachableError as exc:
+                    results.append((exc, time.monotonic() - started))
+
+            workers = [
+                threading.Thread(target=inflight, args=(i,)) for i in range(4)
+            ]
+            for worker in workers:
+                worker.start()
+            time.sleep(0.1)  # all four RPCs are now in flight (0.25s RTT)
+            killed_at = time.monotonic()
+            cluster.processes[victim].kill()
+            for worker in workers:
+                worker.join(timeout=8)
+            assert len(results) == 4
+            failures = [entry for entry in results if entry[0] != "ok"]
+            # Every in-flight RPC failed, promptly: far sooner than the
+            # 10s rpc timeout, because the dead socket poisons all slots.
+            assert len(failures) == 4
+            assert time.monotonic() - killed_at < 5.0
+            for exc, elapsed in failures:
+                assert isinstance(exc, CacheNodeUnreachableError)
+                assert elapsed < 5.0
+
+            # The routed path now recovers the same reads on the replica,
+            # within one op deadline.
+            started = time.monotonic()
+            result = cluster.lookup("key0", 1, 1)
+            assert result.hit and result.value == "value0"
+            assert time.monotonic() - started < 5.0
+            assert cluster.health.degraded_lookups == 0
+        finally:
+            deployment.shutdown()
